@@ -1,0 +1,94 @@
+//! The §V-A memory-bound frontier (experiment F-BOUND).
+//!
+//! For a grid of core counts and DRAM bandwidths, where does sorting flip
+//! from compute-bound to memory-bandwidth-bound? The paper estimates this
+//! with `y·log Z < x` and observes the flip between 128 and 256 cores on
+//! the Fig. 4 machine.
+
+use tlmm_memsim::MachineConfig;
+use tlmm_model::bounds::{bandwidth_bound_verdict, crossover_cores};
+
+/// One frontier sample.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierPoint {
+    /// Cores on the node.
+    pub cores: u32,
+    /// Far-memory sustained bandwidth in bytes/second.
+    pub dram_bw: f64,
+    /// Memory pressure `x / (y·log Z)` (> 1 = memory-bound).
+    pub pressure: f64,
+}
+
+impl FrontierPoint {
+    /// Is sorting memory-bandwidth bound at this point?
+    pub fn memory_bound(&self) -> bool {
+        self.pressure > 1.0
+    }
+}
+
+/// Evaluate the frontier for Fig. 4-style nodes at each core count,
+/// scaling DRAM bandwidth by `bw_scale`.
+pub fn frontier_for_cores(core_counts: &[u32], bw_scale: f64, elem_bytes: usize) -> Vec<FrontierPoint> {
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let m = MachineConfig::fig4(cores, 4.0);
+            let mut rates = m.machine_rates(elem_bytes);
+            rates.elems_per_sec *= bw_scale;
+            let v = bandwidth_bound_verdict(&rates);
+            FrontierPoint {
+                cores,
+                dram_bw: m.far.sustained_bw() * bw_scale,
+                pressure: v.pressure(),
+            }
+        })
+        .collect()
+}
+
+/// Minimum core count at which a Fig. 4-class node becomes memory bound
+/// (the paper's 128-vs-256 observation).
+pub fn fig4_crossover_cores(elem_bytes: usize) -> Option<u32> {
+    let m = MachineConfig::fig4(1, 4.0);
+    crossover_cores(
+        m.core_rate(),
+        m.far.sustained_bw(),
+        elem_bytes,
+        // Fixing cache blocks at the 256-core node's value, like the paper's
+        // back-of-envelope (Z ≈ 1e6 blocks regardless of core count).
+        (MachineConfig::fig4(256, 4.0).total_cache_bytes() / m.line_bytes) as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_monotone_in_cores() {
+        let pts = frontier_for_cores(&[32, 64, 128, 256, 512], 1.0, 8);
+        for w in pts.windows(2) {
+            assert!(w[1].pressure > w[0].pressure);
+        }
+    }
+
+    #[test]
+    fn paper_observation_128_vs_256() {
+        let pts = frontier_for_cores(&[128, 256], 1.0, 8);
+        assert!(!pts[0].memory_bound(), "128 cores: not memory bound");
+        assert!(pts[1].memory_bound(), "256 cores: memory bound");
+    }
+
+    #[test]
+    fn crossover_lies_between() {
+        let c = fig4_crossover_cores(8).unwrap();
+        assert!(c > 128 && c <= 256, "crossover {c}");
+    }
+
+    #[test]
+    fn more_bandwidth_delays_the_frontier() {
+        let base = frontier_for_cores(&[256], 1.0, 8)[0];
+        let fat = frontier_for_cores(&[256], 4.0, 8)[0];
+        assert!(base.memory_bound());
+        assert!(!fat.memory_bound(), "4x bandwidth un-bounds 256 cores");
+    }
+}

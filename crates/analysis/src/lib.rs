@@ -1,0 +1,18 @@
+//! Predicted-vs-measured analysis and experiment post-processing.
+//!
+//! The glue between the theory ([`tlmm_model`]), the measured ledgers
+//! ([`tlmm_scratchpad`]) and the simulated times ([`tlmm_memsim`]):
+//!
+//! * [`validation`] — does the measured block-transfer ledger track the
+//!   Theorem 6 predictions as `N` and `ρ` vary? (Experiment F-MODEL.)
+//! * [`speedup`] — Table-I style comparisons between two simulated runs.
+//! * [`frontier`] — the §V-A memory-bound frontier over (cores, bandwidth).
+//! * [`table`] — plain-text table rendering shared by the harness binaries.
+
+pub mod frontier;
+pub mod speedup;
+pub mod table;
+pub mod validation;
+
+pub use speedup::{compare_runs, Comparison};
+pub use table::Table;

@@ -1,0 +1,75 @@
+//! Table-I style comparisons between simulated runs.
+
+use tlmm_memsim::SimReport;
+
+/// Relation between a candidate run and a baseline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// `baseline_seconds / candidate_seconds` (> 1 means candidate faster).
+    pub speedup: f64,
+    /// Wall-clock advantage as a fraction of the baseline (the paper quotes
+    /// "more than 25 %" for 8×).
+    pub advantage: f64,
+    /// `baseline_far_accesses / candidate_far_accesses`.
+    pub far_access_ratio: f64,
+    /// Candidate scratchpad accesses per candidate DRAM access.
+    pub near_per_far: f64,
+}
+
+/// Compare `candidate` against `baseline`.
+pub fn compare_runs(baseline: &SimReport, candidate: &SimReport) -> Comparison {
+    let speedup = baseline.seconds / candidate.seconds.max(f64::MIN_POSITIVE);
+    Comparison {
+        speedup,
+        advantage: 1.0 - candidate.seconds / baseline.seconds.max(f64::MIN_POSITIVE),
+        far_access_ratio: baseline.far_accesses as f64
+            / (candidate.far_accesses.max(1)) as f64,
+        near_per_far: candidate.near_accesses as f64 / (candidate.far_accesses.max(1)) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(seconds: f64, far: u64, near: u64) -> SimReport {
+        SimReport {
+            seconds,
+            phases: vec![],
+            far_accesses: far,
+            near_accesses: near,
+            far_bytes: far * 64,
+            near_bytes: near * 64,
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn paper_table1_shape() {
+        // GNU: 898.419 s, 394,774,287 DRAM, 0 scratchpad.
+        // NMsort 8x: 640.126 s, 158,521,515 DRAM, 368,351,141 scratchpad.
+        let gnu = report(898.419, 394_774_287, 0);
+        let nm8 = report(640.126, 158_521_515, 368_351_141);
+        let c = compare_runs(&gnu, &nm8);
+        assert!(c.advantage > 0.25, "paper: >25% at 8x, got {}", c.advantage);
+        assert!(c.far_access_ratio > 2.0, "NMsort does ~half the DRAM accesses");
+        assert!(c.near_per_far > 2.0 && c.near_per_far < 3.0);
+    }
+
+    #[test]
+    fn identity_comparison() {
+        let a = report(10.0, 100, 0);
+        let c = compare_runs(&a, &a);
+        assert!((c.speedup - 1.0).abs() < 1e-12);
+        assert!(c.advantage.abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_candidate_has_negative_advantage() {
+        let base = report(10.0, 100, 0);
+        let cand = report(20.0, 100, 50);
+        let c = compare_runs(&base, &cand);
+        assert!(c.speedup < 1.0);
+        assert!(c.advantage < 0.0);
+    }
+}

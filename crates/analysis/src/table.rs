@@ -1,0 +1,142 @@
+//! Minimal plain-text table rendering for the harness binaries.
+
+/// A right-aligned plain-text table with a header row.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (it may be shorter than the header; missing cells are
+    /// blank).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column separators and a header rule.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut width = vec![0usize; cols];
+        let all = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut s = String::new();
+            for (i, w) in width.iter().enumerate().take(cols) {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                // Right-align numbers-ish content; left-align first column.
+                if i == 0 {
+                    s.push_str(&format!("{cell:<w$}"));
+                } else {
+                    s.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with 3 significant decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a large count with thousands separators.
+pub fn count(x: u64) -> String {
+    let s = x.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Format a ratio like `1.73x`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "123456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("     1"));
+        assert!(lines[3].ends_with("123456"));
+    }
+
+    #[test]
+    fn count_groups_thousands() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1000), "1,000");
+        assert_eq!(count(394774287), "394,774,287");
+    }
+
+    #[test]
+    fn ratio_and_secs() {
+        assert_eq!(ratio(1.7345), "1.73x");
+        assert_eq!(secs(898.4191), "898.419");
+    }
+
+    #[test]
+    fn tolerates_ragged_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["x"]);
+        t.row(["y", "1", "2"]);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(s.lines().count() == 4);
+    }
+}

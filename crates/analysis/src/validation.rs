@@ -1,0 +1,117 @@
+//! Model validation: measured ledger vs Theorem 6 predictions (F-MODEL).
+//!
+//! The paper's claim "memory access counts from simulations corroborate
+//! predicted performance" becomes checkable here: for a sweep over `N` and
+//! `ρ`, the measured far/near block counts should track the predicted
+//! asymptotic curves up to a stable constant factor (the Θ's constant).
+
+use tlmm_model::theorems;
+use tlmm_model::{CostSnapshot, ScratchpadParams};
+
+/// One (N, ρ) validation point.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationRow {
+    /// Input elements.
+    pub n: u64,
+    /// Bandwidth expansion factor.
+    pub rho: f64,
+    /// Theorem 6 far-block prediction.
+    pub predicted_far: f64,
+    /// Measured far blocks from the ledger.
+    pub measured_far: u64,
+    /// Theorem 6 near-block prediction.
+    pub predicted_near: f64,
+    /// Measured near blocks from the ledger.
+    pub measured_near: u64,
+}
+
+impl ValidationRow {
+    /// Build a row from the parameters and a measured ledger snapshot.
+    pub fn new(params: &ScratchpadParams, n: u64, elem_bytes: usize, s: &CostSnapshot) -> Self {
+        let pred = theorems::theorem6_scratchpad_sort(params, n, elem_bytes);
+        Self {
+            n,
+            rho: params.rho,
+            predicted_far: pred.far_blocks,
+            measured_far: s.far_blocks(),
+            predicted_near: pred.near_blocks,
+            measured_near: s.near_blocks(),
+        }
+    }
+
+    /// measured/predicted for far blocks (the hidden constant).
+    pub fn far_constant(&self) -> f64 {
+        self.measured_far as f64 / self.predicted_far.max(1.0)
+    }
+
+    /// measured/predicted for near blocks.
+    pub fn near_constant(&self) -> f64 {
+        self.measured_near as f64 / self.predicted_near.max(1.0)
+    }
+}
+
+/// Do the hidden constants stay within `spread` (max/min) across the sweep?
+/// A drifting constant would mean the implementation's asymptotics differ
+/// from the theorem's.
+pub fn constants_stable(rows: &[ValidationRow], spread: f64) -> bool {
+    let check = |f: fn(&ValidationRow) -> f64| -> bool {
+        let vals: Vec<f64> = rows.iter().map(f).collect();
+        match (
+            vals.iter().cloned().fold(f64::INFINITY, f64::min),
+            vals.iter().cloned().fold(0.0f64, f64::max),
+        ) {
+            (min, max) if min > 0.0 => max / min <= spread,
+            _ => false,
+        }
+    };
+    !rows.is_empty() && check(ValidationRow::far_constant) && check(ValidationRow::near_constant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(far: u64, near: u64) -> CostSnapshot {
+        CostSnapshot {
+            far_read_blocks: far / 2,
+            far_write_blocks: far - far / 2,
+            near_read_blocks: near / 2,
+            near_write_blocks: near - near / 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn row_constants() {
+        let p = ScratchpadParams::paper_default(4.0);
+        let pred = theorems::theorem6_scratchpad_sort(&p, 1 << 22, 8);
+        let s = snap((2.0 * pred.far_blocks) as u64, (3.0 * pred.near_blocks) as u64);
+        let row = ValidationRow::new(&p, 1 << 22, 8, &s);
+        assert!((row.far_constant() - 2.0).abs() < 0.01);
+        assert!((row.near_constant() - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn stability_detects_drift() {
+        let p = ScratchpadParams::paper_default(4.0);
+        let mk = |n: u64, factor: f64| {
+            let pred = theorems::theorem6_scratchpad_sort(&p, n, 8);
+            ValidationRow::new(
+                &p,
+                n,
+                8,
+                &snap(
+                    (factor * pred.far_blocks) as u64,
+                    (factor * pred.near_blocks) as u64,
+                ),
+            )
+        };
+        // Constant factor 2 everywhere: stable.
+        let stable = vec![mk(1 << 20, 2.0), mk(1 << 22, 2.0), mk(1 << 24, 2.0)];
+        assert!(constants_stable(&stable, 1.5));
+        // Factor growing with n: unstable.
+        let drift = vec![mk(1 << 20, 1.0), mk(1 << 22, 4.0), mk(1 << 24, 16.0)];
+        assert!(!constants_stable(&drift, 2.0));
+        assert!(!constants_stable(&[], 2.0));
+    }
+}

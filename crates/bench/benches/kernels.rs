@@ -1,0 +1,85 @@
+//! Microbenchmarks of the non-sort kernels: the k-means assignment pass,
+//! the GEMM tile kernel, external quicksort, and the selection primitive.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tlmm_core::extsort::RegionLevel;
+use tlmm_core::quicksort::external_quicksort;
+use tlmm_core::select::{select_kth, SelectConfig};
+use tlmm_kmeans::{generate_blobs, kmeans_far, KMeansConfig};
+use tlmm_model::ScratchpadParams;
+use tlmm_scratchpad::TwoLevel;
+use tlmm_tile::{gemm_far, GemmConfig, Matrix};
+use tlmm_workloads::{generate, Workload};
+
+fn params() -> ScratchpadParams {
+    ScratchpadParams::new(64, 4.0, 16 << 20, 1 << 20).unwrap()
+}
+
+fn bench_kmeans_assign(c: &mut Criterion) {
+    let n = 200_000;
+    let pts = generate_blobs(n, 4, 8, 2.0, 1);
+    let mut g = c.benchmark_group("kmeans_pass");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function("lloyd_3_iters", |b| {
+        b.iter(|| {
+            let tl = TwoLevel::new(params());
+            let arr = tl.far_from_vec(pts.clone());
+            kmeans_far(
+                &tl,
+                &arr,
+                &KMeansConfig {
+                    k: 8,
+                    dim: 4,
+                    max_iters: 3,
+                    tol: 0.0,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let n = 256usize;
+    let mut g = c.benchmark_group("gemm_256");
+    g.throughput(Throughput::Elements((n * n * n) as u64));
+    g.sample_size(10);
+    g.bench_function("blocked_far", |b| {
+        b.iter(|| {
+            let tl = TwoLevel::new(params());
+            let a = Matrix::random(&tl, n, n, 1);
+            let bm = Matrix::random(&tl, n, n, 2);
+            gemm_far(&tl, &a, &bm, &GemmConfig::default())
+        })
+    });
+    g.finish();
+}
+
+fn bench_quicksort_and_select(c: &mut Criterion) {
+    let n = 500_000usize;
+    let data = generate(Workload::UniformU64, n, 3);
+    let mut g = c.benchmark_group("other_primitives");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function("external_quicksort", |b| {
+        b.iter(|| {
+            let tl = TwoLevel::new(params());
+            let mut v = data.clone();
+            external_quicksort(&tl, RegionLevel::Near, &mut v, 8);
+            v
+        })
+    });
+    g.bench_function("select_median", |b| {
+        b.iter(|| {
+            let tl = TwoLevel::new(params());
+            let input = tl.far_from_vec(data.clone());
+            select_kth(&tl, &input, n / 2, &SelectConfig::default()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kmeans_assign, bench_gemm, bench_quicksort_and_select);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmarks of the merging primitives: loser-tree k-way merge and
+//! the sampled-splitter parallel merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tlmm_core::losertree::merge_into_slice;
+use tlmm_core::pmerge::parallel_merge;
+use tlmm_workloads::{generate, Workload};
+
+fn sorted_runs(k: usize, per: usize) -> Vec<Vec<u64>> {
+    (0..k)
+        .map(|i| {
+            let mut v = generate(Workload::UniformU64, per, i as u64);
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+fn bench_loser_tree(c: &mut Criterion) {
+    let total = 1 << 20;
+    let mut g = c.benchmark_group("loser_tree_merge");
+    g.throughput(Throughput::Elements(total as u64));
+    g.sample_size(10);
+    for k in [2usize, 4, 16, 64, 256] {
+        let runs = sorted_runs(k, total / k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &runs, |b, runs| {
+            let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+            let mut out = vec![0u64; total];
+            b.iter(|| merge_into_slice(&refs, &mut out))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_merge(c: &mut Criterion) {
+    let total = 1 << 21;
+    let k = 16;
+    let runs = sorted_runs(k, total / k);
+    let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+    let mut g = c.benchmark_group("parallel_merge_2m_16way");
+    g.throughput(Throughput::Elements(total as u64));
+    g.sample_size(10);
+    for ways in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(ways), &ways, |b, &ways| {
+            let mut out = vec![0u64; total];
+            b.iter(|| parallel_merge(&refs, &mut out, ways, true))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_loser_tree, bench_parallel_merge);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Simulator engine throughput: analytic flow replay vs the discrete-event
+//! engine at two request granularities, on an NMsort-shaped trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlmm_bench::run_nmsort;
+use tlmm_memsim::des::{simulate_des, DesOptions};
+use tlmm_memsim::{simulate_flow, MachineConfig};
+
+fn bench_engines(c: &mut Criterion) {
+    // One real NMsort run's trace, reused across engines.
+    let run = run_nmsort(500_000, 64, 100_000, 1);
+    let m = MachineConfig::fig4(64, 4.0);
+    let mut g = c.benchmark_group("trace_replay");
+    g.sample_size(10);
+    g.bench_function("flow", |b| b.iter(|| simulate_flow(&run.trace, &m)));
+    g.bench_function("des_64B", |b| {
+        b.iter(|| {
+            simulate_des(
+                &run.trace,
+                &m,
+                &DesOptions {
+                    req_bytes: 64,
+                    mlp: 4,
+                },
+            )
+        })
+    });
+    g.bench_function("des_1KiB", |b| {
+        b.iter(|| {
+            simulate_des(
+                &run.trace,
+                &m,
+                &DesOptions {
+                    req_bytes: 1024,
+                    mlp: 4,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Native wall-clock benchmarks of the sorting implementations (T-LAT).
+//!
+//! These measure *host* speed of the instrumented algorithms — useful for
+//! tracking implementation regressions; the paper's simulated times come
+//! from the `table1`/`fig_*` harness binaries instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tlmm_core::baseline::{baseline_sort, BaselineConfig};
+use tlmm_core::nmsort::{nmsort, NmSortConfig};
+use tlmm_core::seqsort::{seq_scratchpad_sort, SeqSortConfig};
+use tlmm_model::ScratchpadParams;
+use tlmm_scratchpad::TwoLevel;
+use tlmm_workloads::{generate, Workload};
+
+fn params() -> ScratchpadParams {
+    ScratchpadParams::new(64, 4.0, 16 << 20, 1 << 20).unwrap()
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let data = generate(Workload::UniformU64, n, 42);
+    let mut g = c.benchmark_group("sort_1m_u64");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+
+    g.bench_function("std_sort_unstable", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            v.sort_unstable();
+            v
+        })
+    });
+
+    g.bench_function("nmsort", |b| {
+        b.iter(|| {
+            let tl = TwoLevel::new(params());
+            let input = tl.far_from_vec(data.clone());
+            nmsort(&tl, input, &NmSortConfig::default()).unwrap()
+        })
+    });
+
+    g.bench_function("baseline_multiway", |b| {
+        b.iter(|| {
+            let tl = TwoLevel::new(params());
+            let input = tl.far_from_vec(data.clone());
+            baseline_sort(&tl, input, &BaselineConfig::default()).unwrap()
+        })
+    });
+
+    g.bench_function("seq_scratchpad_sort", |b| {
+        b.iter(|| {
+            let tl = TwoLevel::new(params());
+            let input = tl.far_from_vec(data.clone());
+            seq_scratchpad_sort(&tl, input, &SeqSortConfig::default()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload_shapes(c: &mut Criterion) {
+    let n = 500_000usize;
+    let mut g = c.benchmark_group("nmsort_workloads");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for (name, w) in [
+        ("uniform", Workload::UniformU64),
+        ("sorted", Workload::Sorted),
+        ("reverse", Workload::Reverse),
+        ("few_distinct", Workload::FewDistinct(16)),
+        ("zipf", Workload::Zipf(1.1)),
+    ] {
+        let data = generate(w, n, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, data| {
+            b.iter(|| {
+                let tl = TwoLevel::new(params());
+                let input = tl.far_from_vec(data.clone());
+                nmsort(&tl, input, &NmSortConfig::default()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sorts, bench_workload_shapes);
+criterion_main!(benches);

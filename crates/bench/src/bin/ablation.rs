@@ -1,0 +1,109 @@
+//! **Ablations** — the design choices DESIGN.md calls out.
+//!
+//! 1. *Chunk size*: NMsort's Phase-1 chunk bound trades per-chunk sort depth
+//!    against Phase-2 merge width.
+//! 2. *Pivot count*: more buckets → finer batches but more metadata.
+//! 3. *DMA overlap*: §VII — overlapping ingest transfers with compute.
+//! 4. *Batched vs eager buckets*: the paper's key innovation; the eager
+//!    variant is approximated by the per-bucket random-write cost model of
+//!    the sequential sort's scan.
+//!
+//! Run: `cargo run --release -p tlmm-bench --bin ablation`
+
+use tlmm_analysis::table::{count, secs, Table};
+use tlmm_bench::{run_nmsort, run_nmsort_dma};
+use tlmm_core::nmsort::{nmsort, ChunkSorter, NmSortConfig};
+use tlmm_memsim::{simulate_flow, MachineConfig};
+use tlmm_model::ScratchpadParams;
+use tlmm_scratchpad::TwoLevel;
+use tlmm_workloads::{generate, Workload};
+
+fn nmsort_with(n: usize, chunk: usize, pivots: Option<usize>) -> (f64, u64, u64) {
+    let params = ScratchpadParams::new(64, 4.0, 64 << 20, 4 << 20).unwrap();
+    let tl = TwoLevel::new(params);
+    let input = tl.far_from_vec(generate(Workload::UniformU64, n, 3));
+    let cfg = NmSortConfig {
+        sim_lanes: 64,
+        chunk_elems: Some(chunk),
+        n_pivots: pivots,
+        parallel: true,
+        ..Default::default()
+    };
+    let r = nmsort(&tl, input, &cfg).expect("nmsort");
+    assert!(r.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    let sim = simulate_flow(&tl.take_trace(), &MachineConfig::fig4(64, 4.0));
+    (sim.seconds, sim.far_accesses, sim.near_accesses)
+}
+
+fn main() {
+    let n = 4_000_000usize;
+
+    println!("\nAblation 1 — chunk size (N = 4M, M = 64 MiB, rho = 4)\n");
+    let mut t = Table::new(["chunk elems", "sim (s)", "DRAM acc", "scratch acc"]);
+    for &chunk in &[250_000usize, 500_000, 1_000_000, 2_000_000, 4_000_000] {
+        let (s, fa, na) = nmsort_with(n, chunk, None);
+        t.row(vec![count(chunk as u64), secs(s), count(fa), count(na)]);
+    }
+    println!("{}", t.render());
+
+    println!("\nAblation 2 — pivot count (chunk = 1M)\n");
+    let mut t = Table::new(["pivots", "sim (s)", "DRAM acc", "scratch acc"]);
+    for &m in &[64usize, 512, 4096, 32_768] {
+        let (s, fa, na) = nmsort_with(n, 1_000_000, Some(m));
+        t.row(vec![count(m as u64), secs(s), count(fa), count(na)]);
+    }
+    println!("{}", t.render());
+
+    println!("\nAblation 3 — DMA overlap of Phase-1 transfers (N = 4M)\n");
+    let plain = run_nmsort(n, 64, 1_000_000, 9);
+    let dma = run_nmsort_dma(n, 64, 1_000_000, 9);
+    let m = MachineConfig::fig4(64, 4.0);
+    let sp = simulate_flow(&plain.trace, &m);
+    let sd = simulate_flow(&dma.trace, &m);
+    let mut t = Table::new(["variant", "sim (s)", "gain"]);
+    t.row(vec!["blocking transfers".into(), secs(sp.seconds), String::new()]);
+    t.row(vec![
+        "DMA-overlapped".to_string(),
+        secs(sd.seconds),
+        format!("{:.1}%", (1.0 - sd.seconds / sp.seconds) * 100.0),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "the paper's prototype 'simply waits for the transfer to complete', \
+         so 'results ... could be nontrivially improved' — this quantifies it."
+    );
+
+    println!("\nAblation 4 — chunk sorter (Corollary 7: mergesort vs quicksort in the scratchpad)\n");
+    let mut t = Table::new(["sorter", "rho", "sim (s)", "scratch acc"]);
+    for &rho in &[2.0f64, 4.0, 8.0, 16.0] {
+        for (name, sorter) in [
+            ("multiway merge", ChunkSorter::MultiwayMerge),
+            ("quicksort", ChunkSorter::Quicksort),
+        ] {
+            let params = ScratchpadParams::new(64, rho, 64 << 20, 4 << 20).unwrap();
+            let tl = TwoLevel::new(params);
+            let input = tl.far_from_vec(generate(Workload::UniformU64, n, 13));
+            let cfg = NmSortConfig {
+                sim_lanes: 64,
+                chunk_elems: Some(1_000_000),
+                chunk_sorter: sorter,
+                parallel: true,
+                ..Default::default()
+            };
+            let r = nmsort(&tl, input, &cfg).expect("nmsort");
+            assert!(r.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+            let sim = simulate_flow(&tl.take_trace(), &MachineConfig::fig4(64, rho));
+            t.row(vec![
+                name.to_string(),
+                format!("{rho}"),
+                secs(sim.seconds),
+                count(sim.near_accesses),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Corollary 7: quicksort-in-scratchpad is optimal only once rho = \
+         Omega(lg M/Z); at small rho the multiway merge wins."
+    );
+}

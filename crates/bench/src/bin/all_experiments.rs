@@ -1,0 +1,66 @@
+//! Run the whole evaluation suite and write each artifact's output under
+//! `results/` — the one-command reproduction of EXPERIMENTS.md.
+//!
+//! Run: `cargo run --release -p tlmm-bench --bin all_experiments [out_dir]`
+
+use std::io::Write;
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table1",
+    "fig_bandwidth",
+    "fig_corescale",
+    "fig_model_validation",
+    "fig_membound",
+    "fig_overhead",
+    "fig_kmeans",
+    "fig_parallel",
+    "fig_energy",
+    "fig_gemm",
+    "ablation",
+];
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    let mut failures = 0;
+    for bin in BINS {
+        let path = exe_dir.join(bin);
+        eprint!("[all_experiments] {bin} ... ");
+        let started = std::time::Instant::now();
+        let output = Command::new(&path).output();
+        match output {
+            Ok(o) if o.status.success() => {
+                let file = format!("{out_dir}/{bin}.txt");
+                let mut f = std::fs::File::create(&file).expect("create result file");
+                f.write_all(&o.stdout).expect("write result");
+                eprintln!("ok ({:.1}s) -> {file}", started.elapsed().as_secs_f64());
+            }
+            Ok(o) => {
+                failures += 1;
+                eprintln!("FAILED (status {:?})", o.status.code());
+                eprintln!("{}", String::from_utf8_lossy(&o.stderr));
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!(
+                    "could not launch {path:?}: {e}. Build all binaries first: \
+                     `cargo build --release -p tlmm-bench --bins`"
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("[all_experiments] {failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+    eprintln!("[all_experiments] all artifacts written to {out_dir}/");
+}

@@ -1,0 +1,42 @@
+//! **F-BOUND** — the §V-A memory-bandwidth-bound frontier.
+//!
+//! Prints the pressure grid `x / (y·log Z)` over core counts and DRAM
+//! bandwidth scalings, plus the crossover core count for the Fig. 4 node
+//! ("we observe that sorting is memory bound if the number of cores is 256
+//! and not memory bound when that number is reduced to 128").
+//!
+//! Run: `cargo run --release -p tlmm-bench --bin fig_membound`
+
+use tlmm_analysis::frontier::{fig4_crossover_cores, frontier_for_cores};
+use tlmm_analysis::table::Table;
+
+fn main() {
+    let cores = [16u32, 32, 64, 128, 192, 256, 384, 512, 1024];
+    let scales = [0.5, 1.0, 2.0, 4.0, 8.0];
+
+    let mut t = Table::new(
+        std::iter::once("cores \\ bw".to_string())
+            .chain(scales.iter().map(|s| format!("{s}x DRAM"))),
+    );
+    for &c in &cores {
+        let mut row = vec![c.to_string()];
+        for &s in &scales {
+            let p = frontier_for_cores(&[c], s, 8)[0];
+            row.push(format!(
+                "{:.2}{}",
+                p.pressure,
+                if p.memory_bound() { "*" } else { " " }
+            ));
+        }
+        t.row(row);
+    }
+    println!("\nF-BOUND — memory pressure x/(y·log Z); '*' = memory-bandwidth bound\n");
+    println!("{}", t.render());
+    match fig4_crossover_cores(8) {
+        Some(c) => println!(
+            "Fig. 4 node crossover: sorting becomes memory-bound at {c} cores \
+             (paper: between 128 and 256)."
+        ),
+        None => println!("no crossover below u32::MAX cores"),
+    }
+}

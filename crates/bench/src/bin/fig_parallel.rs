@@ -1,0 +1,72 @@
+//! **F-PAR** — Theorem 10: parallel scratchpad sorting scales with `p′`.
+//!
+//! §IV-C: allowing `p′` processors to make simultaneous block transfers
+//! divides both Theorem 6 terms by `p′`. This harness runs the parallel
+//! scratchpad sample sort at increasing lane counts on the Fig. 4 machine
+//! and reports simulated time, the trace's per-lane critical path (the
+//! model's "block-transfer steps"), and the Theorem 10 prediction.
+//!
+//! Run: `cargo run --release -p tlmm-bench --bin fig_parallel`
+
+use tlmm_analysis::table::{count, secs, Table};
+use tlmm_core::parsort::{par_scratchpad_sort, ParSortConfig};
+use tlmm_memsim::{simulate_flow, MachineConfig};
+use tlmm_model::theorems;
+use tlmm_model::ScratchpadParams;
+use tlmm_scratchpad::TwoLevel;
+use tlmm_workloads::{generate, Workload};
+
+fn main() {
+    let n = 2_000_000usize;
+    let params = ScratchpadParams::new(64, 4.0, 16 << 20, 2 << 20).unwrap();
+    println!("\nF-PAR — parallel scratchpad sample sort vs p' (N = 2M, rho = 4)\n");
+    let mut t = Table::new([
+        "p'",
+        "sim (s)",
+        "max-lane steps",
+        "Thm 10 steps",
+        "measured/pred",
+    ]);
+    for lanes in [1usize, 2, 4, 8, 16, 32, 64] {
+        let tl = TwoLevel::new(params);
+        let input = tl.far_from_vec(generate(Workload::UniformU64, n, 4));
+        let (out, _) = par_scratchpad_sort(
+            &tl,
+            input,
+            &ParSortConfig {
+                lanes,
+                parallel: true,
+                ..Default::default()
+            },
+        )
+        .expect("parsort");
+        assert!(out.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+        let trace = tl.take_trace();
+        // Critical path in block-transfer steps: the busiest lane's total
+        // blocks across the whole run.
+        let steps: u64 = trace
+            .lane_totals()
+            .iter()
+            .map(|l| {
+                l.far_bytes() / params.block_bytes + l.near_bytes() / params.near_block_bytes()
+            })
+            .max()
+            .unwrap_or(0);
+        let pred = theorems::theorem10_parallel_sort(&params, n as u64, 8, lanes as u64);
+        let sim = simulate_flow(&trace, &MachineConfig::fig4(lanes.max(4) as u32, 4.0));
+        t.row(vec![
+            lanes.to_string(),
+            secs(sim.seconds),
+            count(steps),
+            format!("{:.0}", pred.far_blocks + pred.near_blocks),
+            format!("{:.2}", steps as f64 / (pred.far_blocks + pred.near_blocks)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "expected shape: simulated time and per-lane steps fall with p' \
+         (Theorem 10's division); the constant drifts up at high p' from \
+         the serial residue (pivot handling, per-bucket bookkeeping) that \
+         the asymptotic analysis hides."
+    );
+}

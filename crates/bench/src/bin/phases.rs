@@ -1,0 +1,39 @@
+//! Diagnostic: per-phase simulated time breakdown for one NMsort run.
+//!
+//! Run: `cargo run --release -p tlmm-bench --bin phases [N]`
+
+use tlmm_analysis::table::{secs, Table};
+use tlmm_bench::{run_baseline, run_nmsort, TABLE1_LANES};
+use tlmm_memsim::{simulate_flow, MachineConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let nm = run_nmsort(n, TABLE1_LANES, n / 4 + 1, 0xD1);
+    let m = MachineConfig::fig4(256, 8.0);
+    let sim = simulate_flow(&nm.trace, &m);
+    println!("NMsort total: {:.6} s over {} phases", sim.seconds, sim.phases.len());
+    let mut t = Table::new(["phase", "total (s)", "bottleneck sample"]);
+    for (name, s) in sim.phase_summary() {
+        let b = sim
+            .phases
+            .iter()
+            .filter(|p| p.name == name)
+            .max_by(|a, b| a.seconds.total_cmp(&b.seconds))
+            .map(|p| format!("{:?}", p.bottleneck))
+            .unwrap_or_default();
+        t.row(vec![name, secs(s), b]);
+    }
+    println!("{}", t.render());
+
+    let base = run_baseline(n, TABLE1_LANES, 0xD1);
+    let bsim = simulate_flow(&base.trace, &MachineConfig::fig4(256, 2.0));
+    println!("baseline total: {:.6} s", bsim.seconds);
+    let mut t = Table::new(["phase", "total (s)"]);
+    for (name, s) in bsim.phase_summary() {
+        t.row(vec![name, secs(s)]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,128 @@
+//! Shared experiment harness for the table/figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md §4 for the index). This library holds the
+//! common plumbing: the experiment-scale memory parameters, and runners
+//! that execute a sort once and hand back its phase trace, ledger and
+//! report so the binaries can replay the same run on many machine
+//! configurations.
+
+use tlmm_core::baseline::{baseline_sort, BaselineConfig};
+use tlmm_core::nmsort::{nmsort, NmSortConfig};
+use tlmm_model::{CostSnapshot, ScratchpadParams};
+use tlmm_scratchpad::{PhaseTrace, TwoLevel};
+use tlmm_workloads::{generate, Workload};
+
+/// Experiment-scale model parameters.
+///
+/// The paper's node has a multi-GB scratchpad that can hold "several copies
+/// of an array of 10 million 64-bit integers" (§V-A); chunking is exercised
+/// by bounding NMsort's chunk size rather than shrinking the array. `rho`
+/// only affects *timing* (and the ledger's near-block units), never the
+/// byte trace, so one run can be replayed on machines with different
+/// scratchpad bandwidths.
+pub fn experiment_params(rho: f64) -> ScratchpadParams {
+    ScratchpadParams::new(64, rho, 256 << 20, 36 << 20).expect("valid experiment params")
+}
+
+/// Outcome of one measured sort run.
+pub struct SortRun {
+    /// The recorded phase trace (replayable on any machine config).
+    pub trace: PhaseTrace,
+    /// Ledger totals in model units.
+    pub ledger: CostSnapshot,
+    /// Output is sorted (verified before returning).
+    pub n: usize,
+}
+
+fn assert_sorted(v: &[u64]) {
+    assert!(
+        v.windows(2).all(|w| w[0] <= w[1]),
+        "harness: output not sorted"
+    );
+}
+
+/// Run NMsort on `n` random u64s with `lanes` virtual lanes; chunks are
+/// bounded to `chunk_elems` to exercise the two-phase structure.
+pub fn run_nmsort(n: usize, lanes: usize, chunk_elems: usize, seed: u64) -> SortRun {
+    let tl = TwoLevel::new(experiment_params(4.0));
+    let input = tl.far_from_vec(generate(Workload::UniformU64, n, seed));
+    let cfg = NmSortConfig {
+        sim_lanes: lanes,
+        chunk_elems: Some(chunk_elems),
+        parallel: true,
+        ..Default::default()
+    };
+    let report = nmsort(&tl, input, &cfg).expect("nmsort");
+    assert_sorted(report.output.as_slice_uncharged());
+    SortRun {
+        trace: tl.take_trace(),
+        ledger: tl.ledger().snapshot(),
+        n,
+    }
+}
+
+/// Run NMsort with DMA-overlapped ingest (the §VII improvement).
+pub fn run_nmsort_dma(n: usize, lanes: usize, chunk_elems: usize, seed: u64) -> SortRun {
+    let tl = TwoLevel::new(experiment_params(4.0));
+    let input = tl.far_from_vec(generate(Workload::UniformU64, n, seed));
+    let cfg = NmSortConfig {
+        sim_lanes: lanes,
+        chunk_elems: Some(chunk_elems),
+        parallel: true,
+        use_dma: true,
+        ..Default::default()
+    };
+    let report = nmsort(&tl, input, &cfg).expect("nmsort dma");
+    assert_sorted(report.output.as_slice_uncharged());
+    SortRun {
+        trace: tl.take_trace(),
+        ledger: tl.ledger().snapshot(),
+        n,
+    }
+}
+
+/// Run the GNU-style far-memory baseline.
+pub fn run_baseline(n: usize, lanes: usize, seed: u64) -> SortRun {
+    let tl = TwoLevel::new(experiment_params(4.0));
+    let input = tl.far_from_vec(generate(Workload::UniformU64, n, seed));
+    let cfg = BaselineConfig {
+        sim_lanes: lanes,
+        parallel: true,
+        ..Default::default()
+    };
+    let report = baseline_sort(&tl, input, &cfg).expect("baseline");
+    assert_sorted(report.output.as_slice_uncharged());
+    SortRun {
+        trace: tl.take_trace(),
+        ledger: tl.ledger().snapshot(),
+        n,
+    }
+}
+
+/// The Table-I scale: 10 M random 64-bit integers on a 256-core node, with
+/// NMsort chunks of 2 M elements (the scratchpad holds several copies of
+/// the array; bounding the chunk exercises Phase 2's batched merges).
+pub const TABLE1_N: usize = 10_000_000;
+/// Simulated cores for the headline experiments.
+pub const TABLE1_LANES: usize = 256;
+/// NMsort chunk bound for the headline experiments.
+pub const TABLE1_CHUNK: usize = 2_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_small() {
+        let nm = run_nmsort(100_000, 16, 20_000, 1);
+        assert!(nm.trace.phases.len() > 4);
+        assert!(nm.ledger.near_blocks() > 0);
+        let base = run_baseline(100_000, 16, 1);
+        assert_eq!(base.ledger.near_blocks(), 0);
+        // At toy scale the baseline's runs fit its per-lane cache share, so
+        // its far traffic is the 4-pass minimum — NMsort's should be close
+        // (the Table-I gap appears at paper scale; see tests/end_to_end.rs).
+        assert!(nm.ledger.far_bytes < 2 * base.ledger.far_bytes);
+    }
+}

@@ -1,0 +1,320 @@
+//! Loser-tree (tournament) k-way merging.
+//!
+//! The workhorse of every merge in this crate: the external mergesort's
+//! merge passes, NMsort's Phase-2 multiway merge of sorted chunk segments,
+//! and the baseline's final merge. A loser tree merges `k` sorted runs with
+//! `⌈lg k⌉` comparisons per emitted element, independent of `k` — exactly
+//! the constant the multiway merge sort analysis (Theorem 1) assumes.
+
+/// A loser tree over `k` in-memory sorted runs.
+///
+/// The tree stores, at each internal node, the *loser* of the match played
+/// there; the overall winner sits above the root. Replaying a leaf after
+/// emitting its head costs one root-to-leaf path of comparisons.
+pub struct LoserTree<'a, T> {
+    runs: Vec<&'a [T]>,
+    /// Next unread position in each run.
+    pos: Vec<usize>,
+    /// `tree[i]` = run index of the loser at internal node `i`; `tree[0]`
+    /// holds the overall winner.
+    tree: Vec<usize>,
+    /// Number of leaves (next power of two ≥ k).
+    k_pad: usize,
+    /// Comparisons performed so far.
+    comparisons: u64,
+    exhausted: usize,
+}
+
+impl<'a, T: Ord + Copy> LoserTree<'a, T> {
+    /// Build a tree over `runs`. Empty runs are allowed.
+    pub fn new(runs: Vec<&'a [T]>) -> Self {
+        let k = runs.len().max(1);
+        let k_pad = k.next_power_of_two();
+        let pos = vec![0; runs.len()];
+        let mut lt = Self {
+            runs,
+            pos,
+            tree: vec![usize::MAX; k_pad],
+            k_pad,
+            comparisons: 0,
+            exhausted: 0,
+        };
+        lt.rebuild();
+        lt
+    }
+
+    /// Current head element of run `r`, if any (copied out).
+    #[inline]
+    fn head(&self, r: usize) -> Option<T> {
+        if r >= self.runs.len() {
+            return None;
+        }
+        self.runs[r].get(self.pos[r]).copied()
+    }
+
+    /// Full rebuild: play every match bottom-up.
+    fn rebuild(&mut self) {
+        // Temporary winners array for each node of the (padded) tree.
+        let mut winners = vec![usize::MAX; 2 * self.k_pad];
+        for leaf in 0..self.k_pad {
+            winners[self.k_pad + leaf] = leaf;
+        }
+        for node in (1..self.k_pad).rev() {
+            let a = winners[2 * node];
+            let b = winners[2 * node + 1];
+            let (w, l) = self.play(a, b);
+            winners[node] = w;
+            self.tree[node] = l;
+        }
+        self.tree[0] = winners.get(1).copied().unwrap_or(usize::MAX);
+    }
+
+    /// Play a match: the run with the smaller head wins (ties to the lower
+    /// index, making the merge stable across runs). Exhausted runs always
+    /// lose.
+    #[inline]
+    fn play(&mut self, a: usize, b: usize) -> (usize, usize) {
+        match (self.head(a), self.head(b)) {
+            (Some(x), Some(y)) => {
+                self.comparisons += 1;
+                match x.cmp(&y) {
+                    core::cmp::Ordering::Less => (a, b),
+                    core::cmp::Ordering::Greater => (b, a),
+                    // Equal heads: the lower run index wins, so the merge is
+                    // stable across runs regardless of replay order.
+                    core::cmp::Ordering::Equal => (a.min(b), a.max(b)),
+                }
+            }
+            (Some(_), None) => (a, b),
+            (None, Some(_)) => (b, a),
+            (None, None) => (a.min(b), a.max(b)),
+        }
+    }
+
+    /// Pop the globally smallest remaining element.
+    pub fn next_element(&mut self) -> Option<T> {
+        let w = self.tree[0];
+        let val = self.head(w)?;
+        self.pos[w] += 1;
+        if self.head(w).is_none() {
+            self.exhausted += 1;
+        }
+        // Replay the path from w's leaf to the root.
+        let mut cur = w;
+        let mut node = (self.k_pad + w) / 2;
+        while node >= 1 {
+            let opponent = self.tree[node];
+            let (win, lose) = self.play(cur, opponent);
+            self.tree[node] = lose;
+            cur = win;
+            node /= 2;
+        }
+        self.tree[0] = cur;
+        Some(val)
+    }
+
+    /// Total comparisons performed (for compute charging).
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Remaining (unread) elements across all runs.
+    pub fn remaining(&self) -> usize {
+        self.runs
+            .iter()
+            .zip(&self.pos)
+            .map(|(r, &p)| r.len() - p)
+            .sum()
+    }
+}
+
+impl<T: Ord + Copy> Iterator for LoserTree<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.next_element()
+    }
+}
+
+/// Merge `runs` into `out` (appended), returning the number of comparisons.
+pub fn merge_into<T: Ord + Copy>(runs: &[&[T]], out: &mut Vec<T>) -> u64 {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    out.reserve(total);
+    match runs.len() {
+        0 => 0,
+        1 => {
+            out.extend_from_slice(runs[0]);
+            0
+        }
+        2 => {
+            // Two-way fast path.
+            let (a, b) = (runs[0], runs[1]);
+            let (mut i, mut j) = (0, 0);
+            let mut cmps = 0;
+            while i < a.len() && j < b.len() {
+                cmps += 1;
+                if a[i] <= b[j] {
+                    out.push(a[i]);
+                    i += 1;
+                } else {
+                    out.push(b[j]);
+                    j += 1;
+                }
+            }
+            out.extend_from_slice(&a[i..]);
+            out.extend_from_slice(&b[j..]);
+            cmps
+        }
+        _ => {
+            let mut lt = LoserTree::new(runs.to_vec());
+            while let Some(v) = lt.next_element() {
+                out.push(v);
+            }
+            lt.comparisons()
+        }
+    }
+}
+
+/// Merge `runs` into the exactly-sized slice `out`, returning comparisons.
+///
+/// # Panics
+/// Panics if `out.len()` differs from the total run length.
+pub fn merge_into_slice<T: Ord + Copy>(runs: &[&[T]], out: &mut [T]) -> u64 {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert_eq!(out.len(), total, "output slice must fit the merge exactly");
+    match runs.len() {
+        0 => 0,
+        1 => {
+            out.copy_from_slice(runs[0]);
+            0
+        }
+        _ => {
+            let mut lt = LoserTree::new(runs.to_vec());
+            for slot in out.iter_mut() {
+                *slot = lt.next_element().expect("run length accounting broken");
+            }
+            lt.comparisons()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_merge(runs: Vec<Vec<u64>>) {
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let mut out = Vec::new();
+        merge_into(&refs, &mut out);
+        let mut expect: Vec<u64> = runs.concat();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn merges_zero_one_two_many() {
+        check_merge(vec![]);
+        check_merge(vec![vec![1, 2, 3]]);
+        check_merge(vec![vec![1, 3, 5], vec![2, 4, 6]]);
+        check_merge(vec![vec![1, 4, 7], vec![2, 5, 8], vec![3, 6, 9]]);
+    }
+
+    #[test]
+    fn merges_with_empty_runs() {
+        check_merge(vec![vec![], vec![1, 2], vec![], vec![0, 3], vec![]]);
+        check_merge(vec![vec![], vec![], vec![]]);
+    }
+
+    #[test]
+    fn merges_duplicates() {
+        check_merge(vec![vec![1, 1, 1], vec![1, 1], vec![1]]);
+        check_merge(vec![vec![5; 100], vec![5; 50], vec![4; 10], vec![6; 10]]);
+    }
+
+    #[test]
+    fn merges_uneven_lengths() {
+        check_merge(vec![
+            (0..1000).collect(),
+            vec![500],
+            (250..260).collect(),
+            vec![],
+        ]);
+    }
+
+    #[test]
+    fn non_power_of_two_runs() {
+        for k in [3usize, 5, 6, 7, 9, 13] {
+            let runs: Vec<Vec<u64>> = (0..k)
+                .map(|i| (0..50).map(|j| (j * k + i) as u64).collect())
+                .collect();
+            check_merge(runs);
+        }
+    }
+
+    #[test]
+    fn comparisons_near_lg_k_per_element() {
+        let k = 16;
+        let n_per = 1000;
+        let runs: Vec<Vec<u64>> = (0..k)
+            .map(|i| (0..n_per).map(|j| (j * k + i) as u64).collect())
+            .collect();
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let mut out = Vec::new();
+        let cmps = merge_into(&refs, &mut out);
+        let n = (k * n_per) as u64;
+        // lg 16 = 4 comparisons per element, plus lower-order build cost.
+        assert!(cmps <= n * 4 + 64, "cmps={cmps}, n={n}");
+        assert!(cmps >= n, "merging must compare at least once per element");
+    }
+
+    #[test]
+    fn loser_tree_is_stable_across_equal_heads() {
+        // With equal elements, lower run index wins — verify by tagging.
+        let a = [(1u64, 0u64), (2, 0)];
+        let b = [(1u64, 1u64), (2, 1)];
+        let mut lt = LoserTree::new(vec![&a[..], &b[..]]);
+        let order: Vec<_> = std::iter::from_fn(|| lt.next_element()).collect();
+        assert_eq!(order, vec![(1, 0), (1, 1), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let a = [1u64, 3];
+        let b = [2u64];
+        let mut lt = LoserTree::new(vec![&a[..], &b[..]]);
+        assert_eq!(lt.remaining(), 3);
+        lt.next_element();
+        assert_eq!(lt.remaining(), 2);
+        lt.next_element();
+        lt.next_element();
+        assert_eq!(lt.remaining(), 0);
+        assert_eq!(lt.next_element(), None);
+    }
+
+    #[test]
+    fn merge_into_slice_matches_vec_variant() {
+        let runs = [vec![1u64, 5, 9], vec![2, 6], vec![0, 7, 8]];
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let mut v = Vec::new();
+        merge_into(&refs, &mut v);
+        let mut s = vec![0u64; 8];
+        merge_into_slice(&refs, &mut s);
+        assert_eq!(v, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice must fit")]
+    fn merge_into_slice_rejects_bad_length() {
+        let a = [1u64];
+        let mut out = [0u64; 3];
+        merge_into_slice(&[&a[..]], &mut out);
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let a = [1u64, 4];
+        let b = [2u64, 3];
+        let lt = LoserTree::new(vec![&a[..], &b[..]]);
+        let v: Vec<u64> = lt.collect();
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+}

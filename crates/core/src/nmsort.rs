@@ -1,0 +1,873 @@
+//! NMsort: the practical two-phase near-memory parallel sort (§IV-D).
+//!
+//! **Phase 1.** Stream `Θ(M)`-sized chunks of the input into the scratchpad;
+//! sort each chunk there with a parallel external mergesort; write the
+//! sorted chunk back to DRAM; and extract *bucket metadata* — per chunk, the
+//! `BucketPos` array (first index of every bucket in the sorted chunk), and
+//! globally the `BucketTot` array (aggregate bucket sizes), which stays
+//! resident in the scratchpad for the whole run. Recording metadata instead
+//! of eagerly scattering bucket elements avoids the many small DRAM
+//! transfers that made the naive algorithm unable to exploit the scratchpad.
+//!
+//! **Phase 2.** Greedily take maximal runs of consecutive buckets whose
+//! total size fits the scratchpad ("we batched thousands of buckets into one
+//! transfer"); gather the corresponding segment of every sorted chunk into
+//! the scratchpad; multiway-merge the segments (they are sorted); and stream
+//! the merged batch to its final position in DRAM.
+//!
+//! Inputs with heavy duplication can produce single buckets larger than the
+//! scratchpad; those are split by sampled sub-splitters and, in the limit
+//! (too few distinct keys to split), merged directly from DRAM — correct for
+//! arbitrary inputs, merely less scratchpad-accelerated, and counted
+//! honestly either way.
+
+use crate::bucketize::{accumulate_totals, bucket_positions, BucketPositions};
+use crate::extsort::{external_sort, ExtSortConfig, RegionLevel};
+use crate::par::{charge_compute_striped, charge_io_striped, charged_copy, CopyKind};
+use crate::pmerge::parallel_merge;
+use crate::quicksort::external_quicksort;
+use crate::sample::{draw_pivots, PivotSample};
+use crate::{SortElem, SortError};
+use rayon::prelude::*;
+use tlmm_model::CostSnapshot;
+use tlmm_scratchpad::trace::with_lane;
+use tlmm_scratchpad::{Dir, FarArray, TwoLevel};
+
+/// Which algorithm sorts each chunk inside the scratchpad (§III-A: "Other
+/// sorting algorithms could be used, such as quicksort").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkSorter {
+    /// Multiway mergesort with fanout `Z/ρB` (Corollary 3; the paper's
+    /// choice — "practically competitive" at hardware-realistic ρ).
+    #[default]
+    MultiwayMerge,
+    /// External quicksort (Corollary 7; optimal only when ρ = Ω(lg M/Z)).
+    Quicksort,
+}
+
+/// Tuning knobs for [`nmsort`].
+#[derive(Debug, Clone)]
+pub struct NmSortConfig {
+    /// Virtual lanes (simulated cores) to attribute work to. The paper's
+    /// Fig. 4 machine has 256.
+    pub sim_lanes: usize,
+    /// Elements per Phase-1 chunk. Default: 40 % of the scratchpad, leaving
+    /// an equal-sized merge buffer plus bookkeeping space.
+    pub chunk_elems: Option<usize>,
+    /// Number of pivots (`m`, so `m+1` buckets). Default:
+    /// `min(M/4B, chunk/8, 65536)`.
+    pub n_pivots: Option<usize>,
+    /// RNG seed for pivot sampling.
+    pub seed: u64,
+    /// Real host parallelism (rayon) in addition to virtual-lane accounting.
+    pub parallel: bool,
+    /// Mark ingest phases overlappable (DMA double-buffering semantics).
+    pub use_dma: bool,
+    /// In-scratchpad chunk sorting algorithm.
+    pub chunk_sorter: ChunkSorter,
+}
+
+impl Default for NmSortConfig {
+    fn default() -> Self {
+        Self {
+            sim_lanes: 8,
+            chunk_elems: None,
+            n_pivots: None,
+            seed: 0x5EED_CAFE,
+            parallel: true,
+            use_dma: false,
+            chunk_sorter: ChunkSorter::MultiwayMerge,
+        }
+    }
+}
+
+/// Result of an [`nmsort`] run.
+#[derive(Debug)]
+pub struct NmSortReport<T> {
+    /// The sorted output, resident in far memory.
+    pub output: FarArray<T>,
+    /// Phase-1 chunks processed.
+    pub chunks: usize,
+    /// Pivots used (after deduplication).
+    pub n_pivots: usize,
+    /// Phase-2 batches (bucket groups merged per scratchpad fill).
+    pub batches: usize,
+    /// Oversized buckets that required sub-splitting or streaming.
+    pub oversized_buckets: usize,
+    /// Ledger delta of the sampling step.
+    pub sample_cost: CostSnapshot,
+    /// Ledger delta of Phase 1.
+    pub phase1_cost: CostSnapshot,
+    /// Ledger delta of Phase 2.
+    pub phase2_cost: CostSnapshot,
+}
+
+struct Geometry {
+    chunk: usize,
+    n_pivots: usize,
+    n_chunks: usize,
+}
+
+fn geometry<T: SortElem>(
+    tl: &TwoLevel,
+    n: usize,
+    cfg: &NmSortConfig,
+) -> Result<Geometry, SortError> {
+    let elem = std::mem::size_of::<T>();
+    let m_elems = tl.params().scratchpad_capacity_elems(elem);
+    let default_chunk = (m_elems * 2 / 5).max(2);
+    let chunk = cfg.chunk_elems.unwrap_or(default_chunk).clamp(1, n.max(1));
+    let n_chunks = n.div_ceil(chunk.max(1)).max(1);
+    let n_pivots = if n_chunks <= 1 {
+        0
+    } else {
+        cfg.n_pivots
+            .unwrap_or_else(|| {
+                let by_blocks = (tl.params().scratchpad_blocks() / 4) as usize;
+                by_blocks.min(chunk / 8).min(65_536)
+            })
+            .max(1)
+    };
+    // Feasibility: two chunk buffers + pivots + totals must fit in M.
+    let needed = (2 * chunk * elem + n_pivots * elem + (n_pivots + 1) * 8) as u64;
+    if needed > tl.params().scratchpad_bytes {
+        return Err(SortError::ScratchpadTooSmall {
+            needed,
+            available: tl.params().scratchpad_bytes,
+        });
+    }
+    Ok(Geometry {
+        chunk,
+        n_pivots,
+        n_chunks,
+    })
+}
+
+/// Greedy batch plan over buckets: maximal consecutive groups with total
+/// size ≤ `cap`. A single bucket larger than `cap` forms its own batch.
+fn plan_batches(totals: &[u64], cap: u64) -> Vec<(usize, usize)> {
+    let mut batches = Vec::new();
+    let mut lo = 0usize;
+    let mut acc = 0u64;
+    for (i, &t) in totals.iter().enumerate() {
+        if acc > 0 && acc + t > cap {
+            batches.push((lo, i));
+            lo = i;
+            acc = 0;
+        }
+        acc += t;
+    }
+    if acc > 0 || lo < totals.len() {
+        batches.push((lo, totals.len()));
+    }
+    batches.retain(|(a, b)| a < b);
+    batches
+}
+
+/// Sort `input` with NMsort; returns the sorted output and a report.
+pub fn nmsort<T: SortElem>(
+    tl: &TwoLevel,
+    input: FarArray<T>,
+    cfg: &NmSortConfig,
+) -> Result<NmSortReport<T>, SortError> {
+    let n = input.len();
+    let lanes = cfg.sim_lanes.max(1);
+    if n == 0 {
+        return Ok(NmSortReport {
+            output: input,
+            chunks: 0,
+            n_pivots: 0,
+            batches: 0,
+            oversized_buckets: 0,
+            sample_cost: CostSnapshot::default(),
+            phase1_cost: CostSnapshot::default(),
+            phase2_cost: CostSnapshot::default(),
+        });
+    }
+    let geo = geometry::<T>(tl, n, cfg)?;
+    let base = tl.ledger().snapshot();
+
+    // ---- Pivot sample (kept resident in the scratchpad) ---------------
+    tl.begin_phase("nmsort.sample");
+    let sample: PivotSample<T> = if geo.n_chunks > 1 {
+        draw_pivots(tl, &input, geo.n_pivots, cfg.seed, lanes)
+    } else {
+        PivotSample {
+            pivots: Vec::new(),
+            drawn: 0,
+        }
+    };
+    tl.end_phase();
+    let after_sample = tl.ledger().snapshot();
+
+    // ---- Scratchpad allocations ---------------------------------------
+    // chunk_buf: ingest + gather space; scratch_buf: sort ping-pong + merge
+    // output; pivot_res reserves the resident sample; totals = BucketTot.
+    let mut chunk_buf = tl.near_alloc::<T>(geo.chunk)?;
+    let mut scratch_buf = tl.near_alloc::<T>(geo.chunk)?;
+    let _pivot_res = tl.near_alloc::<T>(sample.pivots.len())?;
+    let mut totals_buf = tl.near_alloc::<u64>(sample.n_buckets())?;
+
+    // ---- Phase 1 --------------------------------------------------------
+    let mut sorted_chunks = tl.far_alloc::<T>(n);
+    let mut all_positions: Vec<BucketPositions> = Vec::with_capacity(geo.n_chunks);
+    let ext_cfg = ExtSortConfig {
+        lanes,
+        parallel: cfg.parallel,
+        ..Default::default()
+    };
+    for k in 0..geo.n_chunks {
+        let lo = k * geo.chunk;
+        let hi = ((k + 1) * geo.chunk).min(n);
+        let len = hi - lo;
+
+        tl.begin_phase("nmsort.p1.ingest");
+        if cfg.use_dma {
+            tl.mark_phase_overlappable();
+        }
+        charged_copy(
+            tl,
+            CopyKind::FarToNear,
+            &input.as_slice_uncharged()[lo..hi],
+            &mut chunk_buf.as_mut_slice_uncharged()[..len],
+            lanes,
+            cfg.parallel,
+        );
+
+        tl.begin_phase("nmsort.p1.sort");
+        let sorted: &[T] = match cfg.chunk_sorter {
+            ChunkSorter::MultiwayMerge => {
+                let outcome = external_sort(
+                    tl,
+                    RegionLevel::Near,
+                    &mut chunk_buf.as_mut_slice_uncharged()[..len],
+                    &mut scratch_buf.as_mut_slice_uncharged()[..len],
+                    &ext_cfg,
+                );
+                if outcome.in_scratch {
+                    &scratch_buf.as_slice_uncharged()[..len]
+                } else {
+                    &chunk_buf.as_slice_uncharged()[..len]
+                }
+            }
+            ChunkSorter::Quicksort => {
+                external_quicksort(
+                    tl,
+                    RegionLevel::Near,
+                    &mut chunk_buf.as_mut_slice_uncharged()[..len],
+                    lanes,
+                );
+                &chunk_buf.as_slice_uncharged()[..len]
+            }
+        };
+
+        tl.begin_phase("nmsort.p1.writeback");
+        if cfg.use_dma {
+            tl.mark_phase_overlappable();
+        }
+        charged_copy(
+            tl,
+            CopyKind::NearToFar,
+            sorted,
+            &mut sorted_chunks.as_mut_slice_uncharged()[lo..hi],
+            lanes,
+            cfg.parallel,
+        );
+
+        if geo.n_chunks > 1 {
+            tl.begin_phase("nmsort.p1.bounds");
+            let pos = bucket_positions(
+                tl,
+                RegionLevel::Near,
+                sorted,
+                &sample.pivots,
+                lanes,
+                cfg.parallel,
+            );
+            accumulate_totals(tl, totals_buf.as_mut_slice_uncharged(), &pos, lanes);
+            // BucketPos for this chunk goes to DRAM (the auxiliary array of
+            // Fig. 2(c)); the write is a cooperative stream like the data
+            // transfers.
+            charge_io_striped(tl, RegionLevel::Far, Dir::Write, (pos.len() * 8) as u64, lanes);
+            all_positions.push(pos);
+        }
+        tl.end_phase();
+    }
+    let after_p1 = tl.ledger().snapshot();
+
+    // ---- Phase 2 --------------------------------------------------------
+    let mut batches_run = 0usize;
+    let mut oversized = 0usize;
+    let output = if geo.n_chunks == 1 {
+        // The single sorted chunk already is the final list.
+        sorted_chunks
+    } else {
+        let mut output = tl.far_alloc::<T>(n);
+        // Read BucketTot (resident in near) to plan batches (Fig. 3(a)).
+        tl.begin_phase("nmsort.p2.plan");
+        let totals: Vec<u64> = totals_buf.as_slice_uncharged().to_vec();
+        charge_io_striped(tl, RegionLevel::Near, Dir::Read, (totals.len() * 8) as u64, lanes);
+        let cap = geo.chunk as u64;
+        let batches = plan_batches(&totals, cap);
+        batches_run = batches.len();
+
+        let chunk_starts: Vec<usize> = (0..geo.n_chunks).map(|k| k * geo.chunk).collect();
+        let mut out_off = 0usize;
+        for (blo, bhi) in batches {
+            let total: u64 = totals[blo..bhi].iter().sum();
+            if total == 0 {
+                continue;
+            }
+            if total <= cap {
+                merge_batch_via_scratchpad(
+                    tl,
+                    &sorted_chunks,
+                    &all_positions,
+                    &chunk_starts,
+                    (blo, bhi),
+                    &mut chunk_buf,
+                    &mut scratch_buf,
+                    &mut output,
+                    out_off,
+                    total as usize,
+                    lanes,
+                    cfg.parallel,
+                );
+            } else {
+                oversized += 1;
+                merge_oversized_bucket(
+                    tl,
+                    &sorted_chunks,
+                    &all_positions,
+                    &chunk_starts,
+                    (blo, bhi),
+                    &mut chunk_buf,
+                    &mut scratch_buf,
+                    &mut output,
+                    out_off,
+                    total as usize,
+                    lanes,
+                    cfg.parallel,
+                );
+            }
+            out_off += total as usize;
+        }
+        debug_assert_eq!(out_off, n, "batches must cover the input exactly");
+        output
+    };
+
+    let after_p2 = tl.ledger().snapshot();
+    Ok(NmSortReport {
+        output,
+        chunks: geo.n_chunks,
+        n_pivots: sample.pivots.len(),
+        batches: batches_run,
+        oversized_buckets: oversized,
+        sample_cost: after_sample.since(&base),
+        phase1_cost: after_p1.since(&after_sample),
+        phase2_cost: after_p2.since(&after_p1),
+    })
+}
+
+/// Per-chunk segment of a bucket range: `(chunk_global_lo, chunk_global_hi)`
+/// element offsets into the `sorted_chunks` array.
+fn batch_segments(
+    all_positions: &[BucketPositions],
+    chunk_starts: &[usize],
+    (blo, bhi): (usize, usize),
+) -> Vec<(usize, usize)> {
+    all_positions
+        .iter()
+        .zip(chunk_starts)
+        .map(|(pos, &start)| {
+            (
+                start + pos[blo] as usize,
+                start + pos[bhi] as usize,
+            )
+        })
+        .collect()
+}
+
+/// Standard Phase-2 batch: gather segments into the scratchpad, merge them
+/// there, stream the result out.
+#[allow(clippy::too_many_arguments)]
+fn merge_batch_via_scratchpad<T: SortElem>(
+    tl: &TwoLevel,
+    sorted_chunks: &FarArray<T>,
+    all_positions: &[BucketPositions],
+    chunk_starts: &[usize],
+    bucket_range: (usize, usize),
+    gather_buf: &mut tlmm_scratchpad::NearArray<T>,
+    merge_buf: &mut tlmm_scratchpad::NearArray<T>,
+    output: &mut FarArray<T>,
+    out_off: usize,
+    total: usize,
+    lanes: usize,
+    parallel: bool,
+) {
+    let elem = std::mem::size_of::<T>() as u64;
+    let segs = batch_segments(all_positions, chunk_starts, bucket_range);
+
+    // -- Gather: one parallel transfer per chunk segment ----------------
+    tl.begin_phase("nmsort.p2.gather");
+    let src = sorted_chunks.as_slice_uncharged();
+    let gather = gather_buf.as_mut_slice_uncharged();
+    {
+        // Carve the gather buffer into per-segment destinations.
+        let mut dsts: Vec<&mut [T]> = Vec::with_capacity(segs.len());
+        let mut rest = &mut gather[..total];
+        for &(lo, hi) in &segs {
+            let (a, b) = rest.split_at_mut(hi - lo);
+            dsts.push(a);
+            rest = b;
+        }
+        let copy_one = |(k, (&(lo, hi), dst)): (usize, (&(usize, usize), &mut [T]))| {
+            with_lane(k % lanes, || {
+                // Reading this chunk's BucketPos boundary pair from DRAM.
+                tl.charge_far_random(Dir::Read, 2, 16);
+                if hi > lo {
+                    dst.copy_from_slice(&src[lo..hi]);
+                }
+            })
+        };
+        if parallel {
+            segs.par_iter()
+                .zip(dsts.into_par_iter())
+                .enumerate()
+                .for_each(copy_one);
+        } else {
+            segs.iter().zip(dsts).enumerate().for_each(copy_one);
+        }
+        // The gather streams the whole batch; all lanes cooperate on the
+        // transfer (segments are subdivided further on a real machine), so
+        // the volume is charged striped rather than one-lane-per-chunk.
+        charge_io_striped(tl, RegionLevel::Far, Dir::Read, total as u64 * elem, lanes);
+        charge_io_striped(tl, RegionLevel::Near, Dir::Write, total as u64 * elem, lanes);
+    }
+
+    // -- Merge inside the scratchpad -------------------------------------
+    tl.begin_phase("nmsort.p2.merge");
+    {
+        let gather: &[T] = gather_buf.as_slice_uncharged();
+        let mut seg_slices: Vec<&[T]> = Vec::with_capacity(segs.len());
+        let mut cursor = 0usize;
+        for &(lo, hi) in &segs {
+            seg_slices.push(&gather[cursor..cursor + (hi - lo)]);
+            cursor += hi - lo;
+        }
+        let out = &mut merge_buf.as_mut_slice_uncharged()[..total];
+        let cmps = parallel_merge(&seg_slices, out, lanes, parallel);
+        // Merge streams the batch through cache once each way.
+        charge_io_striped(tl, RegionLevel::Near, Dir::Read, total as u64 * elem, lanes);
+        charge_io_striped(tl, RegionLevel::Near, Dir::Write, total as u64 * elem, lanes);
+        charge_compute_striped(tl, cmps, lanes);
+    }
+
+    // -- Stream the merged batch to its final DRAM position -------------
+    tl.begin_phase("nmsort.p2.writeout");
+    charged_copy(
+        tl,
+        CopyKind::NearToFar,
+        &merge_buf.as_slice_uncharged()[..total],
+        &mut output.as_mut_slice_uncharged()[out_off..out_off + total],
+        lanes,
+        parallel,
+    );
+    tl.end_phase();
+}
+
+/// A single bucket larger than the scratchpad: split it into
+/// scratchpad-sized parts by sampled sub-splitters and run each part as a
+/// normal batch; parts that still do not fit (too few distinct keys) are
+/// merged straight from DRAM.
+#[allow(clippy::too_many_arguments)]
+fn merge_oversized_bucket<T: SortElem>(
+    tl: &TwoLevel,
+    sorted_chunks: &FarArray<T>,
+    all_positions: &[BucketPositions],
+    chunk_starts: &[usize],
+    bucket_range: (usize, usize),
+    gather_buf: &mut tlmm_scratchpad::NearArray<T>,
+    merge_buf: &mut tlmm_scratchpad::NearArray<T>,
+    output: &mut FarArray<T>,
+    out_off: usize,
+    total: usize,
+    lanes: usize,
+    parallel: bool,
+) {
+    let elem = std::mem::size_of::<T>() as u64;
+    let cap = gather_buf.len();
+    let segs = batch_segments(all_positions, chunk_starts, bucket_range);
+    let src = sorted_chunks.as_slice_uncharged();
+
+    // Sample sub-splitters from the bucket's segments (random far reads).
+    tl.begin_phase("nmsort.p2.subsplit");
+    let n_parts = total.div_ceil(cap / 2) + 1;
+    let mut sample: Vec<T> = Vec::new();
+    for &(lo, hi) in &segs {
+        let len = hi - lo;
+        if len == 0 {
+            continue;
+        }
+        let want = ((16 * n_parts * len) / total).max(1);
+        let step = (len / want).max(1);
+        sample.extend(src[lo..hi].iter().step_by(step).copied());
+    }
+    tl.charge_far_random(Dir::Read, sample.len() as u64, sample.len() as u64 * elem);
+    sample.sort_unstable();
+    tl.charge_compute(sample.len() as u64 * crate::ceil_lg(sample.len()));
+    sample.dedup();
+    let mut splitters: Vec<T> = (1..n_parts)
+        .map(|t| sample[(t * sample.len() / n_parts).min(sample.len() - 1)])
+        .collect();
+    splitters.dedup();
+
+    // Per-splitter boundaries inside each segment (binary searches on DRAM).
+    let mut cuts: Vec<Vec<usize>> = Vec::with_capacity(splitters.len() + 1);
+    for s in &splitters {
+        let row: Vec<usize> = segs
+            .iter()
+            .map(|&(lo, hi)| lo + src[lo..hi].partition_point(|x| x <= s))
+            .collect();
+        tl.charge_far_random(
+            Dir::Read,
+            segs.len() as u64 * crate::ceil_lg(total),
+            segs.len() as u64 * crate::ceil_lg(total) * elem,
+        );
+        cuts.push(row);
+    }
+    cuts.push(segs.iter().map(|&(_, hi)| hi).collect());
+    tl.end_phase();
+
+    // Run each part.
+    let mut part_off = out_off;
+    let mut prev: Vec<usize> = segs.iter().map(|&(lo, _)| lo).collect();
+    for row in cuts {
+        let part_segs: Vec<(usize, usize)> = prev.iter().zip(&row).map(|(&a, &b)| (a, b)).collect();
+        let part_total: usize = part_segs.iter().map(|&(a, b)| b - a).sum();
+        prev = row;
+        if part_total == 0 {
+            continue;
+        }
+        if part_total <= cap {
+            merge_part_via_scratchpad(
+                tl, src, &part_segs, gather_buf, merge_buf, output, part_off, part_total, lanes,
+                parallel,
+            );
+        } else {
+            // Degenerate duplication: merge straight from DRAM.
+            tl.begin_phase("nmsort.p2.stream_far");
+            let seg_slices: Vec<&[T]> = part_segs.iter().map(|&(a, b)| &src[a..b]).collect();
+            let out =
+                &mut output.as_mut_slice_uncharged()[part_off..part_off + part_total];
+            let cmps = parallel_merge(&seg_slices, out, lanes, parallel);
+            charge_io_striped(tl, RegionLevel::Far, Dir::Read, part_total as u64 * elem, lanes);
+            charge_io_striped(tl, RegionLevel::Far, Dir::Write, part_total as u64 * elem, lanes);
+            charge_compute_striped(tl, cmps, lanes);
+            tl.end_phase();
+        }
+        part_off += part_total;
+    }
+    debug_assert_eq!(part_off, out_off + total, "oversized parts must cover bucket");
+}
+
+/// Gather + merge + writeout for an explicit segment list (used by the
+/// oversized-bucket path).
+#[allow(clippy::too_many_arguments)]
+fn merge_part_via_scratchpad<T: SortElem>(
+    tl: &TwoLevel,
+    src: &[T],
+    part_segs: &[(usize, usize)],
+    gather_buf: &mut tlmm_scratchpad::NearArray<T>,
+    merge_buf: &mut tlmm_scratchpad::NearArray<T>,
+    output: &mut FarArray<T>,
+    out_off: usize,
+    total: usize,
+    lanes: usize,
+    parallel: bool,
+) {
+    let elem = std::mem::size_of::<T>() as u64;
+    tl.begin_phase("nmsort.p2.gather");
+    {
+        let gather = &mut gather_buf.as_mut_slice_uncharged()[..total];
+        let mut cursor = 0usize;
+        for &(lo, hi) in part_segs {
+            gather[cursor..cursor + (hi - lo)].copy_from_slice(&src[lo..hi]);
+            cursor += hi - lo;
+        }
+        charge_io_striped(tl, RegionLevel::Far, Dir::Read, total as u64 * elem, lanes);
+        charge_io_striped(tl, RegionLevel::Near, Dir::Write, total as u64 * elem, lanes);
+    }
+    tl.begin_phase("nmsort.p2.merge");
+    {
+        let gather: &[T] = gather_buf.as_slice_uncharged();
+        let mut seg_slices: Vec<&[T]> = Vec::with_capacity(part_segs.len());
+        let mut cursor = 0usize;
+        for &(lo, hi) in part_segs {
+            seg_slices.push(&gather[cursor..cursor + (hi - lo)]);
+            cursor += hi - lo;
+        }
+        let out = &mut merge_buf.as_mut_slice_uncharged()[..total];
+        let cmps = parallel_merge(&seg_slices, out, lanes, parallel);
+        charge_io_striped(tl, RegionLevel::Near, Dir::Read, total as u64 * elem, lanes);
+        charge_io_striped(tl, RegionLevel::Near, Dir::Write, total as u64 * elem, lanes);
+        charge_compute_striped(tl, cmps, lanes);
+    }
+    tl.begin_phase("nmsort.p2.writeout");
+    charged_copy(
+        tl,
+        CopyKind::NearToFar,
+        &merge_buf.as_slice_uncharged()[..total],
+        &mut output.as_mut_slice_uncharged()[out_off..out_off + total],
+        lanes,
+        parallel,
+    );
+    tl.end_phase();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tlmm_model::ScratchpadParams;
+
+    fn tl_small() -> TwoLevel {
+        // M = 1 MiB, Z = 16 KiB, B = 64, rho = 4.
+        TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    fn assert_sorted_matches(report: &NmSortReport<u64>, mut expect: Vec<u64>) {
+        expect.sort_unstable();
+        assert_eq!(report.output.as_slice_uncharged(), expect.as_slice());
+    }
+
+    #[test]
+    fn sorts_multi_chunk_input() {
+        let tl = tl_small();
+        // M holds 131072 u64; chunk ≈ 52428; use n = 500k for ~10 chunks.
+        let v = random_vec(500_000, 42);
+        let input = tl.far_from_vec(v.clone());
+        let report = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+        assert!(report.chunks >= 8, "chunks = {}", report.chunks);
+        assert!(report.batches >= 2);
+        assert_sorted_matches(&report, v);
+    }
+
+    #[test]
+    fn sorts_single_chunk_input() {
+        let tl = tl_small();
+        let v = random_vec(10_000, 1);
+        let input = tl.far_from_vec(v.clone());
+        let report = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+        assert_eq!(report.chunks, 1);
+        assert_eq!(report.n_pivots, 0);
+        assert_sorted_matches(&report, v);
+    }
+
+    #[test]
+    fn sorts_empty_and_tiny() {
+        let tl = tl_small();
+        for n in [0usize, 1, 2, 3] {
+            let v = random_vec(n, n as u64);
+            let input = tl.far_from_vec(v.clone());
+            let report = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+            assert_sorted_matches(&report, v);
+        }
+    }
+
+    #[test]
+    fn sorts_presorted_reverse_and_equal() {
+        let tl = tl_small();
+        let n = 300_000usize;
+        let cases: Vec<Vec<u64>> = vec![
+            (0..n as u64).collect(),
+            (0..n as u64).rev().collect(),
+            vec![7; n],
+        ];
+        for v in cases {
+            let input = tl.far_from_vec(v.clone());
+            let report = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+            assert_sorted_matches(&report, v);
+        }
+    }
+
+    #[test]
+    fn all_equal_forces_oversized_bucket_path() {
+        let tl = tl_small();
+        let n = 400_000usize;
+        let v = vec![99u64; n];
+        let input = tl.far_from_vec(v.clone());
+        let report = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+        assert!(report.oversized_buckets >= 1);
+        assert_sorted_matches(&report, v);
+    }
+
+    #[test]
+    fn few_distinct_keys() {
+        let tl = tl_small();
+        let n = 400_000usize;
+        let v: Vec<u64> = (0..n).map(|i| (i % 3) as u64).collect();
+        let input = tl.far_from_vec(v.clone());
+        let report = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+        assert_sorted_matches(&report, v);
+    }
+
+    #[test]
+    fn respects_explicit_geometry() {
+        let tl = tl_small();
+        let v = random_vec(100_000, 5);
+        let input = tl.far_from_vec(v.clone());
+        let cfg = NmSortConfig {
+            chunk_elems: Some(10_000),
+            n_pivots: Some(100),
+            ..Default::default()
+        };
+        let report = nmsort(&tl, input, &cfg).unwrap();
+        assert_eq!(report.chunks, 10);
+        assert!(report.n_pivots <= 100);
+        assert_sorted_matches(&report, v);
+    }
+
+    #[test]
+    fn rejects_oversized_chunk_config() {
+        let tl = tl_small();
+        let input = tl.far_from_vec(random_vec(100_000, 6));
+        let cfg = NmSortConfig {
+            chunk_elems: Some(100_000), // 2x 800KB buffers > 1MB scratchpad
+            ..Default::default()
+        };
+        match nmsort(&tl, input, &cfg) {
+            Err(SortError::ScratchpadTooSmall { .. }) => {}
+            other => panic!("expected ScratchpadTooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_on_ledger() {
+        let run = |parallel| {
+            let tl = tl_small();
+            let input = tl.far_from_vec(random_vec(200_000, 7));
+            let cfg = NmSortConfig {
+                parallel,
+                ..Default::default()
+            };
+            nmsort(&tl, input, &cfg).unwrap();
+            tl.ledger().snapshot()
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(a.far_bytes, b.far_bytes);
+        assert_eq!(a.near_bytes, b.near_bytes);
+    }
+
+    #[test]
+    fn far_traffic_is_a_few_passes() {
+        // NMsort's DRAM traffic should be ~4 passes over the data
+        // (ingest read, writeback write, gather read, writeout write) plus
+        // metadata — far below a DRAM-only sort's traffic.
+        let tl = tl_small();
+        let n = 500_000usize;
+        let input = tl.far_from_vec(random_vec(n, 8));
+        nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+        let s = tl.ledger().snapshot();
+        let data_bytes = (n * 8) as u64;
+        assert!(s.far_bytes >= 4 * data_bytes, "far {} B", s.far_bytes);
+        assert!(s.far_bytes <= 5 * data_bytes, "far {} B", s.far_bytes);
+        // Near traffic dominates far traffic (the whole point).
+        assert!(s.near_bytes > s.far_bytes);
+    }
+
+    #[test]
+    fn phase_costs_partition_total() {
+        let tl = tl_small();
+        let input = tl.far_from_vec(random_vec(300_000, 9));
+        let r = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+        let s = tl.ledger().snapshot();
+        let sum = r.sample_cost + r.phase1_cost + r.phase2_cost;
+        assert_eq!(sum.far_bytes, s.far_bytes);
+        assert_eq!(sum.near_bytes, s.near_bytes);
+        assert_eq!(sum.compute_ops, s.compute_ops);
+    }
+
+    #[test]
+    fn trace_has_expected_phases() {
+        let tl = tl_small();
+        let input = tl.far_from_vec(random_vec(300_000, 10));
+        nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+        let t = tl.take_trace();
+        let names: std::collections::HashSet<&str> =
+            t.phases.iter().map(|p| p.name.as_str()).collect();
+        for expected in [
+            "nmsort.sample",
+            "nmsort.p1.ingest",
+            "nmsort.p1.sort",
+            "nmsort.p1.writeback",
+            "nmsort.p1.bounds",
+            "nmsort.p2.gather",
+            "nmsort.p2.merge",
+            "nmsort.p2.writeout",
+        ] {
+            assert!(names.contains(expected), "missing phase {expected}");
+        }
+    }
+
+    #[test]
+    fn dma_marks_ingest_overlappable() {
+        let tl = tl_small();
+        let input = tl.far_from_vec(random_vec(200_000, 11));
+        let cfg = NmSortConfig {
+            use_dma: true,
+            ..Default::default()
+        };
+        nmsort(&tl, input, &cfg).unwrap();
+        let t = tl.take_trace();
+        assert!(t
+            .phases
+            .iter()
+            .filter(|p| p.name == "nmsort.p1.ingest")
+            .all(|p| p.overlappable));
+        assert!(t
+            .phases
+            .iter()
+            .filter(|p| p.name == "nmsort.p1.sort")
+            .all(|p| !p.overlappable));
+    }
+
+    #[test]
+    fn quicksort_chunk_sorter_sorts_and_costs_more_near_traffic() {
+        let run = |sorter: ChunkSorter| {
+            let tl = tl_small();
+            let v = random_vec(300_000, 21);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            let input = tl.far_from_vec(v);
+            let cfg = NmSortConfig {
+                chunk_sorter: sorter,
+                ..Default::default()
+            };
+            let r = nmsort(&tl, input, &cfg).unwrap();
+            assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
+            tl.ledger().snapshot().near_blocks()
+        };
+        let merge = run(ChunkSorter::MultiwayMerge);
+        let quick = run(ChunkSorter::Quicksort);
+        // rho = 4 on this geometry is below Corollary 7's optimality point,
+        // so quicksort should stream more near blocks.
+        assert!(quick > merge, "quick {quick} vs merge {merge}");
+    }
+
+    #[test]
+    fn plan_batches_greedy() {
+        assert_eq!(plan_batches(&[5, 5, 5], 10), vec![(0, 2), (2, 3)]);
+        assert_eq!(plan_batches(&[20], 10), vec![(0, 1)]);
+        assert_eq!(plan_batches(&[3, 20, 3], 10), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(plan_batches(&[], 10), Vec::<(usize, usize)>::new());
+        assert_eq!(plan_batches(&[0, 0, 4], 10), vec![(0, 3)]);
+    }
+}

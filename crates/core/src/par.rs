@@ -1,0 +1,220 @@
+//! Striped, charged bulk copies between memory levels.
+//!
+//! Moving a chunk between DRAM and the scratchpad is bandwidth work shared
+//! by all cores: each of the `lanes` virtual lanes streams a contiguous
+//! stripe. These helpers perform the copy (optionally with real host
+//! parallelism) and charge each stripe to its lane, so the phase trace shows
+//! the transfer as parallel — which is how the flow simulator can apply the
+//! full channel bandwidth to it.
+
+use crate::extsort::RegionLevel;
+use crate::SortElem;
+use rayon::prelude::*;
+use std::ops::Range;
+use tlmm_scratchpad::trace::{current_lane, with_lane};
+use tlmm_scratchpad::{Dir, TwoLevel};
+
+/// Charge an IO volume split evenly across lanes — the attribution for
+/// cooperative streaming operations whose real execution interleaves lanes
+/// finely (bulk transfers, shared merge streams).
+///
+/// Lane ids are *offset by the ambient lane*: an operation running "on"
+/// lane 5 with `lanes = 1` charges lane 5, not lane 0, so nested
+/// single-lane work (e.g. one bucket of a parallel recursion) stays on its
+/// assigned lane.
+pub fn charge_io_striped(tl: &TwoLevel, level: RegionLevel, dir: Dir, bytes: u64, lanes: usize) {
+    let base = current_lane();
+    for (i, r) in striped_ranges(bytes as usize, lanes).iter().enumerate() {
+        with_lane(base + i, || match level {
+            RegionLevel::Near => tl.charge_near_io(dir, r.len() as u64),
+            RegionLevel::Far => tl.charge_far_io(dir, r.len() as u64),
+        });
+    }
+}
+
+/// Charge compute split evenly across lanes (ambient-lane offset like
+/// [`charge_io_striped`]).
+pub fn charge_compute_striped(tl: &TwoLevel, ops: u64, lanes: usize) {
+    let base = current_lane();
+    for (i, r) in striped_ranges(ops as usize, lanes).iter().enumerate() {
+        with_lane(base + i, || tl.charge_compute(r.len() as u64));
+    }
+}
+
+/// Endpoint pair of a charged copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyKind {
+    /// DRAM → scratchpad (far read + near write).
+    FarToNear,
+    /// Scratchpad → DRAM (near read + far write).
+    NearToFar,
+    /// DRAM → DRAM (far read + far write).
+    FarToFar,
+    /// Scratchpad → scratchpad (near read + near write).
+    NearToNear,
+}
+
+/// Split `0..len` into at most `lanes` contiguous near-equal stripes.
+pub fn striped_ranges(len: usize, lanes: usize) -> Vec<Range<usize>> {
+    let lanes = lanes.max(1);
+    if len == 0 {
+        return Vec::new();
+    }
+    let per = len.div_ceil(lanes);
+    (0..len.div_ceil(per))
+        .map(|i| i * per..((i + 1) * per).min(len))
+        .collect()
+}
+
+fn charge_stripe<T>(tl: &TwoLevel, kind: CopyKind, elems: usize) {
+    let bytes = (elems * std::mem::size_of::<T>()) as u64;
+    match kind {
+        CopyKind::FarToNear => {
+            tl.charge_far_io(Dir::Read, bytes);
+            tl.charge_near_io(Dir::Write, bytes);
+        }
+        CopyKind::NearToFar => {
+            tl.charge_near_io(Dir::Read, bytes);
+            tl.charge_far_io(Dir::Write, bytes);
+        }
+        CopyKind::FarToFar => {
+            tl.charge_far_io(Dir::Read, bytes);
+            tl.charge_far_io(Dir::Write, bytes);
+        }
+        CopyKind::NearToNear => {
+            tl.charge_near_io(Dir::Read, bytes);
+            tl.charge_near_io(Dir::Write, bytes);
+        }
+    }
+}
+
+/// Copy `src` into `dst` (equal lengths) in lane stripes, charging both
+/// endpoints of `kind`.
+pub fn charged_copy<T: SortElem>(
+    tl: &TwoLevel,
+    kind: CopyKind,
+    src: &[T],
+    dst: &mut [T],
+    lanes: usize,
+    parallel: bool,
+) {
+    assert_eq!(src.len(), dst.len(), "charged_copy length mismatch");
+    if src.is_empty() {
+        return;
+    }
+    let ranges = striped_ranges(src.len(), lanes);
+    // Carve dst into the same stripes.
+    let mut dst_slices: Vec<&mut [T]> = Vec::with_capacity(ranges.len());
+    let mut rest = dst;
+    for r in &ranges {
+        let (a, b) = rest.split_at_mut(r.len());
+        dst_slices.push(a);
+        rest = b;
+    }
+    let base = current_lane();
+    let work = |(i, (r, d)): (usize, (&Range<usize>, &mut [T]))| {
+        with_lane(base + i, || {
+            d.copy_from_slice(&src[r.clone()]);
+            charge_stripe::<T>(tl, kind, r.len());
+        })
+    };
+    if parallel {
+        ranges
+            .par_iter()
+            .zip(dst_slices.into_par_iter())
+            .enumerate()
+            .for_each(work);
+    } else {
+        ranges.iter().zip(dst_slices).enumerate().for_each(work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlmm_model::ScratchpadParams;
+
+    fn tl() -> TwoLevel {
+        TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
+    }
+
+    #[test]
+    fn striped_ranges_cover_exactly() {
+        for (len, lanes) in [(0, 4), (1, 4), (10, 3), (100, 7), (4096, 16), (5, 100)] {
+            let rs = striped_ranges(len, lanes);
+            assert!(rs.len() <= lanes.max(1));
+            let mut cursor = 0;
+            for r in &rs {
+                assert_eq!(r.start, cursor);
+                assert!(!r.is_empty());
+                cursor = r.end;
+            }
+            assert_eq!(cursor, len);
+        }
+    }
+
+    #[test]
+    fn copy_moves_data_and_charges() {
+        let tl = tl();
+        let src: Vec<u64> = (0..10_000).collect();
+        let mut dst = vec![0u64; 10_000];
+        charged_copy(&tl, CopyKind::FarToNear, &src, &mut dst, 8, false);
+        assert_eq!(src, dst);
+        let s = tl.ledger().snapshot();
+        assert_eq!(s.far_bytes, 80_000);
+        assert_eq!(s.near_bytes, 80_000);
+        // 8 stripes of 10 000 B each, ⌈10000/64⌉ = 157 blocks per stripe.
+        assert_eq!(s.far_read_blocks, 8 * 157);
+    }
+
+    #[test]
+    fn parallel_copy_matches_sequential_charges() {
+        let run = |parallel| {
+            let tl = tl();
+            let src: Vec<u32> = (0..50_000).collect();
+            let mut dst = vec![0u32; 50_000];
+            charged_copy(&tl, CopyKind::NearToFar, &src, &mut dst, 8, parallel);
+            assert_eq!(src, dst);
+            tl.ledger().snapshot()
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_copy_kinds_charge_correct_levels() {
+        let cases = [
+            (CopyKind::FarToNear, true, true),
+            (CopyKind::NearToFar, true, true),
+            (CopyKind::FarToFar, true, false),
+            (CopyKind::NearToNear, false, true),
+        ];
+        for (kind, far, near) in cases {
+            let tl = tl();
+            let src = vec![1u8; 1000];
+            let mut dst = vec![0u8; 1000];
+            charged_copy(&tl, kind, &src, &mut dst, 4, false);
+            let s = tl.ledger().snapshot();
+            assert_eq!(s.far_bytes > 0, far, "{kind:?}");
+            assert_eq!(s.near_bytes > 0, near, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn lanes_receive_stripes() {
+        let tl = tl();
+        tl.begin_phase("copy");
+        let src = vec![0u64; 8192];
+        let mut dst = vec![0u64; 8192];
+        charged_copy(&tl, CopyKind::FarToNear, &src, &mut dst, 8, true);
+        tl.end_phase();
+        let t = tl.take_trace();
+        assert_eq!(t.phases[0].active_lanes(), 8);
+        // Stripes are near-equal.
+        let works = &t.phases[0].lanes;
+        let max = works.iter().map(|w| w.far_read_bytes).max().unwrap();
+        let min = works.iter().map(|w| w.far_read_bytes).min().unwrap();
+        assert!(max - min <= 8 * 1024 / 8);
+    }
+}

@@ -1,0 +1,260 @@
+//! External quicksort — the Corollary 7 alternative for in-scratchpad
+//! sorting.
+//!
+//! §III-A: "Other sorting algorithms could be used, such as quicksort. If ρ
+//! is sufficiently large, either sorting algorithm within the scratchpad
+//! leads to an optimal algorithm … however, the value of ρ based on current
+//! hardware probably is not large enough to make quicksort practically
+//! competitive with mergesort."
+//!
+//! Each partitioning level above the cache threshold streams the data once
+//! (read + write), so sorting `x` elements costs `Θ((x/ρB)·lg(x/Z))` near
+//! blocks — Corollary 7's bound, which is a `lg(M/Z) / log_{Z/ρB}(M/ρB)`
+//! factor worse than the multiway merge unless ρ is large. The ablation
+//! harness quantifies exactly that trade-off.
+
+use crate::extsort::RegionLevel;
+use crate::par::{charge_compute_striped, charge_io_striped};
+use crate::{ceil_lg, SortElem};
+use tlmm_scratchpad::{Dir, TwoLevel};
+
+/// Statistics from an [`external_quicksort`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuickSortOutcome {
+    /// Partitioning levels that exceeded the cache threshold (each streamed
+    /// its segment through the memory once).
+    pub partition_levels: u32,
+    /// Comparisons charged.
+    pub comparisons: u64,
+}
+
+/// Median-of-three pivot.
+#[inline]
+fn pivot_of<T: Ord + Copy>(s: &[T]) -> T {
+    let (a, b, c) = (s[0], s[s.len() / 2], s[s.len() - 1]);
+    // Median by pairwise max/min.
+    let hi = a.max(b);
+    let lo = a.min(b);
+    c.clamp(lo, hi)
+}
+
+/// Three-way (Dutch national flag) partition around `p`; returns the
+/// `(lt, gt)` boundaries: `data[..lt] < p`, `data[lt..gt] == p`,
+/// `data[gt..] > p`.
+fn partition3<T: Ord + Copy>(data: &mut [T], p: T) -> (usize, usize) {
+    let mut lt = 0usize;
+    let mut i = 0usize;
+    let mut gt = data.len();
+    while i < gt {
+        if data[i] < p {
+            data.swap(i, lt);
+            lt += 1;
+            i += 1;
+        } else if data[i] > p {
+            gt -= 1;
+            data.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt)
+}
+
+/// Sort `data` (resident at `level`) in place with an external quicksort:
+/// segments larger than `cache_elems` pay a streaming partition pass;
+/// smaller segments are read once, sorted in cache, and written once.
+/// Charges are striped across `lanes`.
+pub fn external_quicksort<T: SortElem>(
+    tl: &TwoLevel,
+    level: RegionLevel,
+    data: &mut [T],
+    lanes: usize,
+) -> QuickSortOutcome {
+    let elem = std::mem::size_of::<T>() as u64;
+    let cache_elems = {
+        let e = std::mem::size_of::<T>().max(1);
+        ((tl.params().cache_bytes as usize) / (2 * e * lanes.max(1))).max(64)
+    };
+    let mut levels = 0u32;
+    let mut comparisons = 0u64;
+
+    // Explicit stack of (range, depth); process depth-synchronously so the
+    // "levels" statistic matches the analysis (each level streams all
+    // still-unsorted data once).
+    let mut current: Vec<(usize, usize)> = vec![(0, data.len())];
+    let mut depth_guard = 0u32;
+    while !current.is_empty() {
+        depth_guard += 1;
+        let mut next: Vec<(usize, usize)> = Vec::new();
+        let mut streamed_bytes = 0u64;
+        let mut base_bytes = 0u64;
+        let mut level_cmps = 0u64;
+        for &(lo, hi) in &current {
+            let seg = &mut data[lo..hi];
+            let n = seg.len();
+            if n <= 1 {
+                continue;
+            }
+            if n <= cache_elems || depth_guard > 96 {
+                // Base case: one pass in, in-cache sort, one pass out.
+                base_bytes += n as u64 * elem;
+                seg.sort_unstable();
+                level_cmps += n as u64 * ceil_lg(n);
+                continue;
+            }
+            // Streaming partition pass.
+            streamed_bytes += n as u64 * elem;
+            let p = pivot_of(seg);
+            let (lt, gt) = partition3(seg, p);
+            level_cmps += n as u64;
+            next.push((lo, lo + lt));
+            next.push((lo + gt, hi));
+        }
+        if streamed_bytes > 0 {
+            levels += 1;
+            charge_io_striped(tl, level, Dir::Read, streamed_bytes, lanes);
+            charge_io_striped(tl, level, Dir::Write, streamed_bytes, lanes);
+        }
+        if base_bytes > 0 {
+            charge_io_striped(tl, level, Dir::Read, base_bytes, lanes);
+            charge_io_striped(tl, level, Dir::Write, base_bytes, lanes);
+        }
+        charge_compute_striped(tl, level_cmps, lanes);
+        comparisons += level_cmps;
+        current = next;
+    }
+    QuickSortOutcome {
+        partition_levels: levels,
+        comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tlmm_model::ScratchpadParams;
+
+    fn tl() -> TwoLevel {
+        TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn sorts_various_inputs() {
+        let tl = tl();
+        for n in [0usize, 1, 2, 100, 5_000, 60_000] {
+            let mut v = random_vec(n, n as u64);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            external_quicksort(&tl, RegionLevel::Near, &mut v, 4);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_inputs() {
+        let tl = tl();
+        let cases: Vec<Vec<u64>> = vec![
+            vec![7; 50_000],
+            (0..50_000u64).collect(),
+            (0..50_000u64).rev().collect(),
+            (0..50_000).map(|i| (i % 3) as u64).collect(),
+        ];
+        for mut v in cases {
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            external_quicksort(&tl, RegionLevel::Near, &mut v, 4);
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn partition_levels_track_lg_n_over_cache() {
+        let tl = tl();
+        // cache_elems for lanes=1: Z/(2*8) = 1024 elems.
+        let mut v = random_vec(64 * 1024, 3);
+        let out = external_quicksort(&tl, RegionLevel::Near, &mut v, 1);
+        // lg(65536/1024) = 6 ideal levels; median-of-3 needs a few more.
+        assert!(
+            out.partition_levels >= 6 && out.partition_levels <= 16,
+            "levels {}",
+            out.partition_levels
+        );
+    }
+
+    #[test]
+    fn traffic_exceeds_mergesort_at_small_rho() {
+        // Corollary 7: quicksort's near traffic carries a lg(M/Z) factor the
+        // multiway merge replaces with log_{Z/rhoB}(M/rhoB); at small rho the
+        // merge should move fewer near blocks.
+        let n = 200_000usize;
+        let run = |quick: bool| {
+            let tl = TwoLevel::new(ScratchpadParams::new(64, 2.0, 16 << 20, 64 << 10).unwrap());
+            let mut v = random_vec(n, 5);
+            if quick {
+                external_quicksort(&tl, RegionLevel::Near, &mut v, 1);
+            } else {
+                let mut scratch = vec![0u64; n];
+                crate::extsort::external_sort(
+                    &tl,
+                    RegionLevel::Near,
+                    &mut v,
+                    &mut scratch,
+                    &crate::extsort::ExtSortConfig::default(),
+                );
+            }
+            tl.ledger().snapshot().near_blocks()
+        };
+        let quick = run(true);
+        let merge = run(false);
+        assert!(
+            quick > merge,
+            "quicksort {quick} should move more near blocks than mergesort {merge} at rho=2"
+        );
+    }
+
+    #[test]
+    fn charges_are_striped_across_lanes() {
+        let tl = tl();
+        tl.begin_phase("qs");
+        let mut v = random_vec(50_000, 7);
+        external_quicksort(&tl, RegionLevel::Near, &mut v, 8);
+        tl.end_phase();
+        let t = tl.take_trace();
+        assert!(t.phases[0].active_lanes() >= 8);
+    }
+
+    #[test]
+    fn far_level_charges_far_memory() {
+        let tl = tl();
+        let mut v = random_vec(10_000, 9);
+        external_quicksort(&tl, RegionLevel::Far, &mut v, 2);
+        let s = tl.ledger().snapshot();
+        assert!(s.far_bytes > 0);
+        assert_eq!(s.near_bytes, 0);
+    }
+
+    #[test]
+    fn partition3_invariants() {
+        let mut v = vec![5u64, 1, 5, 9, 3, 5, 7, 5];
+        let (lt, gt) = partition3(&mut v, 5);
+        assert!(v[..lt].iter().all(|&x| x < 5));
+        assert!(v[lt..gt].iter().all(|&x| x == 5));
+        assert!(v[gt..].iter().all(|&x| x > 5));
+        assert_eq!(gt - lt, 4);
+    }
+
+    #[test]
+    fn pivot_is_median_of_three() {
+        assert_eq!(pivot_of(&[3u64, 9, 5]), 5);
+        assert_eq!(pivot_of(&[9u64, 3, 5]), 5);
+        assert_eq!(pivot_of(&[5u64, 9, 3]), 5);
+        assert_eq!(pivot_of(&[1u64, 1, 1]), 1);
+    }
+}

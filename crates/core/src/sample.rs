@@ -1,0 +1,158 @@
+//! Random pivot sampling (§III-A).
+//!
+//! The sorting algorithms choose a sample `X` of `m = Θ(M/B)` elements from
+//! the input (with replacement), move it into the scratchpad, and sort it
+//! there. Every sampled element costs one *random* far-memory block read —
+//! random accesses pay for a whole block however few bytes they use.
+
+use crate::SortElem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tlmm_scratchpad::{Dir, FarArray, TwoLevel};
+
+/// A sorted pivot sample resident in the scratchpad.
+#[derive(Debug, Clone)]
+pub struct PivotSample<T> {
+    /// The sorted, deduplicated pivots.
+    pub pivots: Vec<T>,
+    /// How many raw samples were drawn (before dedup).
+    pub drawn: usize,
+}
+
+impl<T: SortElem> PivotSample<T> {
+    /// Number of buckets the pivots induce (`pivots.len() + 1`):
+    /// bucket `i` holds elements in `(pivot[i-1], pivot[i]]`, with bucket 0
+    /// unbounded below and the last bucket unbounded above.
+    pub fn n_buckets(&self) -> usize {
+        self.pivots.len() + 1
+    }
+
+    /// Bucket index for `v` via binary search:
+    /// the first bucket whose upper pivot is `>= v`.
+    pub fn bucket_of(&self, v: &T) -> usize {
+        self.pivots.partition_point(|p| p < v)
+    }
+}
+
+/// Draw `m` samples (with replacement) from `input`, move them to the
+/// scratchpad, sort them there (in parallel across `lanes`), and
+/// deduplicate.
+///
+/// Charges: `m` random far block reads (gather), one near write of the
+/// sample (scatter into the scratchpad), and an in-scratchpad sort of the
+/// sample, all striped across the lanes that would cooperate on it.
+pub fn draw_pivots<T: SortElem>(
+    tl: &TwoLevel,
+    input: &FarArray<T>,
+    m: usize,
+    seed: u64,
+    lanes: usize,
+) -> PivotSample<T> {
+    let n = input.len();
+    if n == 0 || m == 0 {
+        return PivotSample {
+            pivots: Vec::new(),
+            drawn: 0,
+        };
+    }
+    let lanes = lanes.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = input.as_slice_uncharged();
+    let mut sample: Vec<T> = (0..m).map(|_| data[rng.gen_range(0..n)]).collect();
+
+    let elem = std::mem::size_of::<T>() as u64;
+    // Stripe the gather/scatter/sort charges across the cooperating lanes.
+    let base = tlmm_scratchpad::trace::current_lane();
+    let per = m.div_ceil(lanes);
+    let mut at = 0usize;
+    let mut lane = 0usize;
+    while at < m {
+        let take = per.min(m - at);
+        tlmm_scratchpad::with_lane(base + lane, || {
+            tl.charge_far_random(Dir::Read, take as u64, take as u64 * elem);
+            tl.charge_near_io(Dir::Write, take as u64 * elem);
+            // One in-cache sort round for this lane's share plus its part of
+            // the merge (lg m comparisons per element overall).
+            tl.charge_near_io(Dir::Read, take as u64 * elem);
+            tl.charge_near_io(Dir::Write, take as u64 * elem);
+            tl.charge_compute(take as u64 * crate::ceil_lg(m));
+        });
+        at += take;
+        lane = (lane + 1) % lanes;
+    }
+    sample.sort_unstable();
+    sample.dedup();
+
+    PivotSample {
+        pivots: sample,
+        drawn: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlmm_model::ScratchpadParams;
+
+    fn tl() -> TwoLevel {
+        TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
+    }
+
+    #[test]
+    fn pivots_sorted_and_unique() {
+        let tl = tl();
+        let input = tl.far_from_vec((0u64..100_000).map(|i| i % 1000).collect::<Vec<_>>());
+        let s = draw_pivots(&tl, &input, 256, 42, 4);
+        assert!(s.pivots.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(s.drawn, 256);
+        assert!(s.pivots.len() <= 256);
+    }
+
+    #[test]
+    fn charges_random_reads_per_draw() {
+        let tl = tl();
+        let input = tl.far_from_vec((0u64..10_000).collect::<Vec<_>>());
+        let m = 128;
+        draw_pivots(&tl, &input, m, 7, 1);
+        let s = tl.ledger().snapshot();
+        assert_eq!(s.far_read_blocks, m as u64, "one block per random draw");
+        assert!(s.near_write_blocks >= 1);
+        assert!(s.compute_ops > 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let tl1 = tl();
+        let tl2 = tl();
+        let v: Vec<u64> = (0..50_000).map(|i| i * 7 % 999).collect();
+        let a = draw_pivots(&tl1, &tl1.far_from_vec(v.clone()), 64, 11, 4);
+        let b = draw_pivots(&tl2, &tl2.far_from_vec(v), 64, 11, 4);
+        assert_eq!(a.pivots, b.pivots);
+    }
+
+    #[test]
+    fn bucket_of_partitions_domain() {
+        let tl = tl();
+        let input = tl.far_from_vec((0u64..10_000).collect::<Vec<_>>());
+        let s = draw_pivots(&tl, &input, 32, 3, 2);
+        assert_eq!(s.bucket_of(&0), 0);
+        assert_eq!(s.bucket_of(&u64::MAX), s.pivots.len());
+        // bucket_of is monotone.
+        let b1 = s.bucket_of(&100);
+        let b2 = s.bucket_of(&5000);
+        assert!(b1 <= b2);
+        // An element equal to pivot i lands in bucket i (range (prev, p_i]).
+        if let Some(&p) = s.pivots.first() {
+            assert_eq!(s.bucket_of(&p), 0);
+        }
+    }
+
+    #[test]
+    fn empty_input_or_zero_m() {
+        let tl = tl();
+        let empty = tl.far_from_vec(Vec::<u64>::new());
+        assert_eq!(draw_pivots(&tl, &empty, 16, 0, 1).pivots.len(), 0);
+        let input = tl.far_from_vec(vec![1u64, 2, 3]);
+        assert_eq!(draw_pivots(&tl, &input, 0, 0, 1).pivots.len(), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Scratchpad-aware k-selection (order statistics).
+//!
+//! The paper's title promises *multi-threaded algorithmic primitives*; the
+//! sorting machinery generalizes directly to selection. Finding the rank-k
+//! element needs the same ingredients as one bucketizing scan — a resident
+//! pivot sample and a streaming pass counting bucket populations — but never
+//! materializes the buckets: each round shrinks the candidate range by the
+//! sample's resolution, and once the surviving candidates fit in the
+//! scratchpad they are sorted there (Corollary 3) to finish.
+//!
+//! Cost: `O(N/B)` far blocks for the first scan, geometrically decreasing
+//! scans afterwards (candidates shrink ~`1/m` per round whp), plus one
+//! in-scratchpad sort — strictly cheaper than a full sort, and the
+//! scratchpad's ρ× bandwidth accelerates every counting scan's in-near
+//! work exactly as in the sort.
+
+use crate::extsort::{external_sort, ExtSortConfig, RegionLevel};
+use crate::par::{charge_compute_striped, charge_io_striped};
+use crate::sample::draw_pivots;
+use crate::{SortElem, SortError};
+use tlmm_scratchpad::{Dir, FarArray, TwoLevel};
+
+/// Tuning knobs for [`select_kth`].
+#[derive(Debug, Clone)]
+pub struct SelectConfig {
+    /// Virtual lanes cooperating on the scans.
+    pub lanes: usize,
+    /// RNG seed for pivot sampling.
+    pub seed: u64,
+    /// Pivots per round (default `Θ(M/B)` capped).
+    pub n_pivots: Option<usize>,
+    /// Safety cap on rounds (duplicate-heavy inputs stop shrinking; the
+    /// equal-to-pivot band is then resolved directly).
+    pub max_rounds: u32,
+}
+
+impl Default for SelectConfig {
+    fn default() -> Self {
+        Self {
+            lanes: 8,
+            seed: 0x5E1E_C7ED,
+            n_pivots: None,
+            max_rounds: 48,
+        }
+    }
+}
+
+/// Statistics from a [`select_kth`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelectReport {
+    /// Counting scans performed.
+    pub rounds: u32,
+    /// Candidates remaining when the in-scratchpad finish kicked in.
+    pub final_candidates: usize,
+}
+
+/// Find the element of rank `k` (0-based, i.e. the `(k+1)`-smallest) in
+/// `input` without sorting it. Returns the value and run statistics.
+pub fn select_kth<T: SortElem>(
+    tl: &TwoLevel,
+    input: &FarArray<T>,
+    k: usize,
+    cfg: &SelectConfig,
+) -> Result<(T, SelectReport), SortError> {
+    let n = input.len();
+    assert!(k < n, "rank {k} out of range for {n} elements");
+    let elem = std::mem::size_of::<T>() as u64;
+    let lanes = cfg.lanes.max(1);
+    let cap = (tl.params().scratchpad_capacity_elems(elem as usize) * 2 / 5).max(2);
+    let mut report = SelectReport::default();
+
+    // Candidate set: starts as the whole (conceptual) array; represented as
+    // value bounds plus the actual surviving values once they shrink.
+    let mut lo: Option<T> = None; // exclusive lower bound
+    let mut hi: Option<T> = None; // inclusive upper bound
+    let mut rank = k; // rank within the candidate band
+    let data = input.as_slice_uncharged();
+    let mut candidates: Vec<T> = Vec::new();
+    let mut have_candidates = false;
+
+    for _ in 0..cfg.max_rounds {
+        // Materialized candidates that fit the scratchpad: finish there.
+        if have_candidates && candidates.len() <= cap {
+            break;
+        }
+        report.rounds += 1;
+
+        // Sample pivots from the full array (cheap, already resident logic)
+        // and keep only those inside the candidate band.
+        let m = cfg
+            .n_pivots
+            .unwrap_or_else(|| ((tl.params().scratchpad_blocks() / 4) as usize).clamp(16, 4096));
+        let sample = draw_pivots(tl, input, m, cfg.seed ^ report.rounds as u64, lanes);
+        let mut pivots: Vec<T> = sample
+            .pivots
+            .into_iter()
+            .filter(|p| lo.map(|l| *p > l).unwrap_or(true) && hi.map(|h| *p <= h).unwrap_or(true))
+            .collect();
+        pivots.dedup();
+        if pivots.is_empty() {
+            // The band has a single value (or the sample missed): resolve
+            // directly by materializing the band.
+            break;
+        }
+
+        // One counting scan: bucket populations within the band.
+        let mut counts = vec![0u64; pivots.len() + 1];
+        for &v in data {
+            if lo.map(|l| v <= l).unwrap_or(false) || hi.map(|h| v > h).unwrap_or(false) {
+                continue;
+            }
+            let b = pivots.partition_point(|p| *p < v);
+            counts[b] += 1;
+        }
+        charge_io_striped(tl, RegionLevel::Far, Dir::Read, n as u64 * elem, lanes);
+        charge_compute_striped(tl, n as u64 * crate::ceil_lg(pivots.len()), lanes);
+
+        // Locate the bucket holding the target rank.
+        let mut acc = 0u64;
+        let mut bucket = counts.len() - 1;
+        for (b, &c) in counts.iter().enumerate() {
+            if acc + c > rank as u64 {
+                bucket = b;
+                break;
+            }
+            acc += c;
+        }
+        rank -= acc as usize;
+        let new_lo = if bucket == 0 { lo } else { Some(pivots[bucket - 1]) };
+        let new_hi = if bucket == pivots.len() {
+            hi
+        } else {
+            Some(pivots[bucket])
+        };
+        // Detect a non-shrinking band (heavy duplicates): resolve directly.
+        if new_lo == lo && new_hi == hi {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+
+        // Materialize the band if it is small enough to be worth it: another
+        // streaming pass gathering survivors into the scratchpad.
+        let band_size: u64 = counts[bucket];
+        if (band_size as usize) <= cap {
+            candidates = data
+                .iter()
+                .copied()
+                .filter(|v| {
+                    lo.map(|l| *v > l).unwrap_or(true) && hi.map(|h| *v <= h).unwrap_or(true)
+                })
+                .collect();
+            have_candidates = true;
+            charge_io_striped(tl, RegionLevel::Far, Dir::Read, n as u64 * elem, lanes);
+            charge_io_striped(
+                tl,
+                RegionLevel::Near,
+                Dir::Write,
+                candidates.len() as u64 * elem,
+                lanes,
+            );
+            break;
+        }
+    }
+
+    if !have_candidates {
+        // Fall back to materializing whatever band we narrowed to.
+        candidates = data
+            .iter()
+            .copied()
+            .filter(|v| lo.map(|l| *v > l).unwrap_or(true) && hi.map(|h| *v <= h).unwrap_or(true))
+            .collect();
+        charge_io_striped(tl, RegionLevel::Far, Dir::Read, n as u64 * elem, lanes);
+        charge_io_striped(
+            tl,
+            RegionLevel::Near,
+            Dir::Write,
+            candidates.len() as u64 * elem,
+            lanes,
+        );
+    }
+    report.final_candidates = candidates.len();
+
+    // Finish in the scratchpad (Corollary 3) — or in far memory if the band
+    // refused to shrink below M (massive duplication).
+    let level = if candidates.len() <= cap {
+        RegionLevel::Near
+    } else {
+        RegionLevel::Far
+    };
+    let mut scratch = vec![T::default(); candidates.len()];
+    let out = external_sort(
+        tl,
+        level,
+        &mut candidates,
+        &mut scratch,
+        &ExtSortConfig {
+            lanes,
+            ..Default::default()
+        },
+    );
+    let sorted = if out.in_scratch { &scratch } else { &candidates };
+    Ok((sorted[rank], report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tlmm_model::ScratchpadParams;
+
+    fn tl() -> TwoLevel {
+        TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    fn few_distinct(n: usize, k: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..k)).collect()
+    }
+
+    fn check(v: Vec<u64>, k: usize) -> SelectReport {
+        let tl = tl();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let input = tl.far_from_vec(v);
+        let (got, report) = select_kth(&tl, &input, k, &SelectConfig::default()).unwrap();
+        assert_eq!(got, expect[k], "rank {k}");
+        report
+    }
+
+    #[test]
+    fn selects_medians_and_extremes() {
+        let v = uniform(300_000, 1);
+        check(v.clone(), 0);
+        check(v.clone(), 150_000);
+        check(v.clone(), 299_999);
+    }
+
+    #[test]
+    fn selects_on_duplicate_heavy_input() {
+        let v = few_distinct(200_000, 3, 2);
+        check(v.clone(), 100);
+        check(v, 199_999);
+    }
+
+    #[test]
+    fn selects_on_all_equal() {
+        check(vec![42u64; 100_000], 50_000);
+    }
+
+    #[test]
+    fn selects_on_sorted_and_reverse() {
+        check((0..200_000u64).collect(), 123_456);
+        check((0..200_000u64).rev().collect(), 7);
+    }
+
+    #[test]
+    fn cheaper_than_a_full_sort() {
+        let tl1 = tl();
+        let v = uniform(400_000, 3);
+        let input = tl1.far_from_vec(v.clone());
+        select_kth(&tl1, &input, 200_000, &SelectConfig::default()).unwrap();
+        let select_blocks = tl1.ledger().snapshot().total_blocks();
+
+        let tl2 = tl();
+        let input = tl2.far_from_vec(v);
+        crate::nmsort::nmsort(&tl2, input, &crate::nmsort::NmSortConfig::default()).unwrap();
+        let sort_blocks = tl2.ledger().snapshot().total_blocks();
+        assert!(
+            select_blocks < sort_blocks / 2,
+            "selection {select_blocks} should be well below sorting {sort_blocks}"
+        );
+    }
+
+    #[test]
+    fn rounds_stay_small_on_random_input() {
+        let v = uniform(500_000, 4);
+        let r = check(v, 250_000);
+        assert!(r.rounds <= 3, "rounds {}", r.rounds);
+        assert!(r.final_candidates <= 500_000 / 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_rank() {
+        let tl = tl();
+        let input = tl.far_from_vec(vec![1u64, 2, 3]);
+        let _ = select_kth(&tl, &input, 3, &SelectConfig::default());
+    }
+}

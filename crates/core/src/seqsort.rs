@@ -1,0 +1,350 @@
+//! The sequential scratchpad sample sort of §III (Theorem 6).
+//!
+//! The randomized, theoretically optimal algorithm: recursively reduce the
+//! input with *bucketizing scans* until every bucket fits in the scratchpad,
+//! then sort buckets in the scratchpad.
+//!
+//! Each bucketizing scan: sample `m` pivots from the bucket and sort them in
+//! the scratchpad (they stay resident for the whole scan); stream groups of
+//! `M − Θ(m)` elements through the scratchpad, sorting each group there;
+//! split the sorted group at the pivot boundaries and append every piece to
+//! its bucket's DRAM region (paying up to two extra block transfers per
+//! piece — the cost Lemma 4 bounds); recurse.
+//!
+//! Degenerate inputs (too few distinct keys for pivots to shrink a bucket)
+//! fall back to a far-memory external sort for that bucket, preserving
+//! correctness at the cost Theorem 1 predicts for a DRAM-only sort.
+
+use crate::bucketize::bucket_positions;
+use crate::extsort::{external_sort, ExtSortConfig, RegionLevel};
+use crate::par::charge_io_striped;
+use crate::{SortElem, SortError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tlmm_scratchpad::trace::with_lane;
+use tlmm_scratchpad::{Dir, FarArray, TwoLevel};
+
+/// Tuning knobs for [`seq_scratchpad_sort`].
+#[derive(Debug, Clone)]
+pub struct SeqSortConfig {
+    /// RNG seed for pivot sampling.
+    pub seed: u64,
+    /// Recursion safety cap; beyond it buckets are finished with a far
+    /// external sort. The whp analysis (Lemma 5) makes hitting this cap on
+    /// random inputs astronomically unlikely.
+    pub max_depth: u32,
+    /// Pivot count per scan. Default `Θ(M/B)` capped for practicality.
+    pub n_pivots: Option<usize>,
+    /// Virtual lanes cooperating on every scan (`p′` in §IV; 1 = the
+    /// sequential algorithm of §III).
+    pub lanes: usize,
+    /// Real host parallelism inside scans.
+    pub parallel: bool,
+}
+
+impl Default for SeqSortConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x0DD5_EED5,
+            max_depth: 64,
+            n_pivots: None,
+            lanes: 1,
+            parallel: false,
+        }
+    }
+}
+
+/// Statistics from a [`seq_scratchpad_sort`] run, for checking the paper's
+/// recursion-depth analysis empirically.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqSortReport {
+    /// Deepest recursion level reached (0 = input fit the scratchpad).
+    pub max_depth: u32,
+    /// Total bucketizing scans performed.
+    pub scans: u64,
+    /// Buckets finished by the degenerate far-sort fallback.
+    pub fallback_buckets: u64,
+}
+
+struct Ctx<'a> {
+    tl: &'a TwoLevel,
+    rng: StdRng,
+    cap_elems: usize,
+    n_pivots: usize,
+    max_depth: u32,
+    lanes: usize,
+    parallel: bool,
+    report: SeqSortReport,
+}
+
+/// Sort `input` with the sequential scratchpad sample sort; returns the
+/// sorted array and recursion statistics.
+pub fn seq_scratchpad_sort<T: SortElem>(
+    tl: &TwoLevel,
+    input: FarArray<T>,
+    cfg: &SeqSortConfig,
+) -> Result<(FarArray<T>, SeqSortReport), SortError> {
+    let elem = std::mem::size_of::<T>();
+    let m_elems = tl.params().scratchpad_capacity_elems(elem);
+    // Data group + ping-pong scratch + resident pivots must share M.
+    let cap_elems = (m_elems * 2 / 5).max(2);
+    // Default pivot count: Lemma 5 allows Θ(M/B), but one level of
+    // recursion only needs enough buckets to shrink below the scratchpad —
+    // oversampling by 16x keeps buckets balanced whp without drowning the
+    // run in per-bucket bookkeeping.
+    let n_elems_hint = input.len().max(1);
+    let n_pivots = cfg
+        .n_pivots
+        .unwrap_or_else(|| {
+            ((tl.params().scratchpad_blocks() / 4) as usize)
+                .min(cap_elems / 8)
+                .min((16 * n_elems_hint / cap_elems).next_power_of_two().max(16))
+        })
+        .max(1);
+    let mut ctx = Ctx {
+        tl,
+        rng: StdRng::seed_from_u64(cfg.seed),
+        cap_elems,
+        n_pivots,
+        max_depth: cfg.max_depth,
+        lanes: cfg.lanes.max(1),
+        parallel: cfg.parallel,
+        report: SeqSortReport::default(),
+    };
+    let data = input.into_vec();
+    let sorted = sort_rec(&mut ctx, data, 0);
+    let report = ctx.report;
+    Ok((tl.far_from_vec(sorted), report))
+}
+
+fn sort_rec<T: SortElem>(ctx: &mut Ctx<'_>, data: Vec<T>, depth: u32) -> Vec<T> {
+    let n = data.len();
+    let tl = ctx.tl;
+    let elem = std::mem::size_of::<T>() as u64;
+    ctx.report.max_depth = ctx.report.max_depth.max(depth);
+    if n <= 1 {
+        return data;
+    }
+
+    // Base case: the bucket fits in the scratchpad (§III: "each subproblem
+    // fits into the scratchpad, at which point it can be sorted rapidly").
+    if n <= ctx.cap_elems {
+        let mut data = data;
+        charge_io_striped(tl, RegionLevel::Far, Dir::Read, n as u64 * elem, ctx.lanes);
+        charge_io_striped(tl, RegionLevel::Near, Dir::Write, n as u64 * elem, ctx.lanes);
+        let mut scratch = vec![T::default(); n];
+        let out = external_sort(
+            tl,
+            RegionLevel::Near,
+            &mut data,
+            &mut scratch,
+            &ExtSortConfig {
+                lanes: ctx.lanes,
+                parallel: ctx.parallel,
+                ..Default::default()
+            },
+        );
+        let sorted = if out.in_scratch { scratch } else { data };
+        charge_io_striped(tl, RegionLevel::Near, Dir::Read, n as u64 * elem, ctx.lanes);
+        charge_io_striped(tl, RegionLevel::Far, Dir::Write, n as u64 * elem, ctx.lanes);
+        return sorted;
+    }
+
+    // Degenerate-depth fallback: sort this bucket in DRAM.
+    if depth >= ctx.max_depth {
+        ctx.report.fallback_buckets += 1;
+        let mut data = data;
+        let mut scratch = vec![T::default(); n];
+        let out = external_sort(
+            tl,
+            RegionLevel::Far,
+            &mut data,
+            &mut scratch,
+            &ExtSortConfig::default(),
+        );
+        return if out.in_scratch { scratch } else { data };
+    }
+
+    // --- Sample and sort pivots (resident for the whole scan) ----------
+    let m = ctx.n_pivots.min(n);
+    let mut pivots: Vec<T> = (0..m)
+        .map(|_| data[ctx.rng.gen_range(0..n)])
+        .collect();
+    tl.charge_far_random(Dir::Read, m as u64, m as u64 * elem);
+    tl.charge_near_io(Dir::Write, m as u64 * elem);
+    crate::extsort::cache_sort(tl, RegionLevel::Near, &mut pivots);
+    pivots.dedup();
+
+    // --- One bucketizing scan ------------------------------------------
+    ctx.report.scans += 1;
+    let group = ctx.cap_elems;
+    let n_buckets = pivots.len() + 1;
+    let mut buckets: Vec<Vec<T>> = (0..n_buckets).map(|_| Vec::new()).collect();
+    let mut scratch = vec![T::default(); group];
+    for piece in data.chunks(group) {
+        let len = piece.len();
+        // Ingest the group (all lanes cooperate on the stream — the
+        // "parallel ingest" of §IV-C).
+        charge_io_striped(tl, RegionLevel::Far, Dir::Read, len as u64 * elem, ctx.lanes);
+        charge_io_striped(tl, RegionLevel::Near, Dir::Write, len as u64 * elem, ctx.lanes);
+        let mut work = piece.to_vec();
+        let out = external_sort(
+            tl,
+            RegionLevel::Near,
+            &mut work,
+            &mut scratch[..len],
+            &ExtSortConfig {
+                lanes: ctx.lanes,
+                parallel: ctx.parallel,
+                ..Default::default()
+            },
+        );
+        let sorted: &[T] = if out.in_scratch { &scratch[..len] } else { &work };
+        // Boundaries within the sorted group.
+        let pos = bucket_positions(tl, RegionLevel::Near, sorted, &pivots, ctx.lanes, ctx.parallel);
+        // Append each piece to its bucket in DRAM: the piece streams out of
+        // the scratchpad, plus up to two extra far blocks per piece for the
+        // unaligned bucket ends (Lemma 4's accounting).
+        let append_base = tlmm_scratchpad::trace::current_lane();
+        for b in 0..n_buckets {
+            let (lo, hi) = (pos[b] as usize, pos[b + 1] as usize);
+            if hi > lo {
+                let bytes = (hi - lo) as u64 * elem;
+                // Each bucket's append (and its up-to-two extra boundary
+                // blocks) is handled by the lane that owns the bucket.
+                with_lane(append_base + b % ctx.lanes, || {
+                    tl.charge_near_io(Dir::Read, bytes);
+                    tl.charge_far_io(Dir::Write, bytes);
+                    tl.charge_far_random(Dir::Write, 2, 0);
+                });
+                buckets[b].extend_from_slice(&sorted[lo..hi]);
+            }
+        }
+    }
+    drop(data);
+
+    // --- Recurse and concatenate ----------------------------------------
+    // In the parallel algorithm (§IV-C) small buckets are processed by
+    // different processors concurrently: distribute buckets round-robin
+    // across the lanes, each bucket's work charged wholly to its lane.
+    let distribute = ctx.lanes > 1 && buckets.len() >= ctx.lanes;
+    let outer_lanes = ctx.lanes;
+    let mut out = Vec::with_capacity(n);
+    for (bi, bucket) in buckets.into_iter().enumerate() {
+        if bucket.len() == n {
+            // Pivots failed to split (heavily duplicated keys): without the
+            // guard this would recurse forever.
+            ctx.report.fallback_buckets += 1;
+            let mut b = bucket;
+            let mut s = vec![T::default(); n];
+            let o = external_sort(tl, RegionLevel::Far, &mut b, &mut s, &ExtSortConfig::default());
+            out.extend_from_slice(if o.in_scratch { &s } else { &b });
+        } else if distribute {
+            ctx.lanes = 1;
+            let sorted = with_lane(bi % outer_lanes, || sort_rec(ctx, bucket, depth + 1));
+            ctx.lanes = outer_lanes;
+            out.extend(sorted);
+        } else {
+            out.extend(sort_rec(ctx, bucket, depth + 1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tlmm_model::ScratchpadParams;
+
+    fn tl() -> TwoLevel {
+        TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    fn check(v: Vec<u64>) -> SeqSortReport {
+        let tl = tl();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let (out, report) =
+            seq_scratchpad_sort(&tl, tl.far_from_vec(v), &SeqSortConfig::default()).unwrap();
+        assert_eq!(out.as_slice_uncharged(), expect.as_slice());
+        report
+    }
+
+    #[test]
+    fn sorts_small_inputs_in_scratchpad() {
+        let r = check(random_vec(10_000, 1));
+        assert_eq!(r.max_depth, 0);
+        assert_eq!(r.scans, 0);
+    }
+
+    #[test]
+    fn sorts_large_inputs_with_scans() {
+        // cap ≈ 52k elems; 500k forces at least one bucketizing scan.
+        let r = check(random_vec(500_000, 2));
+        assert!(r.scans >= 1);
+        assert!(r.max_depth >= 1);
+        assert_eq!(r.fallback_buckets, 0, "random input should never fall back");
+    }
+
+    #[test]
+    fn recursion_depth_matches_lemma5_scale() {
+        // With m ≈ 4096 pivots and N/cap ≈ 10, one level should suffice whp.
+        let r = check(random_vec(500_000, 3));
+        assert!(r.max_depth <= 2, "depth {} too deep", r.max_depth);
+    }
+
+    #[test]
+    fn handles_duplicates_via_fallback() {
+        let r = check(vec![42u64; 300_000]);
+        assert!(r.fallback_buckets >= 1);
+    }
+
+    #[test]
+    fn handles_few_distinct() {
+        check((0..300_000).map(|i| (i % 5) as u64).collect());
+    }
+
+    #[test]
+    fn handles_presorted_and_reverse() {
+        check((0..300_000u64).collect());
+        check((0..300_000u64).rev().collect());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        check(vec![]);
+        check(vec![9]);
+    }
+
+    #[test]
+    fn charges_far_and_near_traffic() {
+        let tl = tl();
+        let v = random_vec(400_000, 4);
+        seq_scratchpad_sort(&tl, tl.far_from_vec(v), &SeqSortConfig::default()).unwrap();
+        let s = tl.ledger().snapshot();
+        assert!(s.far_bytes > 0);
+        assert!(s.near_bytes > 0);
+        // One scan + base sorting: far traffic should be a small number of
+        // passes, not O(N lg N) bytes.
+        let data_bytes = 400_000u64 * 8;
+        assert!(s.far_bytes < 10 * data_bytes, "far {}", s.far_bytes);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let run = || {
+            let tl = tl();
+            let v = random_vec(200_000, 5);
+            seq_scratchpad_sort(&tl, tl.far_from_vec(v), &SeqSortConfig::default()).unwrap();
+            tl.ledger().snapshot()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,231 @@
+//! Address-trace mode: run synthetic access streams through the L1/L2
+//! hierarchy into the memory timing model (the Ariel-like path).
+//!
+//! The phase-trace replay works on post-cache volumes; this mode exists to
+//! (a) validate the cache model against known access patterns, and (b) let
+//! users study how a kernel's *address pattern* turns into memory traffic on
+//! the Fig. 7 hierarchy.
+
+use crate::cache::{Access, Cache, CacheConfig};
+use crate::config::MachineConfig;
+use crate::dram::{MemorySide, PS};
+
+/// One memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ref {
+    /// Byte address.
+    pub addr: u64,
+    /// Load or store.
+    pub kind: Access,
+    /// Targets the scratchpad address range rather than DRAM.
+    pub near: bool,
+}
+
+/// Synthetic reference-stream generators.
+pub mod patterns {
+    use super::Ref;
+    use crate::cache::Access;
+
+    /// Sequential read scan of `bytes` bytes with `stride` between refs.
+    pub fn scan(base: u64, bytes: u64, stride: u64, near: bool) -> Vec<Ref> {
+        (0..bytes / stride.max(1))
+            .map(|i| Ref {
+                addr: base + i * stride,
+                kind: Access::Read,
+                near,
+            })
+            .collect()
+    }
+
+    /// `rounds` passes over a working set of `bytes` bytes (reuse).
+    pub fn working_set(base: u64, bytes: u64, stride: u64, rounds: u32, near: bool) -> Vec<Ref> {
+        let mut v = Vec::new();
+        for _ in 0..rounds {
+            v.extend(scan(base, bytes, stride, near));
+        }
+        v
+    }
+
+    /// Pseudo-random reads over a `span`-byte region.
+    pub fn random(base: u64, span: u64, count: u64, near: bool) -> Vec<Ref> {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        (0..count)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                Ref {
+                    addr: base + (x % span.max(1)),
+                    kind: Access::Read,
+                    near,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Results of pushing a reference stream through L1 → L2 → memory.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierarchyStats {
+    /// L1 hits / misses.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (= memory line fetches).
+    pub l2_misses: u64,
+    /// Lines written back to memory.
+    pub writebacks: u64,
+    /// Far-memory line requests served.
+    pub far_lines: u64,
+    /// Near-memory line requests served.
+    pub near_lines: u64,
+    /// Simulated seconds for the whole stream (single in-order core: each
+    /// memory fetch stalls the core).
+    pub seconds: f64,
+}
+
+/// Run `refs` through one core's L1, a shared L2 slice and the two memory
+/// sides of machine `m`.
+pub fn run_hierarchy(refs: &[Ref], m: &MachineConfig) -> HierarchyStats {
+    let mut l1 = Cache::new(CacheConfig {
+        size_bytes: m.l1_bytes,
+        ways: 2,
+        line_bytes: m.line_bytes,
+    });
+    let mut l2 = Cache::new(CacheConfig {
+        size_bytes: m.l2_bytes,
+        ways: 16,
+        line_bytes: m.line_bytes,
+    });
+    let mut far = MemorySide::new(&m.far, m.line_bytes);
+    let mut near = MemorySide::new(&m.near, m.line_bytes);
+    let mut st = HierarchyStats::default();
+    let mut now_ps = 0u64;
+    let l1_ps = 2_000u64; // 2 ns L1 (Fig. 7)
+    let l2_ps = 10_000u64; // 10 ns L2 (Fig. 7)
+
+    for r in refs {
+        let res1 = l1.access(r.addr, r.kind);
+        now_ps += l1_ps;
+        if res1.hit {
+            st.l1_hits += 1;
+            continue;
+        }
+        st.l1_misses += 1;
+        // L1 writeback goes to L2.
+        if let Some(wb) = res1.writeback {
+            l2.access(wb, Access::Write);
+        }
+        let res2 = l2.access(r.addr, Access::Read);
+        now_ps += l2_ps;
+        if res2.hit {
+            st.l2_hits += 1;
+            continue;
+        }
+        st.l2_misses += 1;
+        let side = if r.near { &mut near } else { &mut far };
+        let done = side.service(now_ps, r.addr);
+        now_ps = done; // in-order core stalls on the fetch
+        if r.near {
+            st.near_lines += 1;
+        } else {
+            st.far_lines += 1;
+        }
+        if let Some(wb) = res2.writeback {
+            st.writebacks += 1;
+            // Write back to the same side the address belongs to.
+            let side = if r.near { &mut near } else { &mut far };
+            side.service(now_ps, wb);
+        }
+    }
+    st.seconds = now_ps as f64 / PS;
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::patterns::*;
+    use super::*;
+
+    fn m() -> MachineConfig {
+        MachineConfig::fig4(256, 4.0)
+    }
+
+    #[test]
+    fn cache_resident_working_set_stops_missing() {
+        // 8 KB working set fits L1 (16 KB): after warm-up, all hits.
+        let refs = working_set(0, 8 << 10, 64, 5, false);
+        let st = run_hierarchy(&refs, &m());
+        assert_eq!(st.l1_misses, 128, "only the first pass misses");
+        assert_eq!(st.l2_misses, 128);
+        assert_eq!(st.l1_hits, 4 * 128);
+    }
+
+    #[test]
+    fn l2_resident_set_hits_in_l2() {
+        // 256 KB set: misses L1 (16 KB) every pass, fits L2 (512 KB).
+        let refs = working_set(0, 256 << 10, 64, 3, false);
+        let st = run_hierarchy(&refs, &m());
+        assert_eq!(st.l2_misses, 4096, "only first pass reaches memory");
+        assert!(st.l2_hits >= 2 * 4096);
+    }
+
+    #[test]
+    fn streaming_misses_everywhere() {
+        let refs = scan(0, 4 << 20, 64, false);
+        let st = run_hierarchy(&refs, &m());
+        let lines = (4 << 20) / 64;
+        assert_eq!(st.l1_misses, lines);
+        assert_eq!(st.l2_misses, lines);
+        assert_eq!(st.far_lines, lines);
+    }
+
+    #[test]
+    fn near_refs_hit_scratchpad_not_dram() {
+        let refs = scan(0, 1 << 20, 64, true);
+        let st = run_hierarchy(&refs, &m());
+        assert_eq!(st.far_lines, 0);
+        assert_eq!(st.near_lines, (1 << 20) / 64);
+    }
+
+    #[test]
+    fn word_granular_scan_hits_within_lines() {
+        // Reading every 8 bytes: 7 of 8 refs hit the line brought in.
+        let refs = scan(0, 1 << 20, 8, false);
+        let st = run_hierarchy(&refs, &m());
+        let total = (1u64 << 20) / 8;
+        assert_eq!(st.l1_misses, total / 8);
+        assert_eq!(st.l1_hits, total - total / 8);
+    }
+
+    #[test]
+    fn random_large_span_is_slow() {
+        let seq = scan(0, 1 << 20, 64, false);
+        let rnd = random(0, 1 << 30, (1 << 20) / 64, false);
+        let t_seq = run_hierarchy(&seq, &m()).seconds;
+        let t_rnd = run_hierarchy(&rnd, &m()).seconds;
+        // The in-order core's stall time is latency-dominated either way;
+        // the row-miss penalty adds ~25 % on top.
+        assert!(
+            t_rnd > 1.15 * t_seq,
+            "random {t_rnd} should be slower than sequential {t_seq}"
+        );
+    }
+
+    #[test]
+    fn dirty_data_writes_back() {
+        // Write a set larger than L1+L2, then scan something else.
+        let mut refs: Vec<Ref> = (0..(1u64 << 20) / 64)
+            .map(|i| Ref {
+                addr: i * 64,
+                kind: Access::Write,
+                near: false,
+            })
+            .collect();
+        refs.extend(scan(1 << 30, 1 << 20, 64, false));
+        let st = run_hierarchy(&refs, &m());
+        assert!(st.writebacks > 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Memory-system energy accounting.
+//!
+//! The paper's opening motivation for stacked near memory is "higher
+//! bandwidth **and lower power** by stacking DRAM chips on the processor"
+//! (§I, §VI-A: "considerably higher bandwidth rates … and lower power
+//! consumption than existing memory technologies"). This module makes that
+//! claim measurable: a per-byte energy model over the same phase traces the
+//! timing simulators consume.
+//!
+//! Default coefficients follow the published rules of thumb for the paper's
+//! era: off-package DDR costs ~20 pJ/bit end to end, on-package stacked
+//! DRAM ~4–8 pJ/bit, on-chip wires ~0.1 pJ/bit/mm, and a simple core a few
+//! pJ per operation. Absolute joules are indicative; the *ratio* between a
+//! DRAM-heavy and a scratchpad-heavy run is the claim under test.
+
+use serde::{Deserialize, Serialize};
+use tlmm_scratchpad::PhaseTrace;
+
+/// Energy coefficients (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// pJ per byte moved against far memory (DDR DIMM, channel + device).
+    pub far_pj_per_byte: f64,
+    /// pJ per byte moved against near memory (stacked, short wires).
+    pub near_pj_per_byte: f64,
+    /// pJ per byte crossing the on-chip network.
+    pub noc_pj_per_byte: f64,
+    /// pJ per RAM-model operation (comparison with its bookkeeping).
+    pub op_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            // 20 pJ/bit ~ 160 pJ/B for commodity DDR of the era.
+            far_pj_per_byte: 160.0,
+            // ~6 pJ/bit ~ 48 pJ/B for on-package stacked DRAM.
+            near_pj_per_byte: 48.0,
+            noc_pj_per_byte: 8.0,
+            op_pj: 20.0,
+        }
+    }
+}
+
+/// Energy breakdown of one run, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Far-memory transfer energy.
+    pub far_j: f64,
+    /// Near-memory transfer energy.
+    pub near_j: f64,
+    /// On-chip network energy.
+    pub noc_j: f64,
+    /// Core compute energy.
+    pub compute_j: f64,
+}
+
+impl EnergyReport {
+    /// Total joules.
+    pub fn total_j(&self) -> f64 {
+        self.far_j + self.near_j + self.noc_j + self.compute_j
+    }
+
+    /// Fraction of the total spent moving data (vs computing).
+    pub fn data_movement_fraction(&self) -> f64 {
+        let m = self.far_j + self.near_j + self.noc_j;
+        m / self.total_j().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Evaluate `model` over a recorded trace.
+pub fn estimate_energy(trace: &PhaseTrace, model: &EnergyModel) -> EnergyReport {
+    let t = trace.total();
+    let pj = EnergyReport {
+        far_j: t.far_bytes() as f64 * model.far_pj_per_byte,
+        near_j: t.near_bytes() as f64 * model.near_pj_per_byte,
+        noc_j: t.noc_bytes() as f64 * model.noc_pj_per_byte,
+        compute_j: t.compute_ops as f64 * model.op_pj,
+    };
+    EnergyReport {
+        far_j: pj.far_j * 1e-12,
+        near_j: pj.near_j * 1e-12,
+        noc_j: pj.noc_j * 1e-12,
+        compute_j: pj.compute_j * 1e-12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlmm_scratchpad::{LaneWork, PhaseRecord};
+
+    fn trace(far: u64, near: u64, ops: u64) -> PhaseTrace {
+        PhaseTrace {
+            phases: vec![PhaseRecord {
+                name: "p".into(),
+                lanes: vec![LaneWork {
+                    far_read_bytes: far,
+                    near_read_bytes: near,
+                    compute_ops: ops,
+                    ..Default::default()
+                }],
+                overlappable: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let m = EnergyModel {
+            far_pj_per_byte: 100.0,
+            near_pj_per_byte: 10.0,
+            noc_pj_per_byte: 1.0,
+            op_pj: 2.0,
+        };
+        let r = estimate_energy(&trace(1_000, 500, 200), &m);
+        assert!((r.far_j - 100e3 * 1e-12).abs() < 1e-18);
+        assert!((r.near_j - 5e3 * 1e-12).abs() < 1e-18);
+        assert!((r.noc_j - 1.5e3 * 1e-12).abs() < 1e-18);
+        assert!((r.compute_j - 400.0 * 1e-12).abs() < 1e-18);
+        assert!(r.total_j() > 0.0);
+    }
+
+    #[test]
+    fn near_byte_cheaper_than_far_byte_by_default() {
+        let m = EnergyModel::default();
+        assert!(m.near_pj_per_byte < m.far_pj_per_byte / 2.0);
+        let far_run = estimate_energy(&trace(1 << 20, 0, 0), &m);
+        let near_run = estimate_energy(&trace(0, 1 << 20, 0), &m);
+        assert!(near_run.total_j() < far_run.total_j() / 2.0);
+    }
+
+    #[test]
+    fn movement_fraction_bounded() {
+        let r = estimate_energy(&trace(1000, 1000, 1000), &EnergyModel::default());
+        let f = r.data_movement_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        let pure_compute = estimate_energy(&trace(0, 0, 1000), &EnergyModel::default());
+        assert_eq!(pure_compute.data_movement_fraction(), 0.0);
+    }
+}

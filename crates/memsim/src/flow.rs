@@ -1,0 +1,259 @@
+//! Analytic phase-trace replay (the fast path behind Table I).
+//!
+//! A phase's duration is the maximum over its potential bottlenecks:
+//!
+//! * far-channel occupancy: `far_bytes / far_sustained_bw`
+//! * near-channel occupancy: `near_bytes / near_sustained_bw`
+//! * NoC occupancy: `(far+near bytes) / noc_bw`
+//! * compute critical path: `max_core(ops) / core_rate`
+//! * per-core issue limit: `max_core(bytes) / per_core_stream_bw`
+//!
+//! plus a fixed per-phase overhead. Phases marked *overlappable* (DMA
+//! transfers) hide behind their successor: the pair contributes
+//! `max(t_dma, t_next)`.
+//!
+//! Virtual lanes beyond the machine's core count fold onto cores
+//! round-robin, so a 256-lane trace can be replayed on an 8-core config and
+//! vice versa.
+
+use crate::config::MachineConfig;
+use crate::stats::{line_accesses, Bottleneck, PhaseStat, SimReport};
+use tlmm_scratchpad::{PhaseRecord, PhaseTrace};
+
+/// Duration and bottleneck of a single phase on `m`.
+pub fn phase_time(p: &PhaseRecord, m: &MachineConfig) -> (f64, Bottleneck) {
+    let cores = m.cores.max(1) as usize;
+    // Fold lanes onto cores.
+    let mut core_ops = vec![0u64; cores.min(p.lanes.len().max(1))];
+    let mut core_bytes = vec![0u64; core_ops.len()];
+    let mut far_bytes = 0u64;
+    let mut near_bytes = 0u64;
+    for (i, l) in p.lanes.iter().enumerate() {
+        let c = i % core_ops.len().max(1);
+        core_ops[c] += l.compute_ops;
+        core_bytes[c] += l.noc_bytes();
+        far_bytes += l.far_bytes();
+        near_bytes += l.near_bytes();
+    }
+    let far_t = far_bytes as f64 / m.far.sustained_bw();
+    let near_t = near_bytes as f64 / m.near.sustained_bw();
+    let noc_t = (far_bytes + near_bytes) as f64 / m.noc_bw();
+    let compute_t = core_ops.iter().copied().max().unwrap_or(0) as f64 / m.core_rate();
+    let issue_t =
+        core_bytes.iter().copied().max().unwrap_or(0) as f64 / m.per_core_stream_bytes_per_sec;
+
+    let candidates = [
+        (far_t, Bottleneck::FarBandwidth),
+        (near_t, Bottleneck::NearBandwidth),
+        (noc_t, Bottleneck::Noc),
+        (compute_t, Bottleneck::Compute),
+        (issue_t, Bottleneck::CoreIssue),
+        (m.phase_overhead_s, Bottleneck::Overhead),
+    ];
+    let (t, b) = candidates
+        .iter()
+        .copied()
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap();
+    (t + m.phase_overhead_s, b)
+}
+
+/// Replay `trace` on machine `m`, producing simulated time and access
+/// counts.
+pub fn simulate_flow(trace: &PhaseTrace, m: &MachineConfig) -> SimReport {
+    let mut phases: Vec<PhaseStat> = Vec::with_capacity(trace.phases.len());
+    let mut total = 0.0f64;
+    let mut i = 0usize;
+    while i < trace.phases.len() {
+        let p = &trace.phases[i];
+        let (t, b) = phase_time(p, m);
+        let tot = p.total();
+        if p.overlappable && i + 1 < trace.phases.len() {
+            // DMA semantics: this transfer proceeds behind the next phase.
+            let q = &trace.phases[i + 1];
+            let (tq, bq) = phase_time(q, m);
+            let qtot = q.total();
+            let pair = t.max(tq);
+            total += pair;
+            // Attribute the visible time to the longer member.
+            let (tp_vis, tq_vis) = if t >= tq { (pair, 0.0) } else { (0.0, pair) };
+            phases.push(PhaseStat {
+                name: p.name.clone(),
+                seconds: tp_vis,
+                bottleneck: b,
+                far_bytes: tot.far_bytes(),
+                near_bytes: tot.near_bytes(),
+                compute_ops: tot.compute_ops,
+            });
+            phases.push(PhaseStat {
+                name: q.name.clone(),
+                seconds: tq_vis,
+                bottleneck: bq,
+                far_bytes: qtot.far_bytes(),
+                near_bytes: qtot.near_bytes(),
+                compute_ops: qtot.compute_ops,
+            });
+            i += 2;
+            continue;
+        }
+        total += t;
+        phases.push(PhaseStat {
+            name: p.name.clone(),
+            seconds: t,
+            bottleneck: b,
+            far_bytes: tot.far_bytes(),
+            near_bytes: tot.near_bytes(),
+            compute_ops: tot.compute_ops,
+        });
+        i += 1;
+    }
+    let (far_accesses, near_accesses) = line_accesses(trace, m.line_bytes);
+    let t_total = trace.total();
+    SimReport {
+        seconds: total,
+        phases,
+        far_accesses,
+        near_accesses,
+        far_bytes: t_total.far_bytes(),
+        near_bytes: t_total.near_bytes(),
+        detail: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlmm_scratchpad::LaneWork;
+
+    fn lanes_with(far: u64, near: u64, ops: u64, n: usize) -> Vec<LaneWork> {
+        vec![
+            LaneWork {
+                far_read_bytes: far,
+                near_read_bytes: near,
+                compute_ops: ops,
+                ..Default::default()
+            };
+            n
+        ]
+    }
+
+    fn phase(name: &str, lanes: Vec<LaneWork>, overlappable: bool) -> PhaseRecord {
+        PhaseRecord {
+            name: name.into(),
+            lanes,
+            overlappable,
+        }
+    }
+
+    #[test]
+    fn bandwidth_bound_phase_times_match_bw() {
+        let m = MachineConfig::fig4(256, 4.0);
+        // 60 GB over ~60 GB/s far => ~1 s.
+        let p = phase("scan", lanes_with(60e9 as u64 / 256, 0, 0, 256), false);
+        let (t, b) = phase_time(&p, &m);
+        assert!(t > 0.8 && t < 1.3, "t={t}");
+        assert_eq!(b, Bottleneck::FarBandwidth);
+    }
+
+    #[test]
+    fn near_phase_faster_by_rho() {
+        let mk = |rho| {
+            let m = MachineConfig::fig4(256, rho);
+            let p = phase("near", lanes_with(0, 40e9 as u64 / 256, 0, 256), false);
+            phase_time(&p, &m).0
+        };
+        let t2 = mk(2.0);
+        let t8 = mk(8.0);
+        assert!((t2 / t8 - 4.0).abs() < 0.2, "t2={t2} t8={t8}");
+    }
+
+    #[test]
+    fn compute_bound_phase() {
+        let m = MachineConfig::fig4(256, 4.0);
+        let p = phase("crunch", lanes_with(1000, 0, 10_000_000_000, 256), false);
+        let (t, b) = phase_time(&p, &m);
+        assert_eq!(b, Bottleneck::Compute);
+        // 1e10 ops / (1.7e9 * 0.5) ≈ 11.8 s on the slowest core.
+        assert!(t > 10.0 && t < 13.0, "t={t}");
+    }
+
+    #[test]
+    fn single_lane_is_issue_limited() {
+        let m = MachineConfig::fig4(256, 8.0);
+        // One lane moving 8 GB: the node has 60+ GB/s but one core only 8.
+        let p = phase("serial", lanes_with(8e9 as u64, 0, 0, 1), false);
+        let (t, b) = phase_time(&p, &m);
+        assert_eq!(b, Bottleneck::CoreIssue);
+        assert!(t > 0.9 && t < 1.2, "t={t}");
+    }
+
+    #[test]
+    fn empty_phase_costs_overhead_only() {
+        let m = MachineConfig::fig4(256, 4.0);
+        let p = phase("noop", vec![], false);
+        let (t, b) = phase_time(&p, &m);
+        assert_eq!(b, Bottleneck::Overhead);
+        assert!(t <= 2.0 * m.phase_overhead_s + 1e-12);
+    }
+
+    #[test]
+    fn phases_sum() {
+        let m = MachineConfig::fig4(256, 4.0);
+        let trace = PhaseTrace {
+            phases: vec![
+                phase("a", lanes_with(1 << 28, 0, 0, 256), false),
+                phase("b", lanes_with(0, 1 << 28, 0, 256), false),
+            ],
+        };
+        let r = simulate_flow(&trace, &m);
+        let (ta, _) = phase_time(&trace.phases[0], &m);
+        let (tb, _) = phase_time(&trace.phases[1], &m);
+        assert!((r.seconds - (ta + tb)).abs() < 1e-12);
+        assert_eq!(r.phases.len(), 2);
+    }
+
+    #[test]
+    fn overlappable_phase_hides_behind_next() {
+        let m = MachineConfig::fig4(256, 4.0);
+        let xfer = phase("dma", lanes_with(30e9 as u64 / 256, 0, 0, 256), true);
+        let work = phase(
+            "compute",
+            lanes_with(0, 0, 2_000_000_000, 256),
+            false,
+        );
+        let (t_x, _) = phase_time(&xfer, &m);
+        let (t_w, _) = phase_time(&work, &m);
+        let r = simulate_flow(
+            &PhaseTrace {
+                phases: vec![xfer, work],
+            },
+            &m,
+        );
+        assert!((r.seconds - t_x.max(t_w)).abs() < 1e-9);
+        // Without the overlap flag it would be the sum.
+        assert!(r.seconds < t_x + t_w);
+    }
+
+    #[test]
+    fn lane_folding_preserves_totals() {
+        // 512 lanes on a 256-core machine: same aggregate bytes, compute
+        // path may lengthen, never shorten.
+        let m = MachineConfig::fig4(256, 4.0);
+        let wide = phase("wide", lanes_with(1 << 20, 0, 1 << 20, 512), false);
+        let narrow = phase("narrow", lanes_with(1 << 21, 0, 1 << 21, 256), false);
+        let (tw, _) = phase_time(&wide, &m);
+        let (tn, _) = phase_time(&narrow, &m);
+        assert!((tw - tn).abs() < 1e-9, "tw={tw} tn={tn}");
+    }
+
+    #[test]
+    fn report_access_counts_are_line_granular() {
+        let m = MachineConfig::fig4(256, 4.0);
+        let trace = PhaseTrace {
+            phases: vec![phase("a", lanes_with(6400, 640, 0, 4), false)],
+        };
+        let r = simulate_flow(&trace, &m);
+        assert_eq!(r.far_accesses, 4 * 100);
+        assert_eq!(r.near_accesses, 4 * 10);
+    }
+}

@@ -1,0 +1,60 @@
+//! Architectural simulator for two-level main memory nodes.
+//!
+//! The paper's experiments ran on Sandia's SST with the Ariel core model,
+//! DRAMSim2 memory timing and the Merlin on-chip network. This crate is the
+//! from-scratch Rust substitute (see DESIGN.md §2 for the substitution
+//! argument):
+//!
+//! * [`config::MachineConfig`] — the simulated node, with
+//!   [`config::MachineConfig::fig4`] reproducing the paper's Fig. 4 system
+//!   (256 cores at 1.7 GHz in quad-core groups, 16 KB L1s, 512 KB L2s,
+//!   72 GB/s NoC links, DDR-1066 ×4 far memory ≈ 60 GB/s STREAM, and a
+//!   scratchpad with 2×/4×/8× that bandwidth at 50 ns latency).
+//! * [`flow`] — fast analytic replay of a
+//!   [`tlmm_scratchpad::PhaseTrace`]: each phase's duration is the maximum
+//!   over its bottlenecks (per-lane compute, far channels, near channels,
+//!   NoC, per-core issue bandwidth), with DMA-overlappable phases hidden
+//!   behind their successors.
+//! * [`des`] — a discrete-event engine at memory-request granularity:
+//!   per-lane request streams with limited memory-level parallelism, NoC
+//!   link occupancy, channel queues with bank/row-buffer timing from
+//!   [`dram`]. Slower, higher fidelity; `flow` is validated against it.
+//! * [`cache`] — a set-associative write-back cache model, exercised by
+//!   [`address`]-level traces (the Ariel-like mode).
+//! * [`stats`] — the quantities Table I reports: simulated seconds plus
+//!   scratchpad/DRAM access counts at cache-line granularity.
+//!
+//! ```
+//! use tlmm_memsim::config::MachineConfig;
+//! use tlmm_memsim::flow::simulate_flow;
+//! use tlmm_scratchpad::{LaneWork, PhaseRecord, PhaseTrace};
+//!
+//! let machine = MachineConfig::fig4(256, 4.0);
+//! let trace = PhaseTrace {
+//!     phases: vec![PhaseRecord {
+//!         name: "scan".into(),
+//!         lanes: vec![
+//!             LaneWork { far_read_bytes: 1 << 30, ..Default::default() };
+//!             256
+//!         ],
+//!         overlappable: false,
+//!     }],
+//! };
+//! let report = simulate_flow(&trace, &machine);
+//! // 256 GiB over ~60 GB/s of far bandwidth ≈ 4.6 s.
+//! assert!(report.seconds > 3.0 && report.seconds < 7.0);
+//! ```
+
+pub mod address;
+pub mod cache;
+pub mod config;
+pub mod des;
+pub mod dram;
+pub mod energy;
+pub mod flow;
+pub mod noc;
+pub mod stats;
+
+pub use config::MachineConfig;
+pub use flow::simulate_flow;
+pub use stats::SimReport;

@@ -1,0 +1,126 @@
+//! Property tests on the simulator: timing monotonicity and conservation
+//! laws that must hold for any trace.
+
+use proptest::prelude::*;
+use tlmm_memsim::cache::{Access, Cache, CacheConfig};
+use tlmm_memsim::des::{simulate_des, DesOptions};
+use tlmm_memsim::dram::MemorySide;
+use tlmm_memsim::flow::simulate_flow;
+use tlmm_memsim::MachineConfig;
+use tlmm_scratchpad::{LaneWork, PhaseRecord, PhaseTrace};
+
+fn arb_trace() -> impl Strategy<Value = PhaseTrace> {
+    let lane = (0u64..2_000_000, 0u64..2_000_000, 0u64..2_000_000).prop_map(|(f, n, c)| LaneWork {
+        far_read_bytes: f,
+        near_read_bytes: n,
+        compute_ops: c,
+        ..Default::default()
+    });
+    let phase = (proptest::collection::vec(lane, 1..32), any::<bool>()).prop_map(
+        |(lanes, overlappable)| PhaseRecord {
+            name: "p".into(),
+            lanes,
+            overlappable,
+        },
+    );
+    proptest::collection::vec(phase, 1..6).prop_map(|phases| PhaseTrace { phases })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flow_time_monotone_in_near_bandwidth(trace in arb_trace()) {
+        let mut prev = f64::INFINITY;
+        for rho in [1.0, 2.0, 4.0, 8.0] {
+            let s = simulate_flow(&trace, &MachineConfig::fig4(32, rho)).seconds;
+            prop_assert!(s.is_finite() && s >= 0.0);
+            prop_assert!(s <= prev * 1.0001, "rho {} gave {} > prev {}", rho, s, prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn flow_never_beats_physics(trace in arb_trace()) {
+        // Simulated time can never be below the aggregate-bandwidth floor.
+        let m = MachineConfig::fig4(64, 4.0);
+        let r = simulate_flow(&trace, &m);
+        let t = trace.total();
+        let floor = (t.far_bytes() as f64 / m.far.sustained_bw())
+            .max(t.near_bytes() as f64 / m.near.sustained_bw())
+            / 2.0; // halved: overlappable pairs may hide one side
+        prop_assert!(r.seconds >= floor, "sim {} < floor {}", r.seconds, floor);
+    }
+
+    #[test]
+    fn flow_access_counts_match_trace(trace in arb_trace()) {
+        let m = MachineConfig::fig4(16, 2.0);
+        let r = simulate_flow(&trace, &m);
+        let mut far = 0u64;
+        let mut near = 0u64;
+        for p in &trace.phases {
+            for l in &p.lanes {
+                far += l.far_read_bytes.div_ceil(64);
+                near += l.near_read_bytes.div_ceil(64);
+            }
+        }
+        prop_assert_eq!(r.far_accesses, far);
+        prop_assert_eq!(r.near_accesses, near);
+    }
+
+    #[test]
+    fn des_and_flow_agree_within_bounds(
+        per_lane in 1024u64..1_000_000,
+        lanes in 1usize..32,
+    ) {
+        // Plain bandwidth-bound phases: the engines must agree within ~2x.
+        let trace = PhaseTrace {
+            phases: vec![PhaseRecord {
+                name: "scan".into(),
+                lanes: vec![
+                    LaneWork {
+                        far_read_bytes: per_lane,
+                        ..Default::default()
+                    };
+                    lanes
+                ],
+                overlappable: false,
+            }],
+        };
+        let m = MachineConfig::fig4(lanes as u32, 4.0);
+        let f = simulate_flow(&trace, &m).seconds;
+        let d = simulate_des(&trace, &m, &DesOptions { req_bytes: 256, mlp: 8 }).seconds;
+        let ratio = d / f;
+        prop_assert!(ratio > 0.4 && ratio < 2.5, "flow {} des {} ratio {}", f, d, ratio);
+    }
+
+    #[test]
+    fn dram_completions_monotone_per_channel(addrs in proptest::collection::vec(0u64..(1<<24), 1..200)) {
+        let m = MachineConfig::fig4(8, 2.0);
+        let mut side = MemorySide::new(&m.far, 64);
+        let mut served = 0;
+        for (i, a) in addrs.iter().enumerate() {
+            let done = side.service(i as u64 * 100, a & !63);
+            prop_assert!(done > i as u64 * 100, "completion after arrival");
+            served += 1;
+        }
+        prop_assert_eq!(side.accesses(), served);
+    }
+
+    #[test]
+    fn cache_hit_rate_bounded_and_capacity_held(
+        addrs in proptest::collection::vec(0u64..(1<<20), 1..2000),
+        writes in any::<bool>(),
+    ) {
+        let cfg = CacheConfig::fig7_l1();
+        let mut c = Cache::new(cfg);
+        for a in &addrs {
+            c.access(*a, if writes { Access::Write } else { Access::Read });
+        }
+        prop_assert_eq!(c.hits + c.misses, addrs.len() as u64);
+        prop_assert!(c.valid_lines() as u64 <= cfg.size_bytes / cfg.line_bytes);
+        // Re-touching the last address immediately must hit.
+        let last = *addrs.last().unwrap();
+        prop_assert!(c.access(last, Access::Read).hit);
+    }
+}

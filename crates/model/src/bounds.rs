@@ -1,0 +1,171 @@
+//! §V-A: when is sorting memory-bandwidth bound?
+//!
+//! The paper's back-of-envelope test: let `x` be the aggregate processing
+//! rate (comparisons/s), `y` the DRAM→cache bandwidth in *elements*/s, and
+//! `Z` the number of cache-resident blocks. Sorting does `N·log N`
+//! comparisons but only needs `N·log N / log Z` element transfers, so it is
+//! **memory-bound** exactly when `y·log Z < x` — independent of `N`.
+
+use serde::{Deserialize, Serialize};
+
+/// Machine rates relevant to the §V-A bandwidth-bound computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineRates {
+    /// Aggregate processing rate `x` in operations (comparisons) per second.
+    pub ops_per_sec: f64,
+    /// DRAM→cache bandwidth `y` in elements per second.
+    pub elems_per_sec: f64,
+    /// Number of blocks resident in on-chip memory (`Z` in the inequality —
+    /// the paper uses block count, ~1e6 for the Fig. 4 machine).
+    pub cache_blocks: f64,
+}
+
+impl MachineRates {
+    /// The Fig. 4 / §V-A machine: `x ≈ 10^10`, `y ≈ 10^9`, `Z ≈ 10^6`.
+    pub fn paper_fig4() -> Self {
+        Self {
+            ops_per_sec: 1e10,
+            elems_per_sec: 1e9,
+            cache_blocks: 1e6,
+        }
+    }
+
+    /// Construct rates for a node with `cores` cores at `core_ops_per_sec`
+    /// each, DRAM bandwidth `dram_bytes_per_sec`, element size `elem_bytes`,
+    /// and `cache_blocks` on-chip blocks.
+    pub fn for_node(
+        cores: u32,
+        core_ops_per_sec: f64,
+        dram_bytes_per_sec: f64,
+        elem_bytes: usize,
+        cache_blocks: f64,
+    ) -> Self {
+        Self {
+            ops_per_sec: cores as f64 * core_ops_per_sec,
+            elems_per_sec: dram_bytes_per_sec / elem_bytes as f64,
+            cache_blocks,
+        }
+    }
+}
+
+/// Outcome of the bandwidth-bound test, with the two compared quantities so
+/// harnesses can print the margin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthBoundVerdict {
+    /// Left-hand side `y·log₂ Z`: the rate at which memory can *feed* useful
+    /// comparisons.
+    pub feed_rate: f64,
+    /// Right-hand side `x`: the rate at which cores consume comparisons.
+    pub consume_rate: f64,
+}
+
+impl BandwidthBoundVerdict {
+    /// `true` when sorting on this machine is memory-bandwidth bound.
+    #[inline]
+    pub fn is_memory_bound(&self) -> bool {
+        self.feed_rate < self.consume_rate
+    }
+
+    /// How many times faster the cores are than the memory can feed them
+    /// (`> 1` ⇒ memory-bound).
+    #[inline]
+    pub fn pressure(&self) -> f64 {
+        self.consume_rate / self.feed_rate.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Apply the §V-A test to a machine.
+pub fn bandwidth_bound_verdict(rates: &MachineRates) -> BandwidthBoundVerdict {
+    BandwidthBoundVerdict {
+        feed_rate: rates.elems_per_sec * rates.cache_blocks.max(2.0).log2(),
+        consume_rate: rates.ops_per_sec,
+    }
+}
+
+/// Minimum number of cores for sorting to become memory-bound, given
+/// per-core rate, DRAM bandwidth, element size, and cache blocks. Returns
+/// `None` if even `u32::MAX` cores would not saturate memory.
+pub fn crossover_cores(
+    core_ops_per_sec: f64,
+    dram_bytes_per_sec: f64,
+    elem_bytes: usize,
+    cache_blocks: f64,
+) -> Option<u32> {
+    let feed = (dram_bytes_per_sec / elem_bytes as f64) * cache_blocks.max(2.0).log2();
+    let cores = (feed / core_ops_per_sec).ceil();
+    // Crossover requires strictly exceeding the feed rate.
+    let cores = if cores * core_ops_per_sec <= feed {
+        cores + 1.0
+    } else {
+        cores
+    };
+    if cores.is_finite() && cores <= u32::MAX as f64 {
+        Some(cores as u32)
+    } else {
+        None
+    }
+}
+
+/// Minimum bandwidth-expansion factor ρ at which a bandwidth-bound node's
+/// sort stops being limited by the *scratchpad* side: once
+/// `near_time ≤ far_time` further ρ gives diminishing returns. Derived from
+/// Theorem 6's two terms with near blocks carrying ρ× the bytes.
+pub fn rho_saturation_point(far_blocks: f64, near_blocks_at_rho1: f64) -> f64 {
+    // near term at rho: near_blocks_at_rho1 / rho (in time units, since a
+    // near block costs 1 like a far block). Saturation when equal:
+    (near_blocks_at_rho1 / far_blocks.max(f64::MIN_POSITIVE)).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig4_is_borderline_memory_bound() {
+        // §V-A: "these quantities are comparable: 1e9·log(1e6) ≈ 1e10" — with
+        // exact log2 the feed side is 1e9·19.93 ≈ 2e10, i.e. borderline; the
+        // paper observes 256 cores memory-bound, 128 not. The verdict for the
+        // nominal figures should be within 2x of the boundary.
+        let v = bandwidth_bound_verdict(&MachineRates::paper_fig4());
+        assert!(v.pressure() > 0.4 && v.pressure() < 2.5, "pressure {}", v.pressure());
+    }
+
+    #[test]
+    fn more_cores_make_it_memory_bound() {
+        let mk = |cores| {
+            MachineRates::for_node(cores, 1.7e9 * 2.0, 60e9, 8, 1e6)
+        };
+        let few = bandwidth_bound_verdict(&mk(32));
+        let many = bandwidth_bound_verdict(&mk(1024));
+        assert!(!few.is_memory_bound());
+        assert!(many.is_memory_bound());
+        assert!(many.pressure() > few.pressure());
+    }
+
+    #[test]
+    fn crossover_consistent_with_verdict() {
+        let core_rate = 1.7e9 * 2.0;
+        let cross = crossover_cores(core_rate, 60e9, 8, 1e6).unwrap();
+        let below = MachineRates::for_node(cross - 1, core_rate, 60e9, 8, 1e6);
+        let at = MachineRates::for_node(cross, core_rate, 60e9, 8, 1e6);
+        assert!(!bandwidth_bound_verdict(&below).is_memory_bound());
+        assert!(bandwidth_bound_verdict(&at).is_memory_bound());
+    }
+
+    #[test]
+    fn crossover_between_128_and_256_for_paperlike_machine() {
+        // Choose the per-core effective comparison rate so that the paper's
+        // observation (128 not bound, 256 bound) is reproducible: with
+        // 60 GB/s, 8-byte elements, 1e6 cache blocks, feed ≈ 1.5e11 ops/s.
+        // A per-core rate of ~0.9e9 useful comparisons/s puts the crossover
+        // in (128, 256].
+        let cross = crossover_cores(0.9e9, 60e9, 8, 1e6).unwrap();
+        assert!(cross > 128 && cross <= 256, "crossover {cross}");
+    }
+
+    #[test]
+    fn rho_saturation_at_least_one() {
+        assert!(rho_saturation_point(100.0, 50.0) >= 1.0);
+        assert!((rho_saturation_point(100.0, 400.0) - 4.0).abs() < 1e-12);
+    }
+}

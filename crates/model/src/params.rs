@@ -1,0 +1,247 @@
+//! Model parameters: `Z`, `M`, `B`, `ρ` and derived quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced when validating a parameter set against the model's
+/// architectural assumptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// `ρ` must satisfy `ρ ≥ 1` (the scratchpad is never *slower* per block).
+    RhoTooSmall,
+    /// The scratchpad must be larger than the cache (`M ≫ Z` in the paper).
+    ScratchpadNotLargerThanCache,
+    /// Tall-cache assumption `M > B²` violated.
+    NotTallCache,
+    /// Block size must be a positive power of two (hardware cache lines are).
+    BadBlockSize,
+    /// Cache must hold at least a few blocks for the model to make sense.
+    CacheTooSmall,
+}
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let msg = match self {
+            ParamError::RhoTooSmall => "bandwidth expansion factor rho must be >= 1",
+            ParamError::ScratchpadNotLargerThanCache => {
+                "scratchpad size M must exceed cache size Z"
+            }
+            ParamError::NotTallCache => "tall-cache assumption M > B^2 violated",
+            ParamError::BadBlockSize => "block size B must be a positive power of two",
+            ParamError::CacheTooSmall => "cache must hold at least 4 blocks",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Parameters of the algorithmic scratchpad model (Fig. 1 of the paper).
+///
+/// All sizes are in **bytes**. The model charges one unit per block transfer:
+/// a DRAM block is `B` bytes, a scratchpad block is `ρB` bytes.
+///
+/// ```
+/// use tlmm_model::ScratchpadParams;
+/// let p = ScratchpadParams::new(64, 4.0, 256 << 20, 512 << 10).unwrap();
+/// assert_eq!(p.near_block_bytes(), 256);
+/// assert!(p.sample_size_m() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScratchpadParams {
+    /// DRAM (far-memory) block size `B` in bytes. Typically the cache-line
+    /// size, 64 in the paper's simulations.
+    pub block_bytes: u64,
+    /// Bandwidth expansion factor `ρ > 1`: the scratchpad transfers blocks of
+    /// `ρ·B` bytes at the same unit cost.
+    pub rho: f64,
+    /// Scratchpad ("near memory") capacity `M` in bytes.
+    pub scratchpad_bytes: u64,
+    /// Cache capacity `Z` in bytes (the sum of on-chip cache the algorithm
+    /// may use; the paper's per-node L1+L2 aggregate).
+    pub cache_bytes: u64,
+}
+
+impl ScratchpadParams {
+    /// Construct and validate a parameter set.
+    pub fn new(
+        block_bytes: u64,
+        rho: f64,
+        scratchpad_bytes: u64,
+        cache_bytes: u64,
+    ) -> Result<Self, ParamError> {
+        let p = Self {
+            block_bytes,
+            rho,
+            scratchpad_bytes,
+            cache_bytes,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Validate the architectural assumptions of §II.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.rho < 1.0 || self.rho.is_nan() {
+            return Err(ParamError::RhoTooSmall);
+        }
+        if self.block_bytes == 0 || !self.block_bytes.is_power_of_two() {
+            return Err(ParamError::BadBlockSize);
+        }
+        if self.cache_bytes < 4 * self.block_bytes {
+            return Err(ParamError::CacheTooSmall);
+        }
+        if self.scratchpad_bytes <= self.cache_bytes {
+            return Err(ParamError::ScratchpadNotLargerThanCache);
+        }
+        // Tall cache: M > B^2.
+        if self.scratchpad_bytes <= self.block_bytes * self.block_bytes {
+            return Err(ParamError::NotTallCache);
+        }
+        Ok(())
+    }
+
+    /// The paper's simulated machine (Fig. 4): 64-byte lines, a multi-GB-class
+    /// scratchpad scaled here to hold "several copies of an array of 10
+    /// million 64-bit integers" (§V-A), and the aggregate on-chip cache of a
+    /// 256-core node (256×16 KB L1 + 64×512 KB L2 = 36 MB).
+    pub fn paper_default(rho: f64) -> Self {
+        Self {
+            block_bytes: 64,
+            rho,
+            scratchpad_bytes: 512 << 20, // 512 MB near memory
+            cache_bytes: 36 << 20,       // 36 MB aggregate cache
+        }
+    }
+
+    /// Scratchpad block size `ρB` in bytes (rounded to whole bytes).
+    #[inline]
+    pub fn near_block_bytes(&self) -> u64 {
+        ((self.rho * self.block_bytes as f64).round() as u64).max(self.block_bytes)
+    }
+
+    /// Number of far-memory blocks that fit in the scratchpad: `M/B`.
+    #[inline]
+    pub fn scratchpad_blocks(&self) -> u64 {
+        self.scratchpad_bytes / self.block_bytes
+    }
+
+    /// Number of far-memory blocks that fit in cache: `Z/B`.
+    #[inline]
+    pub fn cache_blocks(&self) -> u64 {
+        self.cache_bytes / self.block_bytes
+    }
+
+    /// The sample size `m = Θ(M/B)` used by the sorting algorithms (§III-A).
+    /// We use exactly `M/(4B)` so the sample plus bookkeeping comfortably
+    /// coexists with data chunks in the scratchpad.
+    #[inline]
+    pub fn sample_size_m(&self) -> usize {
+        (self.scratchpad_blocks() / 4).max(2) as usize
+    }
+
+    /// How many elements of size `elem` fit in the scratchpad.
+    #[inline]
+    pub fn scratchpad_capacity_elems(&self, elem_bytes: usize) -> usize {
+        (self.scratchpad_bytes as usize) / elem_bytes.max(1)
+    }
+
+    /// How many elements of size `elem` fit in cache.
+    #[inline]
+    pub fn cache_capacity_elems(&self, elem_bytes: usize) -> usize {
+        (self.cache_bytes as usize) / elem_bytes.max(1)
+    }
+
+    /// Far-memory blocks needed to move `bytes` bytes: `⌈bytes/B⌉`.
+    #[inline]
+    pub fn far_blocks_for(&self, bytes: u64) -> u64 {
+        crate::ceil_div(bytes, self.block_bytes)
+    }
+
+    /// Near-memory blocks needed to move `bytes` bytes: `⌈bytes/ρB⌉`.
+    #[inline]
+    pub fn near_blocks_for(&self, bytes: u64) -> u64 {
+        crate::ceil_div(bytes, self.near_block_bytes())
+    }
+}
+
+impl Default for ScratchpadParams {
+    fn default() -> Self {
+        Self::paper_default(4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ScratchpadParams::default().validate().unwrap();
+        ScratchpadParams::paper_default(2.0).validate().unwrap();
+        ScratchpadParams::paper_default(8.0).validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_rho_below_one() {
+        let e = ScratchpadParams::new(64, 0.5, 1 << 30, 1 << 20).unwrap_err();
+        assert_eq!(e, ParamError::RhoTooSmall);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_block() {
+        let e = ScratchpadParams::new(48, 2.0, 1 << 30, 1 << 20).unwrap_err();
+        assert_eq!(e, ParamError::BadBlockSize);
+    }
+
+    #[test]
+    fn rejects_small_scratchpad() {
+        let e = ScratchpadParams::new(64, 2.0, 1 << 20, 1 << 20).unwrap_err();
+        assert_eq!(e, ParamError::ScratchpadNotLargerThanCache);
+    }
+
+    #[test]
+    fn rejects_short_cache() {
+        // M = 2^12 <= B^2 = 2^12 violates tall cache.
+        let e = ScratchpadParams::new(64, 2.0, 4096, 1024).unwrap_err();
+        assert_eq!(e, ParamError::NotTallCache);
+    }
+
+    #[test]
+    fn rejects_tiny_cache() {
+        let e = ScratchpadParams::new(64, 2.0, 1 << 30, 128).unwrap_err();
+        assert_eq!(e, ParamError::CacheTooSmall);
+    }
+
+    #[test]
+    fn near_block_scales_with_rho() {
+        let p = ScratchpadParams::paper_default(8.0);
+        assert_eq!(p.near_block_bytes(), 512);
+        let p = ScratchpadParams::paper_default(1.0);
+        assert_eq!(p.near_block_bytes(), 64);
+    }
+
+    #[test]
+    fn fractional_rho_rounds_sanely() {
+        let p = ScratchpadParams::paper_default(1.5);
+        assert_eq!(p.near_block_bytes(), 96);
+    }
+
+    #[test]
+    fn block_math() {
+        let p = ScratchpadParams::paper_default(4.0);
+        assert_eq!(p.far_blocks_for(0), 0);
+        assert_eq!(p.far_blocks_for(1), 1);
+        assert_eq!(p.far_blocks_for(64), 1);
+        assert_eq!(p.far_blocks_for(65), 2);
+        assert_eq!(p.near_blocks_for(256), 1);
+        assert_eq!(p.near_blocks_for(257), 2);
+    }
+
+    #[test]
+    fn capacities() {
+        let p = ScratchpadParams::paper_default(4.0);
+        assert_eq!(p.scratchpad_capacity_elems(8), (512 << 20) / 8);
+        assert!(p.sample_size_m() >= 2);
+        assert!(p.cache_capacity_elems(8) < p.scratchpad_capacity_elems(8));
+    }
+}

@@ -1,0 +1,110 @@
+//! Lemma 5 machinery: the randomized recursion-depth analysis.
+//!
+//! A *split* of a bucket is **good** if it shrinks the bucket by at least a
+//! `√m` factor, where `m` is the sample size; a split is bad with
+//! probability ≈ `e^{-√m}`. After `O(log_m(N/M))` bucketizing scans every
+//! bucket fits in the scratchpad with high probability. These helpers let
+//! tests and the analysis crate reason about those quantities numerically.
+
+/// Probability that a single split is *bad* (fails to shrink its bucket by a
+/// `√m` factor): `(1 - √m/m)^m ≈ e^{-√m}`.
+pub fn bad_split_probability(m: usize) -> f64 {
+    let m = m.max(2) as f64;
+    let keep = 1.0 - m.sqrt() / m;
+    keep.powf(m)
+}
+
+/// The closed-form approximation `e^{-√m}` used in the paper's exposition.
+pub fn bad_split_probability_approx(m: usize) -> f64 {
+    (-(m.max(2) as f64).sqrt()).exp()
+}
+
+/// Shrink factor guaranteed by a good split: `√m`.
+pub fn good_split_shrink(m: usize) -> f64 {
+    (m.max(2) as f64).sqrt()
+}
+
+/// Number of good splits needed to take a bucket of `n` elements down to
+/// scratchpad capacity `cap`: `⌈log_{√m}(n/cap)⌉`.
+pub fn good_splits_needed(n: u64, cap: u64, m: usize) -> u32 {
+    if n <= cap.max(1) {
+        return 0;
+    }
+    let ratio = n as f64 / cap.max(1) as f64;
+    (ratio.ln() / good_split_shrink(m).ln()).ceil() as u32
+}
+
+/// Expected number of *scans* (counting bad splits) with the paper's
+/// constant: `(3/2)·c·log_m(N/M)` scans contain `c·log_m(N/M)` bad splits
+/// whp, leaving enough good splits. We surface the 1.5× safety factor.
+pub fn expected_scans_with_slack(n: u64, cap: u64, m: usize) -> u32 {
+    let need = good_splits_needed(n, cap, m);
+    // Good splits shrink by sqrt(m), so log_m terms double: need/2 scans of
+    // log_m, times the 3/2 slack. Keep it simple and conservative:
+    ((need as f64) * 1.5).ceil() as u32
+}
+
+/// Union-bound failure probability that some bucket is still oversized after
+/// `scans` scans: `n_buckets · Pr[too many bad splits]`, crudely bounded by
+/// `n · p_bad^(scans - needed)` for `scans > needed`.
+pub fn failure_probability_upper(n: u64, cap: u64, m: usize, scans: u32) -> f64 {
+    let need = good_splits_needed(n, cap, m);
+    if scans <= need {
+        return 1.0;
+    }
+    let slack = (scans - need) as f64;
+    let p = bad_split_probability_approx(m);
+    (n as f64 * p.powf(slack)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_split_probability_tiny_for_real_sample_sizes() {
+        // m = M/(4B) for the paper machine is ~2M; e^{-√m} is astronomically
+        // small. Use a modest m here.
+        let p = bad_split_probability(10_000);
+        assert!(p < 1e-40, "p = {p}");
+    }
+
+    #[test]
+    fn exact_close_to_approx() {
+        for &m in &[16usize, 64, 256, 1024] {
+            let exact = bad_split_probability(m);
+            let approx = bad_split_probability_approx(m);
+            // (1 - 1/√m)^m = e^{m ln(1-1/√m)} ≈ e^{-√m - 1/2 - ...}: the
+            // exact value is *smaller*; they agree within a factor e.
+            assert!(exact <= approx * 1.01, "m={m} exact={exact} approx={approx}");
+            assert!(exact >= approx * (-2.0f64).exp(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn good_splits_monotone() {
+        assert_eq!(good_splits_needed(100, 1000, 64), 0);
+        let a = good_splits_needed(1 << 30, 1 << 20, 64);
+        let b = good_splits_needed(1 << 40, 1 << 20, 64);
+        assert!(b > a);
+        // Bigger samples shrink faster.
+        let c = good_splits_needed(1 << 40, 1 << 20, 1 << 16);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn failure_probability_decreases_with_scans() {
+        let n = 1 << 30;
+        let base = good_splits_needed(n, 1 << 20, 4096);
+        let p1 = failure_probability_upper(n, 1 << 20, 4096, base + 1);
+        let p2 = failure_probability_upper(n, 1 << 20, 4096, base + 2);
+        assert!(p2 <= p1);
+        assert_eq!(failure_probability_upper(n, 1 << 20, 4096, base), 1.0);
+    }
+
+    #[test]
+    fn slack_scans_cover_needed() {
+        let need = good_splits_needed(1 << 34, 1 << 26, 4096);
+        assert!(expected_scans_with_slack(1 << 34, 1 << 26, 4096) >= need);
+    }
+}

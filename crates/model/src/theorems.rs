@@ -1,0 +1,304 @@
+//! The paper's theorems as closed-form cost predictors.
+//!
+//! Every function returns costs in **block transfers** (the model's unit).
+//! `n` is the number of *elements*; element size converts elements to bytes
+//! so callers can work in their natural unit. Constants hidden by Θ(·) are
+//! taken as 1 — predictions are meant for *shape* comparison (ratios,
+//! crossovers), exactly how the paper uses them.
+
+use crate::params::ScratchpadParams;
+use crate::{ceil_div, lg2_clamped, log_clamped};
+
+/// Split of a predicted sorting cost into its far- and near-memory parts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSplit {
+    /// Predicted far-memory (DRAM) block transfers.
+    pub far_blocks: f64,
+    /// Predicted near-memory (scratchpad) block transfers.
+    pub near_blocks: f64,
+}
+
+impl CostSplit {
+    /// Total predicted block transfers (each costs 1 in the model).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.far_blocks + self.near_blocks
+    }
+}
+
+/// Elements per far block (`B` bytes) for a given element size.
+fn elems_per_far_block(p: &ScratchpadParams, elem_bytes: usize) -> f64 {
+    (p.block_bytes as f64 / elem_bytes as f64).max(1.0)
+}
+
+/// **Theorem 1** (Aggarwal–Vitter): sorting `n` elements with a cache of
+/// size `Z` and block (line) size `L` bytes, no scratchpad, using multiway
+/// merge sort with branching factor `Z/L`:
+/// `Θ((n/L)·log_{Z/L}(n/L))` block transfers (element-adjusted).
+pub fn theorem1_multiway_sort(n: u64, elem_bytes: usize, cache_bytes: u64, line_bytes: u64) -> f64 {
+    let elems_per_line = (line_bytes as f64 / elem_bytes as f64).max(1.0);
+    let n_lines = n as f64 / elems_per_line;
+    let fanout = cache_bytes as f64 / line_bytes as f64;
+    n_lines * log_clamped(fanout, n_lines).max(1.0)
+}
+
+/// **Theorem 2**: binary merge sort under the same setting:
+/// `Θ((n/L)·lg(n/Z_elems))` block transfers.
+pub fn theorem2_merge_sort(n: u64, elem_bytes: usize, cache_bytes: u64, line_bytes: u64) -> f64 {
+    let elems_per_line = (line_bytes as f64 / elem_bytes as f64).max(1.0);
+    let n_lines = n as f64 / elems_per_line;
+    let z_elems = cache_bytes as f64 / elem_bytes as f64;
+    n_lines * lg2_clamped((n as f64 / z_elems).max(2.0))
+}
+
+/// **Corollary 3**: sorting `x` elements that fit in the scratchpad with
+/// multiway merge sort (branching `Z/B`) uses
+/// `Θ((x/ρB)·log_{Z/B}(x/B))` (near-memory) block transfers.
+pub fn corollary3_in_scratchpad_sort(p: &ScratchpadParams, x: u64, elem_bytes: usize) -> f64 {
+    let epb = elems_per_far_block(p, elem_bytes);
+    let x_far_blocks = x as f64 / epb;
+    let x_near_blocks = x_far_blocks / p.rho;
+    let fanout = p.cache_blocks() as f64;
+    x_near_blocks * log_clamped(fanout, x_far_blocks).max(1.0)
+}
+
+/// **Lemma 4**: cost of one bucketizing scan over `n` elements.
+/// Returns `(far_blocks, near_blocks, ram_ops)`.
+pub fn lemma4_scan_cost(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> (f64, f64, f64) {
+    let epb = elems_per_far_block(p, elem_bytes);
+    let n_far = n as f64 / epb;
+    // Read everything from DRAM once, write everything back once.
+    let far = 2.0 * n_far;
+    // Sort each scratchpad-resident group: N/(ρB)·log_{Z/ρB}(M/ρB).
+    let m_far_blocks = p.scratchpad_blocks() as f64;
+    let near_fanout = p.cache_bytes as f64 / p.near_block_bytes() as f64;
+    let near = (n_far / p.rho) * log_clamped(near_fanout, m_far_blocks / p.rho).max(1.0);
+    let ops = n as f64 * lg2_clamped(p.scratchpad_capacity_elems(elem_bytes) as f64);
+    (far, near, ops)
+}
+
+/// **Lemma 5**: number of bucketizing scans until every bucket fits in the
+/// scratchpad, `O(log_m(N/M))`, with high probability. We return the
+/// ceiling, minimum 1 (a single scan is always required when `n > M`).
+pub fn lemma5_scan_count(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> u32 {
+    let cap = p.scratchpad_capacity_elems(elem_bytes) as f64;
+    if (n as f64) <= cap {
+        return 0;
+    }
+    let m = p.sample_size_m() as f64;
+    log_clamped(m, n as f64 / cap).ceil().max(1.0) as u32
+}
+
+/// **Theorem 6**: total cost of the randomized scratchpad sample sort:
+/// `Θ(N/B·log_{M/B}(N/B))` far-block transfers plus
+/// `Θ(N/(ρB)·log_{Z/ρB}(N/B))` near-block transfers.
+pub fn theorem6_scratchpad_sort(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> CostSplit {
+    let epb = elems_per_far_block(p, elem_bytes);
+    let n_far = n as f64 / epb;
+    let far_fanout = p.scratchpad_blocks() as f64;
+    let far = n_far * log_clamped(far_fanout, n_far).max(1.0);
+    let near_fanout = p.cache_bytes as f64 / p.near_block_bytes() as f64;
+    let near = (n_far / p.rho) * log_clamped(near_fanout, n_far).max(1.0);
+    CostSplit {
+        far_blocks: far,
+        near_blocks: near,
+    }
+}
+
+/// The matching **lower bound** from Theorem 6's proof:
+/// `Ω(N/B·log_{M/B}(N/B) + N/(ρB)·log_{Z/ρB}(N/B))`.
+pub fn theorem6_lower_bound(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> f64 {
+    theorem6_scratchpad_sort(p, n, elem_bytes).total()
+}
+
+/// **Corollary 7**: the quicksort-inside-scratchpad variant:
+/// `O(N/B·log_{M/B}(N/B) + N/(ρB)·lg(M/Z)·log_{M/B}(N/B))` in expectation.
+/// Optimal when `ρ = Ω(lg(M/Z))`.
+pub fn corollary7_quicksort_variant(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> CostSplit {
+    let epb = elems_per_far_block(p, elem_bytes);
+    let n_far = n as f64 / epb;
+    let far_fanout = p.scratchpad_blocks() as f64;
+    let depth = log_clamped(far_fanout, n_far).max(1.0);
+    let far = n_far * depth;
+    let near =
+        (n_far / p.rho) * lg2_clamped(p.scratchpad_bytes as f64 / p.cache_bytes as f64) * depth;
+    CostSplit {
+        far_blocks: far,
+        near_blocks: near,
+    }
+}
+
+/// Is the quicksort variant optimal (Corollary 7's condition
+/// `ρ = Ω(lg(M/Z))`, with the hidden constant taken as 1)?
+pub fn corollary7_is_optimal(p: &ScratchpadParams) -> bool {
+    p.rho >= lg2_clamped(p.scratchpad_bytes as f64 / p.cache_bytes as f64)
+}
+
+/// **Theorem 8** (PEM sort): sorting `n` elements with `p_prime` processors,
+/// per-processor cache `Z`, block size `L` bytes:
+/// `Θ((n/(p′·L))·log_{Z/L}(n/L))` block-transfer *steps*.
+pub fn theorem8_pem_sort(
+    n: u64,
+    elem_bytes: usize,
+    p_prime: u64,
+    cache_bytes: u64,
+    line_bytes: u64,
+) -> f64 {
+    theorem1_multiway_sort(n, elem_bytes, cache_bytes, line_bytes) / (p_prime.max(1) as f64)
+}
+
+/// **Theorem 10**: parallel scratchpad sort with `p′` simultaneous block
+/// transfers: both terms of Theorem 6 divided by `p′`.
+pub fn theorem10_parallel_sort(
+    p: &ScratchpadParams,
+    n: u64,
+    elem_bytes: usize,
+    p_prime: u64,
+) -> CostSplit {
+    let c = theorem6_scratchpad_sort(p, n, elem_bytes);
+    let pp = p_prime.max(1) as f64;
+    CostSplit {
+        far_blocks: c.far_blocks / pp,
+        near_blocks: c.near_blocks / pp,
+    }
+}
+
+/// Predicted cost split for the **baseline** (no scratchpad): Theorem 1 with
+/// `L = B` — everything is far traffic; near traffic is zero.
+pub fn baseline_sort_cost(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> CostSplit {
+    CostSplit {
+        far_blocks: theorem1_multiway_sort(n, elem_bytes, p.cache_bytes, p.block_bytes),
+        near_blocks: 0.0,
+    }
+}
+
+/// Predicted speedup of the scratchpad sort over the baseline in the
+/// bandwidth-bound regime: ratio of *time-weighted* traffic, where a near
+/// block moves `ρ×` the data per unit time. In the fully bandwidth-bound
+/// limit both algorithms are limited by their far traffic, so the headline
+/// prediction is `baseline_far / scratchpad_far`.
+pub fn predicted_bandwidth_bound_speedup(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> f64 {
+    let base = baseline_sort_cost(p, n, elem_bytes);
+    let sp = theorem6_scratchpad_sort(p, n, elem_bytes);
+    base.far_blocks / sp.far_blocks.max(1.0)
+}
+
+/// Exact (non-asymptotic) count of far blocks needed to scan `n` elements
+/// once (read only). Used by tests to anchor ledger counts.
+pub fn exact_scan_far_blocks(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> u64 {
+    ceil_div(n * elem_bytes as u64, p.block_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(rho: f64) -> ScratchpadParams {
+        ScratchpadParams::paper_default(rho)
+    }
+
+    const N: u64 = 10_000_000;
+    const E: usize = 8;
+
+    #[test]
+    fn theorem1_monotone_in_n() {
+        let a = theorem1_multiway_sort(1 << 20, E, 36 << 20, 64);
+        let b = theorem1_multiway_sort(1 << 24, E, 36 << 20, 64);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn theorem2_dominates_theorem1() {
+        // Binary merge sort always needs at least as many transfers as the
+        // multiway variant (its log base is 2, not Z/L).
+        let t1 = theorem1_multiway_sort(N, E, 36 << 20, 64);
+        let t2 = theorem2_merge_sort(N, E, 36 << 20, 64);
+        assert!(t2 >= t1, "t2={t2} t1={t1}");
+    }
+
+    #[test]
+    fn theorem6_near_traffic_shrinks_with_rho() {
+        let lo = theorem6_scratchpad_sort(&p(2.0), N, E);
+        let hi = theorem6_scratchpad_sort(&p(8.0), N, E);
+        assert!(hi.near_blocks < lo.near_blocks);
+        // Far traffic is independent of rho.
+        assert!((hi.far_blocks - lo.far_blocks).abs() < 1e-6);
+    }
+
+    #[test]
+    fn theorem6_beats_baseline_on_far_traffic() {
+        // The scratchpad sort's DRAM traffic uses fanout M/B >> Z/B, so it
+        // needs fewer DRAM transfers than the baseline.
+        let base = baseline_sort_cost(&p(4.0), N, E);
+        let sp = theorem6_scratchpad_sort(&p(4.0), N, E);
+        assert!(sp.far_blocks < base.far_blocks);
+    }
+
+    #[test]
+    fn lower_bound_not_above_upper_bound() {
+        let ub = theorem6_scratchpad_sort(&p(4.0), N, E).total();
+        let lb = theorem6_lower_bound(&p(4.0), N, E);
+        assert!(lb <= ub + 1e-9);
+    }
+
+    #[test]
+    fn corollary7_matches_optimality_condition() {
+        // M/Z = 512MB/36MB ≈ 14.2, lg ≈ 3.83.
+        assert!(!corollary7_is_optimal(&p(2.0)));
+        assert!(corollary7_is_optimal(&p(4.0)));
+        assert!(corollary7_is_optimal(&p(8.0)));
+    }
+
+    #[test]
+    fn corollary7_at_least_theorem6() {
+        let opt = theorem6_scratchpad_sort(&p(2.0), N, E);
+        let qs = corollary7_quicksort_variant(&p(2.0), N, E);
+        assert!(qs.total() >= opt.total() - 1e-9);
+    }
+
+    #[test]
+    fn theorem8_scales_inversely_with_processors() {
+        let one = theorem8_pem_sort(N, E, 1, 36 << 20, 64);
+        let many = theorem8_pem_sort(N, E, 64, 36 << 20, 64);
+        assert!((one / many - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem10_divides_both_terms() {
+        let seq = theorem6_scratchpad_sort(&p(4.0), N, E);
+        let par = theorem10_parallel_sort(&p(4.0), N, E, 16);
+        assert!((seq.far_blocks / par.far_blocks - 16.0).abs() < 1e-9);
+        assert!((seq.near_blocks / par.near_blocks - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma5_zero_scans_when_fits() {
+        assert_eq!(lemma5_scan_count(&p(4.0), 1000, E), 0);
+        assert!(lemma5_scan_count(&p(4.0), 200_000_000, E) >= 1);
+    }
+
+    #[test]
+    fn lemma4_costs_positive_and_scale() {
+        let (f1, n1, o1) = lemma4_scan_cost(&p(4.0), N, E);
+        let (f2, n2, o2) = lemma4_scan_cost(&p(4.0), 2 * N, E);
+        assert!(f1 > 0.0 && n1 > 0.0 && o1 > 0.0);
+        assert!((f2 / f1 - 2.0).abs() < 1e-9);
+        assert!((n2 / n1 - 2.0).abs() < 1e-9);
+        assert!(o2 > o1);
+    }
+
+    #[test]
+    fn exact_scan_blocks() {
+        let pp = p(4.0);
+        assert_eq!(exact_scan_far_blocks(&pp, 8, 8), 1); // 64 bytes = 1 block
+        assert_eq!(exact_scan_far_blocks(&pp, 9, 8), 2);
+    }
+
+    #[test]
+    fn speedup_grows_with_rho_until_far_bound() {
+        // Far-traffic ratio is rho-independent, but total time-weighted
+        // advantage should be >= 1 for rho >= 1.
+        let s = predicted_bandwidth_bound_speedup(&p(4.0), N, E);
+        assert!(s >= 1.0, "speedup {s}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Typed arrays living in one region of the two-level memory.
+
+use crate::mem::TwoLevelInner;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// An array resident in **far memory** (conventional DRAM).
+///
+/// Far memory is arbitrarily large; allocation never fails. Algorithms reach
+/// the contents through the charged staging methods on
+/// [`crate::TwoLevel`]; the `*_uncharged` accessors exist for verification
+/// (checking sortedness after an experiment) and must not appear on an
+/// algorithm's data path.
+#[derive(Debug)]
+pub struct FarArray<T> {
+    pub(crate) data: Vec<T>,
+    // Kept so a far array pins its memory instance alive (and for future
+    // same-instance assertions), mirroring NearArray.
+    #[allow(dead_code)]
+    pub(crate) owner: Arc<TwoLevelInner>,
+}
+
+impl<T: Copy> FarArray<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Borrow the contents **without charging** any transfer.
+    ///
+    /// Verification only (assertions, test oracles). Using this inside an
+    /// algorithm under measurement silently falsifies the ledger.
+    pub fn as_slice_uncharged(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable uncharged access; same caveat as
+    /// [`Self::as_slice_uncharged`].
+    pub fn as_mut_slice_uncharged(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the array, returning the backing vector (uncharged; for
+    /// harvesting results after the measured region ends).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+/// An array resident in **near memory** (the scratchpad).
+///
+/// Near capacity is limited to the model's `M`; allocations are checked and
+/// the bytes are returned to the scratchpad when the array drops.
+#[derive(Debug)]
+pub struct NearArray<T> {
+    pub(crate) data: Vec<T>,
+    /// Bytes this allocation holds against the scratchpad budget.
+    pub(crate) reserved_bytes: u64,
+    pub(crate) owner: Arc<TwoLevelInner>,
+}
+
+impl<T: Copy> NearArray<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.reserved_bytes
+    }
+
+    /// Borrow the contents **without charging**; verification only.
+    pub fn as_slice_uncharged(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable uncharged access; verification only.
+    pub fn as_mut_slice_uncharged(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T> Drop for NearArray<T> {
+    fn drop(&mut self) {
+        self.owner
+            .near_used
+            .fetch_sub(self.reserved_bytes, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TwoLevel;
+    use tlmm_model::ScratchpadParams;
+
+    fn tl() -> TwoLevel {
+        TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
+    }
+
+    #[test]
+    fn far_array_basics() {
+        let tl = tl();
+        let a = tl.far_from_vec(vec![3u32, 1, 2]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(a.bytes(), 12);
+        assert_eq!(a.as_slice_uncharged(), &[3, 1, 2]);
+        assert_eq!(a.into_vec(), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn near_drop_returns_capacity() {
+        let tl = tl();
+        let before = tl.near_used_bytes();
+        {
+            let _a = tl.near_alloc::<u64>(1024).unwrap();
+            assert_eq!(tl.near_used_bytes(), before + 8192);
+        }
+        assert_eq!(tl.near_used_bytes(), before);
+    }
+
+    #[test]
+    fn uncharged_access_charges_nothing() {
+        let tl = tl();
+        let mut a = tl.near_alloc::<u64>(16).unwrap();
+        a.as_mut_slice_uncharged()[0] = 42;
+        assert_eq!(a.as_slice_uncharged()[0], 42);
+        assert_eq!(tl.ledger().snapshot().total_blocks(), 0);
+    }
+}

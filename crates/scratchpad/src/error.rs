@@ -1,0 +1,76 @@
+//! Runtime errors of the two-level memory.
+
+/// Errors raised by allocation and transfer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpError {
+    /// A near (scratchpad) allocation would exceed the capacity `M`.
+    /// This is the defining constraint of the architecture: the scratchpad
+    /// "cannot replace DRAM entirely" (§I).
+    NearCapacityExceeded {
+        /// Bytes the allocation asked for.
+        requested: u64,
+        /// Bytes still available in the scratchpad.
+        available: u64,
+    },
+    /// A transfer or staging range fell outside an array's bounds.
+    RangeOutOfBounds {
+        /// Offending half-open range start.
+        start: usize,
+        /// Offending half-open range end.
+        end: usize,
+        /// Length of the array the range was applied to.
+        len: usize,
+    },
+    /// Source and destination ranges of a transfer have different lengths.
+    LengthMismatch {
+        /// Source elements.
+        src: usize,
+        /// Destination elements.
+        dst: usize,
+    },
+}
+
+impl core::fmt::Display for SpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpError::NearCapacityExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "scratchpad capacity exceeded: requested {requested} B, {available} B available"
+            ),
+            SpError::RangeOutOfBounds { start, end, len } => {
+                write!(f, "range {start}..{end} out of bounds for length {len}")
+            }
+            SpError::LengthMismatch { src, dst } => {
+                write!(f, "transfer length mismatch: src {src} elements, dst {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SpError::NearCapacityExceeded {
+            requested: 100,
+            available: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("10"));
+        let e = SpError::RangeOutOfBounds {
+            start: 5,
+            end: 9,
+            len: 7,
+        };
+        assert!(e.to_string().contains("5..9"));
+        let e = SpError::LengthMismatch { src: 3, dst: 4 };
+        assert!(e.to_string().contains("src 3"));
+    }
+}

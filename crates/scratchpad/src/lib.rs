@@ -1,0 +1,59 @@
+//! User-controlled two-level main memory runtime.
+//!
+//! The scratchpad architecture of the paper (§VI) exposes near memory as a
+//! separate physical address range reached with ordinary loads/stores; the
+//! *application* decides what lives where. This crate is that programming
+//! model in library form:
+//!
+//! * [`TwoLevel`] — a handle to a two-level memory: a capacity-limited
+//!   **near** region (the scratchpad, size `M`) and an arbitrarily large
+//!   **far** region (DRAM). Both are host RAM; what makes them different is
+//!   the *accounting*: every transfer is charged to a
+//!   [`tlmm_model::CostLedger`] in exact model units (`⌈bytes/B⌉` far
+//!   blocks, `⌈bytes/ρB⌉` near blocks) and recorded in a [`trace::PhaseTrace`]
+//!   that the `tlmm-memsim` crate replays through an architectural timing
+//!   model.
+//! * [`FarArray`] / [`NearArray`] — typed arrays living in one region.
+//!   Allocating a [`NearArray`] beyond the scratchpad capacity fails, exactly
+//!   like the modified `malloc` of §VI-B.2 would.
+//! * Transfer and staging methods on [`TwoLevel`] ([`TwoLevel::far_to_near`],
+//!   [`TwoLevel::load_near`], …): algorithms *choreograph* data movement
+//!   explicitly, which is the whole point of a user-controlled hierarchy.
+//! * [`dma::DmaEngine`] — background-thread transfers (§VII future work).
+//! * [`trace`] — virtual-lane phase traces. Simulated parallelism (e.g. the
+//!   256 cores of the paper's Fig. 4 machine) is expressed by charging work
+//!   to *virtual lanes* via [`trace::with_lane`], independent of how many
+//!   host threads actually execute.
+//!
+//! # Example
+//!
+//! ```
+//! use tlmm_scratchpad::TwoLevel;
+//! use tlmm_model::ScratchpadParams;
+//!
+//! let params = ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap();
+//! let tl = TwoLevel::new(params);
+//! let far = tl.far_from_vec((0u64..1000).rev().collect::<Vec<_>>());
+//! let mut near = tl.near_alloc::<u64>(1000).unwrap();
+//! tl.far_to_near(&far, 0..1000, &mut near, 0).unwrap();
+//! let snap = tl.ledger().snapshot();
+//! assert_eq!(snap.far_read_blocks, 125); // ⌈8000 B / 64 B⌉
+//! assert_eq!(snap.near_write_blocks, 32); // ⌈8000 B / 256 B⌉ (ρB = 256)
+//! ```
+
+pub mod array;
+pub mod dma;
+pub mod error;
+pub mod mem;
+pub mod stream;
+pub mod trace;
+
+pub use array::{FarArray, NearArray};
+pub use error::SpError;
+pub use mem::TwoLevel;
+pub use stream::{par_scan_far, scan_far, FarReader, FarWriter, NearReader};
+pub use trace::{with_lane, LaneWork, PhaseRecord, PhaseTrace};
+
+// Re-exported so algorithm crates can name transfer directions without
+// depending on `tlmm-model` directly.
+pub use tlmm_model::ledger::Dir;

@@ -1,0 +1,580 @@
+//! The [`TwoLevel`] memory handle: allocation, transfers, staging, phases.
+
+use crate::array::{FarArray, NearArray};
+use crate::error::SpError;
+use crate::trace::{PhaseTrace, TraceRecorder};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tlmm_model::ledger::{CostLedger, Dir, Level};
+use tlmm_model::ScratchpadParams;
+
+/// Shared state behind a [`TwoLevel`] handle.
+#[derive(Debug)]
+pub struct TwoLevelInner {
+    pub(crate) params: ScratchpadParams,
+    pub(crate) ledger: CostLedger,
+    pub(crate) recorder: TraceRecorder,
+    pub(crate) near_used: AtomicU64,
+}
+
+/// Handle to a two-level main memory. Cheap to clone; clones share the
+/// ledger, trace and scratchpad budget.
+///
+/// All methods are `&self` and thread-safe. Charged data movement comes in
+/// two flavours:
+///
+/// * **Transfers** between the two memories ([`Self::far_to_near`] …): data
+///   passes through the cache, so *both* sides are charged (a far-side
+///   read/write in `B`-byte blocks, a near-side write/read in `ρB`-byte
+///   blocks).
+/// * **Staging** between one memory and the cache ([`Self::load_near`],
+///   [`Self::store_far`] …): the compute side. One side is charged; the host
+///   `Vec` standing in for the cache is free, like cache hits in the model.
+#[derive(Debug, Clone)]
+pub struct TwoLevel {
+    inner: Arc<TwoLevelInner>,
+}
+
+fn range_check(r: &Range<usize>, len: usize) -> Result<(), SpError> {
+    if r.start > r.end || r.end > len {
+        Err(SpError::RangeOutOfBounds {
+            start: r.start,
+            end: r.end,
+            len,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+impl TwoLevel {
+    /// Create a two-level memory with the given model parameters.
+    pub fn new(params: ScratchpadParams) -> Self {
+        params.validate().expect("invalid scratchpad parameters");
+        Self {
+            inner: Arc::new(TwoLevelInner {
+                params,
+                ledger: CostLedger::new(),
+                recorder: TraceRecorder::new(),
+                near_used: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The model parameters this memory was built with.
+    pub fn params(&self) -> &ScratchpadParams {
+        &self.inner.params
+    }
+
+    /// The block-transfer ledger (model-unit ground truth).
+    pub fn ledger(&self) -> &CostLedger {
+        &self.inner.ledger
+    }
+
+    /// Bytes currently allocated in the scratchpad.
+    pub fn near_used_bytes(&self) -> u64 {
+        self.inner.near_used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available in the scratchpad.
+    pub fn near_available_bytes(&self) -> u64 {
+        self.inner
+            .params
+            .scratchpad_bytes
+            .saturating_sub(self.near_used_bytes())
+    }
+
+    /// How many `T`s could still be allocated in the scratchpad.
+    pub fn near_available_elems<T>(&self) -> usize {
+        (self.near_available_bytes() as usize) / std::mem::size_of::<T>().max(1)
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Move a host vector into far memory. Free: the data is *defined* to
+    /// start in DRAM, exactly like a freshly produced input array.
+    pub fn far_from_vec<T: Copy>(&self, v: Vec<T>) -> FarArray<T> {
+        FarArray {
+            data: v,
+            owner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Allocate a zero-initialised far array. Far memory is arbitrarily
+    /// large; this cannot fail.
+    pub fn far_alloc<T: Copy + Default>(&self, len: usize) -> FarArray<T> {
+        self.far_from_vec(vec![T::default(); len])
+    }
+
+    /// Allocate a near (scratchpad) array, failing if capacity `M` would be
+    /// exceeded — the modified `malloc` of §VI-B.2.
+    pub fn near_alloc<T: Copy + Default>(&self, len: usize) -> Result<NearArray<T>, SpError> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        let cap = self.inner.params.scratchpad_bytes;
+        // Reserve optimistically; roll back on overflow.
+        let prev = self.inner.near_used.fetch_add(bytes, Ordering::Relaxed);
+        if prev + bytes > cap {
+            self.inner.near_used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(SpError::NearCapacityExceeded {
+                requested: bytes,
+                available: cap.saturating_sub(prev),
+            });
+        }
+        Ok(NearArray {
+            data: vec![T::default(); len],
+            reserved_bytes: bytes,
+            owner: Arc::clone(&self.inner),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Charging primitives
+    // ------------------------------------------------------------------
+
+    fn charge_far(&self, dir: Dir, bytes: u64) {
+        let blocks = self.inner.params.far_blocks_for(bytes);
+        self.inner.ledger.charge(Level::Far, dir, blocks, bytes);
+        self.inner.recorder.charge(|w| match dir {
+            Dir::Read => w.far_read_bytes += bytes,
+            Dir::Write => w.far_write_bytes += bytes,
+        });
+    }
+
+    fn charge_near(&self, dir: Dir, bytes: u64) {
+        let blocks = self.inner.params.near_blocks_for(bytes);
+        self.inner.ledger.charge(Level::Near, dir, blocks, bytes);
+        self.inner.recorder.charge(|w| match dir {
+            Dir::Read => w.near_read_bytes += bytes,
+            Dir::Write => w.near_write_bytes += bytes,
+        });
+    }
+
+    /// Record `n` RAM-model operations (comparisons, arithmetic).
+    pub fn charge_compute(&self, n: u64) {
+        self.inner.ledger.charge_compute(n);
+        self.inner.recorder.charge(|w| w.compute_ops += n);
+    }
+
+    // Low-level charging API.
+    //
+    // The staging methods below ([`Self::load_near`] …) move data *and*
+    // charge. Performance-critical algorithm kernels (the `tlmm-core` sorts)
+    // instead operate on raw slices and charge explicitly through these
+    // primitives, mirroring exactly the staging they logically perform but
+    // without the extra copies. Accounting is identical either way.
+
+    /// Charge a contiguous far-memory transfer of `bytes` bytes
+    /// (`⌈bytes/B⌉` blocks).
+    pub fn charge_far_io(&self, dir: Dir, bytes: u64) {
+        self.charge_far(dir, bytes);
+    }
+
+    /// Charge a contiguous near-memory transfer of `bytes` bytes
+    /// (`⌈bytes/ρB⌉` blocks).
+    pub fn charge_near_io(&self, dir: Dir, bytes: u64) {
+        self.charge_near(dir, bytes);
+    }
+
+    /// Charge `accesses` *random* far-memory accesses moving `bytes` bytes
+    /// in total: each random access costs a full block regardless of how few
+    /// bytes it uses (e.g. gathering a random sample, §III-A).
+    pub fn charge_far_random(&self, dir: Dir, accesses: u64, bytes: u64) {
+        self.inner.ledger.charge(Level::Far, dir, accesses, bytes);
+        self.inner.recorder.charge(|w| match dir {
+            Dir::Read => w.far_read_bytes += accesses * self.inner.params.block_bytes,
+            Dir::Write => w.far_write_bytes += accesses * self.inner.params.block_bytes,
+        });
+        let _ = bytes;
+    }
+
+    /// Charge `accesses` random near-memory accesses moving `bytes` bytes.
+    pub fn charge_near_random(&self, dir: Dir, accesses: u64, bytes: u64) {
+        self.inner.ledger.charge(Level::Near, dir, accesses, bytes);
+        let blk = self.inner.params.near_block_bytes();
+        self.inner.recorder.charge(|w| match dir {
+            Dir::Read => w.near_read_bytes += accesses * blk,
+            Dir::Write => w.near_write_bytes += accesses * blk,
+        });
+        let _ = bytes;
+    }
+
+    // ------------------------------------------------------------------
+    // Transfers between memories (both sides charged)
+    // ------------------------------------------------------------------
+
+    /// Copy `src[src_range]` into `dst[dst_at..]`. Charges a far read and a
+    /// near write.
+    pub fn far_to_near<T: Copy>(
+        &self,
+        src: &FarArray<T>,
+        src_range: Range<usize>,
+        dst: &mut NearArray<T>,
+        dst_at: usize,
+    ) -> Result<(), SpError> {
+        range_check(&src_range, src.data.len())?;
+        let n = src_range.len();
+        range_check(&(dst_at..dst_at + n), dst.data.len())?;
+        dst.data[dst_at..dst_at + n].copy_from_slice(&src.data[src_range]);
+        let bytes = (n * std::mem::size_of::<T>()) as u64;
+        self.charge_far(Dir::Read, bytes);
+        self.charge_near(Dir::Write, bytes);
+        Ok(())
+    }
+
+    /// Copy `src[src_range]` into `dst[dst_at..]`. Charges a near read and a
+    /// far write.
+    pub fn near_to_far<T: Copy>(
+        &self,
+        src: &NearArray<T>,
+        src_range: Range<usize>,
+        dst: &mut FarArray<T>,
+        dst_at: usize,
+    ) -> Result<(), SpError> {
+        range_check(&src_range, src.data.len())?;
+        let n = src_range.len();
+        range_check(&(dst_at..dst_at + n), dst.data.len())?;
+        dst.data[dst_at..dst_at + n].copy_from_slice(&src.data[src_range]);
+        let bytes = (n * std::mem::size_of::<T>()) as u64;
+        self.charge_near(Dir::Read, bytes);
+        self.charge_far(Dir::Write, bytes);
+        Ok(())
+    }
+
+    /// Far-to-far copy (e.g. the baseline shuffling data within DRAM):
+    /// charges a far read *and* a far write.
+    pub fn far_to_far<T: Copy>(
+        &self,
+        src: &FarArray<T>,
+        src_range: Range<usize>,
+        dst: &mut FarArray<T>,
+        dst_at: usize,
+    ) -> Result<(), SpError> {
+        range_check(&src_range, src.data.len())?;
+        let n = src_range.len();
+        range_check(&(dst_at..dst_at + n), dst.data.len())?;
+        dst.data[dst_at..dst_at + n].copy_from_slice(&src.data[src_range]);
+        let bytes = (n * std::mem::size_of::<T>()) as u64;
+        self.charge_far(Dir::Read, bytes);
+        self.charge_far(Dir::Write, bytes);
+        Ok(())
+    }
+
+    /// Near-to-near copy within the scratchpad.
+    pub fn near_to_near<T: Copy>(
+        &self,
+        src: &NearArray<T>,
+        src_range: Range<usize>,
+        dst: &mut NearArray<T>,
+        dst_at: usize,
+    ) -> Result<(), SpError> {
+        range_check(&src_range, src.data.len())?;
+        let n = src_range.len();
+        range_check(&(dst_at..dst_at + n), dst.data.len())?;
+        dst.data[dst_at..dst_at + n].copy_from_slice(&src.data[src_range]);
+        let bytes = (n * std::mem::size_of::<T>()) as u64;
+        self.charge_near(Dir::Read, bytes);
+        self.charge_near(Dir::Write, bytes);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Staging between a memory and the cache (one side charged)
+    // ------------------------------------------------------------------
+
+    /// Stream `src[range]` into the cache-resident buffer `dst` (cleared
+    /// first). Charges a near read.
+    pub fn load_near<T: Copy>(
+        &self,
+        src: &NearArray<T>,
+        range: Range<usize>,
+        dst: &mut Vec<T>,
+    ) -> Result<(), SpError> {
+        range_check(&range, src.data.len())?;
+        dst.clear();
+        dst.extend_from_slice(&src.data[range.clone()]);
+        self.charge_near(Dir::Read, (range.len() * std::mem::size_of::<T>()) as u64);
+        Ok(())
+    }
+
+    /// Stream the cache-resident `src` into `dst[at..]`. Charges a near
+    /// write.
+    pub fn store_near<T: Copy>(
+        &self,
+        dst: &mut NearArray<T>,
+        at: usize,
+        src: &[T],
+    ) -> Result<(), SpError> {
+        range_check(&(at..at + src.len()), dst.data.len())?;
+        dst.data[at..at + src.len()].copy_from_slice(src);
+        self.charge_near(Dir::Write, std::mem::size_of_val(src) as u64);
+        Ok(())
+    }
+
+    /// Stream `src[range]` into the cache-resident buffer `dst` (cleared
+    /// first). Charges a far read.
+    pub fn load_far<T: Copy>(
+        &self,
+        src: &FarArray<T>,
+        range: Range<usize>,
+        dst: &mut Vec<T>,
+    ) -> Result<(), SpError> {
+        range_check(&range, src.data.len())?;
+        dst.clear();
+        dst.extend_from_slice(&src.data[range.clone()]);
+        self.charge_far(Dir::Read, (range.len() * std::mem::size_of::<T>()) as u64);
+        Ok(())
+    }
+
+    /// Stream the cache-resident `src` into `dst[at..]`. Charges a far
+    /// write.
+    pub fn store_far<T: Copy>(
+        &self,
+        dst: &mut FarArray<T>,
+        at: usize,
+        src: &[T],
+    ) -> Result<(), SpError> {
+        range_check(&(at..at + src.len()), dst.data.len())?;
+        dst.data[at..at + src.len()].copy_from_slice(src);
+        self.charge_far(Dir::Write, std::mem::size_of_val(src) as u64);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Phases
+    // ------------------------------------------------------------------
+
+    /// Begin a named phase; subsequent charges land in it. Returns a guard
+    /// that ends the phase when dropped.
+    pub fn phase(&self, name: &str) -> PhaseGuard<'_> {
+        self.inner.recorder.begin_phase(name);
+        PhaseGuard { tl: self }
+    }
+
+    /// Begin a named phase without a guard.
+    pub fn begin_phase(&self, name: &str) {
+        self.inner.recorder.begin_phase(name);
+    }
+
+    /// End the open phase.
+    pub fn end_phase(&self) {
+        self.inner.recorder.end_phase();
+    }
+
+    /// Mark the open phase overlappable (its transfers may proceed behind
+    /// the next phase's compute — DMA semantics).
+    pub fn mark_phase_overlappable(&self) {
+        self.inner.recorder.mark_overlappable();
+    }
+
+    /// Snapshot the phase trace recorded so far.
+    pub fn trace(&self) -> PhaseTrace {
+        self.inner.recorder.trace()
+    }
+
+    /// Take the phase trace and reset the recorder.
+    pub fn take_trace(&self) -> PhaseTrace {
+        self.inner.recorder.take_trace()
+    }
+
+    /// Reset ledger and trace (e.g. after a warm-up run). Scratchpad
+    /// allocations are untouched.
+    pub fn reset_accounting(&self) {
+        self.inner.ledger.reset();
+        self.inner.recorder.reset();
+    }
+
+}
+
+/// Ends the phase it guards when dropped.
+pub struct PhaseGuard<'a> {
+    tl: &'a TwoLevel,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        self.tl.end_phase();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::with_lane;
+
+    fn tl() -> TwoLevel {
+        // B=64, rho=4 (near block 256B), M=1MiB, Z=16KiB.
+        TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
+    }
+
+    #[test]
+    fn near_alloc_respects_capacity() {
+        let tl = tl();
+        let a = tl.near_alloc::<u64>((1 << 20) / 8).unwrap(); // fills M
+        assert!(tl.near_alloc::<u64>(1).is_err());
+        drop(a);
+        assert!(tl.near_alloc::<u64>(1).is_ok());
+    }
+
+    #[test]
+    fn near_alloc_error_reports_availability() {
+        let tl = tl();
+        let _a = tl.near_alloc::<u8>((1 << 20) - 100).unwrap();
+        match tl.near_alloc::<u8>(200) {
+            Err(SpError::NearCapacityExceeded {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, 200);
+                assert_eq!(available, 100);
+            }
+            other => panic!("expected capacity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transfer_charges_both_sides_in_model_units() {
+        let tl = tl();
+        let far = tl.far_from_vec((0u64..512).collect::<Vec<_>>());
+        let mut near = tl.near_alloc::<u64>(512).unwrap();
+        tl.far_to_near(&far, 0..512, &mut near, 0).unwrap();
+        let s = tl.ledger().snapshot();
+        // 4096 bytes: 64 far blocks read, 16 near blocks written.
+        assert_eq!(s.far_read_blocks, 64);
+        assert_eq!(s.near_write_blocks, 16);
+        assert_eq!(s.far_bytes, 4096);
+        assert_eq!(s.near_bytes, 4096);
+        assert_eq!(near.as_slice_uncharged()[511], 511);
+    }
+
+    #[test]
+    fn round_trip_preserves_data() {
+        let tl = tl();
+        let far = tl.far_from_vec((0u32..1000).rev().collect::<Vec<_>>());
+        let mut near = tl.near_alloc::<u32>(1000).unwrap();
+        tl.far_to_near(&far, 0..1000, &mut near, 0).unwrap();
+        let mut out = tl.far_alloc::<u32>(1000);
+        tl.near_to_far(&near, 0..1000, &mut out, 0).unwrap();
+        assert_eq!(far.as_slice_uncharged(), out.as_slice_uncharged());
+    }
+
+    #[test]
+    fn staging_charges_one_side_only() {
+        let tl = tl();
+        let near = {
+            let mut a = tl.near_alloc::<u64>(128).unwrap();
+            a.as_mut_slice_uncharged()
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, v)| *v = i as u64);
+            a
+        };
+        let mut buf = Vec::new();
+        tl.load_near(&near, 32..64, &mut buf).unwrap();
+        assert_eq!(buf.len(), 32);
+        assert_eq!(buf[0], 32);
+        let s = tl.ledger().snapshot();
+        assert_eq!(s.near_read_blocks, 1); // 256 bytes = exactly one rho*B block
+        assert_eq!(s.far_blocks(), 0);
+        assert_eq!(s.near_write_blocks, 0);
+    }
+
+    #[test]
+    fn store_far_charges_write() {
+        let tl = tl();
+        let mut far = tl.far_alloc::<u16>(100);
+        tl.store_far(&mut far, 10, &[7u16; 20]).unwrap();
+        let s = tl.ledger().snapshot();
+        assert_eq!(s.far_write_blocks, 1); // 40 bytes -> 1 block
+        assert_eq!(far.as_slice_uncharged()[29], 7);
+        assert_eq!(far.as_slice_uncharged()[30], 0);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported_not_panicking() {
+        let tl = tl();
+        let far = tl.far_from_vec(vec![1u8; 10]);
+        let mut near = tl.near_alloc::<u8>(10).unwrap();
+        assert!(matches!(
+            tl.far_to_near(&far, 5..15, &mut near, 0),
+            Err(SpError::RangeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            tl.far_to_near(&far, 0..8, &mut near, 5),
+            Err(SpError::RangeOutOfBounds { .. })
+        ));
+        // Nothing charged on failure.
+        assert_eq!(tl.ledger().snapshot().total_blocks(), 0);
+    }
+
+    #[test]
+    fn phases_collect_lane_work() {
+        let tl = tl();
+        let far = tl.far_from_vec(vec![0u64; 1024]);
+        let mut near = tl.near_alloc::<u64>(1024).unwrap();
+        {
+            let _p = tl.phase("ingest");
+            with_lane(1, || tl.far_to_near(&far, 0..1024, &mut near, 0).unwrap());
+        }
+        {
+            let _p = tl.phase("compute");
+            tl.charge_compute(500);
+        }
+        let t = tl.take_trace();
+        assert_eq!(t.phases.len(), 2);
+        assert_eq!(t.phases[0].name, "ingest");
+        assert_eq!(t.phases[0].lanes[1].far_read_bytes, 8192);
+        assert_eq!(t.phases[1].total().compute_ops, 500);
+    }
+
+    #[test]
+    fn reset_accounting_clears_everything() {
+        let tl = tl();
+        let far = tl.far_from_vec(vec![0u8; 64]);
+        let mut buf = Vec::new();
+        tl.load_far(&far, 0..64, &mut buf).unwrap();
+        tl.reset_accounting();
+        assert_eq!(tl.ledger().snapshot().total_blocks(), 0);
+        assert!(tl.take_trace().phases.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_budget_and_ledger() {
+        let tl = tl();
+        let tl2 = tl.clone();
+        let _a = tl.near_alloc::<u8>(1 << 20).unwrap();
+        assert!(tl2.near_alloc::<u8>(1).is_err());
+        let far = tl2.far_from_vec(vec![0u8; 64]);
+        let mut buf = Vec::new();
+        tl2.load_far(&far, 0..64, &mut buf).unwrap();
+        assert_eq!(tl.ledger().snapshot().far_read_blocks, 1);
+    }
+
+    #[test]
+    fn concurrent_transfers_charge_losslessly() {
+        let tl = tl();
+        let far = tl.far_from_vec(vec![1u64; 64 * 128]);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let tl = tl.clone();
+                let far = &far;
+                s.spawn(move || {
+                    with_lane(t, || {
+                        let mut buf = Vec::new();
+                        for i in 0..16 {
+                            let start = (t * 16 + i) * 64;
+                            tl.load_far(far, start..start + 64, &mut buf).unwrap();
+                        }
+                    })
+                });
+            }
+        });
+        // 128 loads of 512 bytes = 8 far blocks each.
+        assert_eq!(tl.ledger().snapshot().far_read_blocks, 128 * 8);
+        let t = tl.trace();
+        assert_eq!(t.total().far_read_bytes, 128 * 512);
+        assert_eq!(t.phases[0].active_lanes(), 8);
+    }
+}

@@ -1,0 +1,204 @@
+//! Seeded input generators for the experiments.
+//!
+//! The paper evaluates on "random 64-bit integers" (§V); the other
+//! distributions exercise the algorithms' edge cases (pre-sortedness, heavy
+//! duplication, skew) and feed the robustness tests and ablation benches.
+//! Every generator is deterministic in its seed so experiments are
+//! reproducible run-to-run.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The input distributions available to harnesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Uniform random `u64` (the paper's workload).
+    UniformU64,
+    /// Uniform random over `[0, max)`.
+    UniformBounded(u64),
+    /// Already sorted ascending.
+    Sorted,
+    /// Sorted descending.
+    Reverse,
+    /// Sorted with `frac_swapped` of positions perturbed locally.
+    NearlySorted(f64),
+    /// Exactly `k` distinct values, uniformly.
+    FewDistinct(u64),
+    /// Zipf-distributed values with exponent `s` — heavy skew, stresses
+    /// bucket balance.
+    Zipf(f64),
+    /// All elements equal (the adversarial bucket case).
+    AllEqual,
+}
+
+/// Generate `n` elements of `w` with `seed`.
+pub fn generate(w: Workload, n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match w {
+        Workload::UniformU64 => (0..n).map(|_| rng.gen()).collect(),
+        Workload::UniformBounded(max) => {
+            (0..n).map(|_| rng.gen_range(0..max.max(1))).collect()
+        }
+        Workload::Sorted => (0..n as u64).collect(),
+        Workload::Reverse => (0..n as u64).rev().collect(),
+        Workload::NearlySorted(frac) => {
+            let mut v: Vec<u64> = (0..n as u64).collect();
+            let swaps = ((n as f64) * frac.clamp(0.0, 1.0) / 2.0) as usize;
+            for _ in 0..swaps {
+                if n < 2 {
+                    break;
+                }
+                let i = rng.gen_range(0..n - 1);
+                // Local perturbation: swap with a near neighbour.
+                let j = (i + 1 + rng.gen_range(0..16)).min(n - 1);
+                v.swap(i, j);
+            }
+            v
+        }
+        Workload::FewDistinct(k) => {
+            let k = k.max(1);
+            (0..n).map(|_| rng.gen_range(0..k)).collect()
+        }
+        Workload::Zipf(s) => {
+            let zipf = ZipfSampler::new(n.max(2) as u64, s);
+            (0..n).map(|_| zipf.sample(&mut rng)).collect()
+        }
+        Workload::AllEqual => vec![0xDEAD_BEEF; n],
+    }
+}
+
+/// Rejection-free Zipf sampler via the inverse-CDF integral approximation
+/// (Gray et al., "Quickly generating billion-record synthetic databases").
+pub struct ZipfSampler {
+    n: u64,
+    s: f64,
+    /// Normalisation constant `H_{n,s}` (approximated).
+    h: f64,
+}
+
+impl ZipfSampler {
+    /// Sampler over ranks `1..=n` with exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        let s = s.max(1e-6);
+        // Approximate the generalized harmonic number by its integral.
+        let h = if (s - 1.0).abs() < 1e-9 {
+            (n as f64).ln() + 0.5772
+        } else {
+            ((n as f64).powf(1.0 - s) - 1.0) / (1.0 - s) + 1.0
+        };
+        Self { n, s, h }
+    }
+
+    /// Draw one rank (1-based).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let target = u * self.h;
+        // Invert the integral approximation.
+        let rank = if (self.s - 1.0).abs() < 1e-9 {
+            (target - 0.5772).exp()
+        } else {
+            ((1.0 - self.s) * (target - 1.0) + 1.0).powf(1.0 / (1.0 - self.s))
+        };
+        (rank.max(1.0).min(self.n as f64)) as u64
+    }
+}
+
+impl Distribution<u64> for ZipfSampler {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        ZipfSampler::sample(self, rng)
+    }
+}
+
+/// Sortedness fraction: adjacent pairs already in order (1.0 = sorted).
+pub fn sortedness(v: &[u64]) -> f64 {
+    if v.len() < 2 {
+        return 1.0;
+    }
+    let ok = v.windows(2).filter(|w| w[0] <= w[1]).count();
+    ok as f64 / (v.len() - 1) as f64
+}
+
+/// Number of distinct values (exact; O(n log n)).
+pub fn distinct_count(v: &[u64]) -> usize {
+    let mut s = v.to_vec();
+    s.sort_unstable();
+    s.dedup();
+    s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(Workload::UniformU64, 1000, 7);
+        let b = generate(Workload::UniformU64, 1000, 7);
+        let c = generate(Workload::UniformU64, 1000, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sorted_and_reverse_shapes() {
+        assert_eq!(sortedness(&generate(Workload::Sorted, 1000, 0)), 1.0);
+        assert_eq!(sortedness(&generate(Workload::Reverse, 1000, 0)), 0.0);
+        let ns = generate(Workload::NearlySorted(0.05), 10_000, 1);
+        let f = sortedness(&ns);
+        assert!(f > 0.9 && f < 1.0, "nearly sorted fraction {f}");
+    }
+
+    #[test]
+    fn few_distinct_counts() {
+        let v = generate(Workload::FewDistinct(5), 10_000, 2);
+        assert!(distinct_count(&v) <= 5);
+        let v = generate(Workload::AllEqual, 100, 0);
+        assert_eq!(distinct_count(&v), 1);
+    }
+
+    #[test]
+    fn uniform_bounded_stays_in_range() {
+        let v = generate(Workload::UniformBounded(100), 10_000, 3);
+        assert!(v.iter().all(|&x| x < 100));
+        assert!(distinct_count(&v) > 50, "should use most of the range");
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let v = generate(Workload::Zipf(1.2), 100_000, 4);
+        // Rank 1 should be by far the most common value.
+        let ones = v.iter().filter(|&&x| x == 1).count();
+        assert!(
+            ones > v.len() / 20,
+            "rank-1 frequency {ones} too low for zipf"
+        );
+        assert!(v.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn zipf_respects_rank_bound() {
+        let s = ZipfSampler::new(50, 1.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let r = s.sample(&mut rng);
+            assert!((1..=50).contains(&r));
+        }
+    }
+
+    #[test]
+    fn lengths_match() {
+        for w in [
+            Workload::UniformU64,
+            Workload::Sorted,
+            Workload::Reverse,
+            Workload::NearlySorted(0.1),
+            Workload::FewDistinct(3),
+            Workload::Zipf(1.0),
+            Workload::AllEqual,
+        ] {
+            assert_eq!(generate(w, 123, 9).len(), 123);
+            assert_eq!(generate(w, 0, 9).len(), 0);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Address-level study: how access patterns move through the L1/L2
+//! hierarchy into the two memories (the Ariel-like mode of the simulator).
+//!
+//! Run: `cargo run --release --example cache_study`
+
+use two_level_mem::analysis::table::Table;
+use two_level_mem::memsim::address::{patterns, run_hierarchy};
+use two_level_mem::prelude::*;
+
+fn main() {
+    let m = MachineConfig::fig4(256, 4.0);
+    let mut t = Table::new([
+        "pattern",
+        "L1 hit%",
+        "L2 hit%",
+        "mem lines",
+        "time (ms)",
+    ]);
+
+    let cases: Vec<(&str, Vec<_>)> = vec![
+        ("stream 4 MB (far)", patterns::scan(0, 4 << 20, 64, false)),
+        ("stream 4 MB (near)", patterns::scan(0, 4 << 20, 64, true)),
+        (
+            "word-wise scan 4 MB",
+            patterns::scan(0, 4 << 20, 8, false),
+        ),
+        (
+            "8 KB hot loop x100",
+            patterns::working_set(0, 8 << 10, 64, 100, false),
+        ),
+        (
+            "256 KB loop x10",
+            patterns::working_set(0, 256 << 10, 64, 10, false),
+        ),
+        (
+            "random over 1 GB",
+            patterns::random(0, 1 << 30, 65_536, false),
+        ),
+    ];
+    for (name, refs) in cases {
+        let st = run_hierarchy(&refs, &m);
+        let l1 = st.l1_hits as f64 / (st.l1_hits + st.l1_misses).max(1) as f64;
+        let l2 = st.l2_hits as f64 / (st.l2_hits + st.l2_misses).max(1) as f64;
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", l1 * 100.0),
+            format!("{:.1}", l2 * 100.0),
+            (st.far_lines + st.near_lines).to_string(),
+            format!("{:.3}", st.seconds * 1e3),
+        ]);
+    }
+    println!("\none in-order core against the Fig. 7 hierarchy\n");
+    println!("{}", t.render());
+    println!(
+        "note: a single core sees only the modest latency difference between\n\
+         the two memories (50 vs 80 ns) — the scratchpad's real advantage is\n\
+         aggregate bandwidth across many cores (§I: it is 'not designed to\n\
+         accelerate memory-latency-bound applications')."
+    );
+}

@@ -1,0 +1,101 @@
+//! Define a custom machine (an HBM-class node) and study a sort on it with
+//! both simulation engines.
+//!
+//! Run: `cargo run --release --example custom_architecture`
+
+use two_level_mem::analysis::table::{secs, Table};
+use two_level_mem::memsim::config::MemSideConfig;
+use two_level_mem::prelude::*;
+
+/// A hypothetical 2020s-class node: 64 fat cores, HBM2-like near memory
+/// (8 stacks' worth of bandwidth), DDR4-class far memory.
+fn hbm_node() -> MachineConfig {
+    let mut m = MachineConfig::fig4(64, 8.0);
+    m.name = "hbm-node-64c".into();
+    m.core_hz = 2.4e9;
+    m.ops_per_cycle = 1.0;
+    m.per_core_stream_bytes_per_sec = 20e9;
+    m.far = MemSideConfig {
+        channels: 8,
+        channel_bytes_per_sec: 19.2e9, // DDR4-2400
+        efficiency: 0.82,
+        latency_s: 90e-9,
+        row_hit_s: 64.0 / 19.2e9,
+        row_miss_penalty_s: 28e-9,
+        banks_per_channel: 16,
+        row_bytes: 8192,
+        dc_entries: 32_768,
+    };
+    m.near = MemSideConfig {
+        channels: 32,
+        channel_bytes_per_sec: 16.0e9, // HBM pseudo-channels
+        efficiency: 0.85,
+        latency_s: 60e-9,
+        row_hit_s: 64.0 / 16.0e9,
+        row_miss_penalty_s: 12e-9,
+        banks_per_channel: 16,
+        row_bytes: 2048,
+        dc_entries: 32_768,
+    };
+    m
+}
+
+fn main() {
+    let machine = hbm_node();
+    println!(
+        "{}: far {:.0} GB/s, near {:.0} GB/s (rho = {:.1}), {:.0} Gops/s",
+        machine.name,
+        machine.far.sustained_bw() / 1e9,
+        machine.near.sustained_bw() / 1e9,
+        machine.near.sustained_bw() / machine.far.sustained_bw(),
+        machine.compute_rate() / 1e9,
+    );
+    let verdict =
+        two_level_mem::model::bounds::bandwidth_bound_verdict(&machine.machine_rates(8));
+    println!(
+        "sorting on this node is {} (pressure {:.2})",
+        if verdict.is_memory_bound() {
+            "memory-bandwidth bound"
+        } else {
+            "compute bound"
+        },
+        verdict.pressure()
+    );
+
+    // Run NMsort once; replay the trace through both engines.
+    let params = ScratchpadParams::new(64, 8.0, 64 << 20, 4 << 20).unwrap();
+    let tl = TwoLevel::new(params);
+    let input = tl.far_from_vec(generate(Workload::UniformU64, 2_000_000, 3));
+    nmsort(
+        &tl,
+        input,
+        &NmSortConfig {
+            sim_lanes: 64,
+            chunk_elems: Some(500_000),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let trace = tl.take_trace();
+
+    let flow = simulate_flow(&trace, &machine);
+    let des = simulate_des(&trace, &machine, &DesOptions::default());
+    let des_coarse = simulate_des(
+        &trace,
+        &machine,
+        &DesOptions {
+            req_bytes: 1024,
+            mlp: 8,
+        },
+    );
+    let mut t = Table::new(["engine", "sim time (s)"]);
+    t.row(vec!["analytic flow".to_string(), secs(flow.seconds)]);
+    t.row(vec!["DES, 64 B requests".to_string(), secs(des.seconds)]);
+    t.row(vec!["DES, 1 KiB requests".to_string(), secs(des_coarse.seconds)]);
+    println!("\n{}", t.render());
+    println!(
+        "the analytic engine ignores queueing; the DES engines model per-request\n\
+         contention on channels, banks and NoC links — agreement within tens of\n\
+         percent is expected for bandwidth-bound phases."
+    );
+}

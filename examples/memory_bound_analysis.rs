@@ -1,0 +1,38 @@
+//! When does sorting become memory-bandwidth bound? (§V-A)
+//!
+//! Run: `cargo run --release --example memory_bound_analysis`
+
+use two_level_mem::analysis::frontier::{fig4_crossover_cores, frontier_for_cores};
+use two_level_mem::analysis::table::Table;
+use two_level_mem::model::bounds::{bandwidth_bound_verdict, MachineRates};
+
+fn main() {
+    // The paper's own numbers: x ~ 1e10 ops/s, y ~ 1e9 elem/s, Z ~ 1e6.
+    let paper = MachineRates::paper_fig4();
+    let v = bandwidth_bound_verdict(&paper);
+    println!(
+        "paper's §V-A estimate: feed {:.2e} vs consume {:.2e} -> pressure {:.2}",
+        v.feed_rate,
+        v.consume_rate,
+        v.pressure()
+    );
+
+    // Sweep core counts on the Fig. 4 node.
+    let mut t = Table::new(["cores", "pressure", "memory-bound?"]);
+    for p in frontier_for_cores(&[16, 32, 64, 128, 192, 256, 384, 512], 1.0, 8) {
+        t.row(vec![
+            p.cores.to_string(),
+            format!("{:.2}", p.pressure),
+            if p.memory_bound() { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("\n{}", t.render());
+
+    match fig4_crossover_cores(8) {
+        Some(c) => println!(
+            "crossover at {c} cores — the paper observed the flip between 128 \
+             (not bound) and 256 (bound)."
+        ),
+        None => println!("no crossover found"),
+    }
+}

@@ -1,0 +1,47 @@
+//! Order statistics without sorting: the scratchpad selection primitive.
+//!
+//! Finds percentiles of a large far-memory array with a couple of counting
+//! scans plus one in-scratchpad sort — far cheaper than sorting everything,
+//! and a taste of the "algorithmic primitives" beyond NMsort.
+//!
+//! Run: `cargo run --release --example order_statistics`
+
+use two_level_mem::analysis::table::{count, Table};
+use two_level_mem::prelude::*;
+
+fn main() {
+    let n = 2_000_000usize;
+    let params = ScratchpadParams::new(64, 4.0, 8 << 20, 512 << 10).unwrap();
+    let tl = TwoLevel::new(params);
+    let data = generate(Workload::Zipf(1.1), n, 77);
+    let input = tl.far_from_vec(data);
+
+    let mut t = Table::new(["percentile", "rank", "value", "scan rounds"]);
+    for pct in [1u32, 25, 50, 75, 99] {
+        let k = ((n as u64 * pct as u64) / 100).min(n as u64 - 1) as usize;
+        let before = tl.ledger().snapshot();
+        let (value, report) = select_kth(&tl, &input, k, &SelectConfig::default()).unwrap();
+        let _delta = tl.ledger().snapshot().since(&before);
+        t.row(vec![
+            format!("p{pct}"),
+            count(k as u64),
+            value.to_string(),
+            report.rounds.to_string(),
+        ]);
+    }
+    println!("\npercentiles of {n} Zipf-distributed u64 (selection, no full sort)\n");
+    println!("{}", t.render());
+
+    // Compare the per-query cost against one full sort.
+    let select_blocks = tl.ledger().snapshot().total_blocks() / 5;
+    let tl2 = TwoLevel::new(params);
+    let input2 = tl2.far_from_vec(generate(Workload::Zipf(1.1), n, 77));
+    nmsort(&tl2, input2, &NmSortConfig::default()).unwrap();
+    let sort_blocks = tl2.ledger().snapshot().total_blocks();
+    println!(
+        "one selection costs ~{select_blocks} block transfers vs {sort_blocks} \
+         for a full NMsort ({:.1}x cheaper per query) — sort once instead if \
+         you need many ranks.",
+        sort_blocks as f64 / select_blocks as f64
+    );
+}

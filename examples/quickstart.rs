@@ -1,0 +1,56 @@
+//! Quickstart: sort on a two-level memory and simulate the result.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use two_level_mem::prelude::*;
+
+fn main() {
+    // 1. Describe the memory: B = 64 B far blocks, scratchpad bandwidth
+    //    expansion rho = 4, scratchpad M = 64 MiB, cache Z = 4 MiB.
+    let params = ScratchpadParams::new(64, 4.0, 64 << 20, 4 << 20).unwrap();
+    let tl = TwoLevel::new(params);
+
+    // 2. Put an input array in far memory (DRAM).
+    let n = 4_000_000;
+    let data = generate(Workload::UniformU64, n, 42);
+    let input = tl.far_from_vec(data);
+
+    // 3. Sort it with NMsort: chunks are staged through the scratchpad,
+    //    bucket metadata is recorded, batches of buckets are merged back.
+    let cfg = NmSortConfig {
+        sim_lanes: 64, // pretend this node has 64 cores
+        ..Default::default()
+    };
+    let report = nmsort(&tl, input, &cfg).expect("sort failed");
+    assert!(report
+        .output
+        .as_slice_uncharged()
+        .windows(2)
+        .all(|w| w[0] <= w[1]));
+    println!(
+        "sorted {n} u64s in {} chunks, {} pivots, {} phase-2 batches",
+        report.chunks, report.n_pivots, report.batches
+    );
+
+    // 4. The run charged every block transfer to the ledger...
+    let s = tl.ledger().snapshot();
+    println!(
+        "ledger: {} far blocks ({:.1} MB), {} near blocks ({:.1} MB), {} comparisons",
+        s.far_blocks(),
+        s.far_bytes as f64 / 1e6,
+        s.near_blocks(),
+        s.near_bytes as f64 / 1e6,
+        s.compute_ops,
+    );
+
+    // 5. ...and recorded a phase trace we can replay on a machine model.
+    let machine = MachineConfig::fig4(64, 4.0);
+    let sim = simulate_flow(&tl.take_trace(), &machine);
+    println!(
+        "simulated on {}: {:.3} ms, {} DRAM accesses, {} scratchpad accesses",
+        machine.name,
+        sim.seconds * 1e3,
+        sim.far_accesses,
+        sim.near_accesses
+    );
+}

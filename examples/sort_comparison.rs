@@ -1,0 +1,64 @@
+//! Compare NMsort against the GNU-style DRAM-only baseline across
+//! scratchpad bandwidths — a miniature of the paper's Table I.
+//!
+//! Run: `cargo run --release --example sort_comparison`
+
+use two_level_mem::analysis::compare_runs;
+use two_level_mem::analysis::table::{count, ratio, secs, Table};
+use two_level_mem::prelude::*;
+
+fn main() {
+    let n = 4_000_000usize;
+    let lanes = 128usize;
+    let params = ScratchpadParams::new(64, 4.0, 64 << 20, 8 << 20).unwrap();
+    let data = generate(Workload::UniformU64, n, 7);
+
+    // Baseline: DRAM only.
+    let tl = TwoLevel::new(params);
+    let input = tl.far_from_vec(data.clone());
+    let base = baseline_sort(
+        &tl,
+        input,
+        &BaselineConfig {
+            sim_lanes: lanes,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(base.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    let base_trace = tl.take_trace();
+
+    // NMsort, one run; the byte trace is independent of rho, so we replay it
+    // on machines with different scratchpad bandwidths.
+    let tl = TwoLevel::new(params);
+    let input = tl.far_from_vec(data);
+    let nm = nmsort(
+        &tl,
+        input,
+        &NmSortConfig {
+            sim_lanes: lanes,
+            chunk_elems: Some(n / 8),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(nm.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    let nm_trace = tl.take_trace();
+
+    let base_sim = simulate_flow(&base_trace, &MachineConfig::fig4(lanes as u32, 2.0));
+    let mut t = Table::new(["rho", "GNU (s)", "NMsort (s)", "speedup", "DRAM ratio", "near acc"]);
+    for rho in [2.0, 4.0, 8.0] {
+        let sim = simulate_flow(&nm_trace, &MachineConfig::fig4(lanes as u32, rho));
+        let c = compare_runs(&base_sim, &sim);
+        t.row(vec![
+            format!("{rho}x"),
+            secs(base_sim.seconds),
+            secs(sim.seconds),
+            ratio(c.speedup),
+            ratio(c.far_access_ratio),
+            count(sim.near_accesses),
+        ]);
+    }
+    println!("\n{n} random u64, {lanes} simulated cores\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,179 @@
+//! End-to-end pipeline tests: workload → sort on the two-level runtime →
+//! trace replay on the Fig. 4 machine → Table-I-shaped assertions.
+
+use two_level_mem::analysis::compare_runs;
+use two_level_mem::model::CostSnapshot;
+use two_level_mem::prelude::*;
+
+const N: usize = 300_000;
+const LANES: usize = 64;
+
+fn params() -> ScratchpadParams {
+    // Small enough that N is multi-chunk: M = 4 MiB (524k u64), Z = 256 KiB.
+    ScratchpadParams::new(64, 4.0, 4 << 20, 256 << 10).unwrap()
+}
+
+fn nmsort_run(n: usize, seed: u64) -> (tlmm_scratchpad::PhaseTrace, CostSnapshot) {
+    let tl = TwoLevel::new(params());
+    let input = tl.far_from_vec(generate(Workload::UniformU64, n, seed));
+    let r = nmsort(
+        &tl,
+        input,
+        &NmSortConfig {
+            sim_lanes: LANES,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(r.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    assert!(
+        n < 250_000 || r.chunks > 1,
+        "paper-shaped runs must exercise the multi-chunk path"
+    );
+    (tl.take_trace(), tl.ledger().snapshot())
+}
+
+fn baseline_run(n: usize, seed: u64) -> (tlmm_scratchpad::PhaseTrace, CostSnapshot) {
+    let tl = TwoLevel::new(params());
+    let input = tl.far_from_vec(generate(Workload::UniformU64, n, seed));
+    let r = baseline_sort(
+        &tl,
+        input,
+        &BaselineConfig {
+            sim_lanes: LANES,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(r.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    (tl.take_trace(), tl.ledger().snapshot())
+}
+
+#[test]
+fn nmsort_moves_less_dram_traffic_than_baseline() {
+    let (_, nm) = nmsort_run(N, 1);
+    let (_, base) = baseline_run(N, 1);
+    assert_eq!(base.near_blocks(), 0, "baseline never touches the scratchpad");
+    assert!(
+        nm.far_bytes < base.far_bytes,
+        "NMsort far {} should be below baseline {}",
+        nm.far_bytes,
+        base.far_bytes
+    );
+    assert!(nm.near_bytes > nm.far_bytes, "NMsort works mostly in-scratchpad");
+}
+
+#[test]
+fn simulated_time_improves_with_rho_and_beats_baseline_when_bound() {
+    let (nm_trace, _) = nmsort_run(N, 2);
+    let (base_trace, _) = baseline_run(N, 2);
+    let base_sim = simulate_flow(&base_trace, &MachineConfig::fig4(256, 2.0));
+    let mut prev = f64::INFINITY;
+    for rho in [2.0, 4.0, 8.0] {
+        let sim = simulate_flow(&nm_trace, &MachineConfig::fig4(256, rho));
+        assert!(
+            sim.seconds <= prev * 1.0001,
+            "time must not increase with rho ({rho}: {} vs {prev})",
+            sim.seconds
+        );
+        prev = sim.seconds;
+    }
+    // At 8x on the memory-bound 256-core node NMsort must win.
+    let nm8 = simulate_flow(&nm_trace, &MachineConfig::fig4(256, 8.0));
+    let c = compare_runs(&base_sim, &nm8);
+    assert!(
+        c.speedup > 1.0,
+        "NMsort at 8x must beat the baseline, got {:.3}",
+        c.speedup
+    );
+}
+
+#[test]
+fn access_counts_shape_matches_table1() {
+    let (nm_trace, _) = nmsort_run(N, 3);
+    let (base_trace, _) = baseline_run(N, 3);
+    let m = MachineConfig::fig4(256, 4.0);
+    let nm = simulate_flow(&nm_trace, &m);
+    let base = simulate_flow(&base_trace, &m);
+    assert_eq!(base.near_accesses, 0);
+    // Paper: GNU sort makes about twice the DRAM accesses of NMsort.
+    let ratio = base.far_accesses as f64 / nm.far_accesses as f64;
+    assert!(ratio > 1.3, "DRAM access ratio {ratio} too low");
+    // Paper: NMsort's scratchpad accesses ~2-3 per DRAM access.
+    let npf = nm.near_accesses as f64 / nm.far_accesses as f64;
+    assert!(npf > 1.5 && npf < 4.5, "near/far {npf}");
+}
+
+#[test]
+fn trace_volumes_are_deterministic_per_seed() {
+    let (a, sa) = nmsort_run(100_000, 9);
+    let (b, sb) = nmsort_run(100_000, 9);
+    assert_eq!(sa, sb, "ledger must be reproducible");
+    assert_eq!(a.total(), b.total());
+    assert_eq!(a.phases.len(), b.phases.len());
+}
+
+#[test]
+fn seqsort_and_nmsort_agree_with_std() {
+    let tl = TwoLevel::new(params());
+    let data = generate(Workload::Zipf(1.1), 150_000, 4);
+    let mut expect = data.clone();
+    expect.sort_unstable();
+
+    let input = tl.far_from_vec(data.clone());
+    let (out, _) = seq_scratchpad_sort(&tl, input, &SeqSortConfig::default()).unwrap();
+    assert_eq!(out.as_slice_uncharged(), expect.as_slice());
+
+    let input = tl.far_from_vec(data);
+    let r = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+    assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
+}
+
+#[test]
+fn all_workloads_sort_correctly_end_to_end() {
+    let tl = TwoLevel::new(params());
+    for w in [
+        Workload::UniformU64,
+        Workload::Sorted,
+        Workload::Reverse,
+        Workload::NearlySorted(0.05),
+        Workload::FewDistinct(7),
+        Workload::Zipf(1.2),
+        Workload::AllEqual,
+    ] {
+        let data = generate(w, 120_000, 5);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let input = tl.far_from_vec(data);
+        let r = nmsort(
+            &tl,
+            input,
+            &NmSortConfig {
+                sim_lanes: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            r.output.as_slice_uncharged(),
+            expect.as_slice(),
+            "workload {w:?}"
+        );
+    }
+}
+
+#[test]
+fn oversized_scratchpad_requests_fail_cleanly() {
+    let tl = TwoLevel::new(params());
+    // Two 300k-element buffers (4.8 MB) cannot fit the 4 MiB scratchpad.
+    let input = tl.far_from_vec(generate(Workload::UniformU64, 300_000, 6));
+    let err = nmsort(
+        &tl,
+        input,
+        &NmSortConfig {
+            chunk_elems: Some(300_000),
+            ..Default::default()
+        },
+    );
+    assert!(err.is_err());
+}

@@ -1,0 +1,85 @@
+//! The analytic flow replay and the discrete-event engine must agree on
+//! real algorithm traces — the DES models queueing the analytic engine
+//! ignores, so agreement within tens of percent is the acceptance band.
+
+use two_level_mem::prelude::*;
+
+fn nmsort_trace(n: usize) -> tlmm_scratchpad::PhaseTrace {
+    let params = ScratchpadParams::new(64, 4.0, 2 << 20, 128 << 10).unwrap();
+    let tl = TwoLevel::new(params);
+    let input = tl.far_from_vec(generate(Workload::UniformU64, n, 17));
+    nmsort(
+        &tl,
+        input,
+        &NmSortConfig {
+            sim_lanes: 32,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    tl.take_trace()
+}
+
+#[test]
+fn flow_and_des_agree_on_nmsort_trace() {
+    let trace = nmsort_trace(200_000);
+    let m = MachineConfig::fig4(32, 4.0);
+    let flow = simulate_flow(&trace, &m);
+    let des = simulate_des(&trace, &m, &DesOptions::default());
+    let ratio = des.seconds / flow.seconds;
+    assert!(
+        ratio > 0.6 && ratio < 2.0,
+        "flow {} vs des {} (ratio {ratio})",
+        flow.seconds,
+        des.seconds
+    );
+    // Access counts are engine-independent (they come from the trace).
+    assert_eq!(flow.far_accesses, des.far_accesses);
+    assert_eq!(flow.near_accesses, des.near_accesses);
+}
+
+#[test]
+fn both_engines_show_the_rho_benefit() {
+    let trace = nmsort_trace(200_000);
+    for engine in ["flow", "des"] {
+        let run = |rho: f64| {
+            let m = MachineConfig::fig4(32, rho);
+            match engine {
+                "flow" => simulate_flow(&trace, &m).seconds,
+                _ => simulate_des(&trace, &m, &DesOptions::default()).seconds,
+            }
+        };
+        let t2 = run(2.0);
+        let t8 = run(8.0);
+        assert!(
+            t8 < t2,
+            "{engine}: 8x ({t8}) must be faster than 2x ({t2})"
+        );
+    }
+}
+
+#[test]
+fn des_request_granularity_insensitivity() {
+    let trace = nmsort_trace(150_000);
+    let m = MachineConfig::fig4(32, 4.0);
+    let fine = simulate_des(
+        &trace,
+        &m,
+        &DesOptions {
+            req_bytes: 64,
+            mlp: 4,
+        },
+    )
+    .seconds;
+    let coarse = simulate_des(
+        &trace,
+        &m,
+        &DesOptions {
+            req_bytes: 512,
+            mlp: 4,
+        },
+    )
+    .seconds;
+    let ratio = fine / coarse;
+    assert!(ratio > 0.5 && ratio < 2.0, "fine {fine} coarse {coarse}");
+}

@@ -1,0 +1,150 @@
+//! Theory-vs-measurement: the ledger's exact counts against the closed-form
+//! predictions (the paper's "memory access counts from simulations
+//! corroborate predicted performance").
+
+use two_level_mem::analysis::validation::{constants_stable, ValidationRow};
+use two_level_mem::core::seqsort::{seq_scratchpad_sort, SeqSortConfig};
+use two_level_mem::model::{recursion, theorems};
+use two_level_mem::prelude::*;
+
+fn params(rho: f64) -> ScratchpadParams {
+    ScratchpadParams::new(64, rho, 2 << 20, 128 << 10).unwrap()
+}
+
+fn nmsort_snapshot(n: usize, rho: f64) -> CostSnapshot {
+    let tl = TwoLevel::new(params(rho));
+    let input = tl.far_from_vec(generate(Workload::UniformU64, n, n as u64));
+    let r = nmsort(
+        &tl,
+        input,
+        &NmSortConfig {
+            sim_lanes: 16,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(r.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    tl.ledger().snapshot()
+}
+
+#[test]
+fn theorem6_constants_stay_bounded_over_n() {
+    let p = params(4.0);
+    let rows: Vec<ValidationRow> = [200_000usize, 400_000, 800_000, 1_600_000]
+        .iter()
+        .map(|&n| ValidationRow::new(&p, n as u64, 8, &nmsort_snapshot(n, 4.0)))
+        .collect();
+    for r in &rows {
+        assert!(
+            r.far_constant() > 0.2 && r.far_constant() < 20.0,
+            "far constant {} out of range at n={}",
+            r.far_constant(),
+            r.n
+        );
+        assert!(
+            r.near_constant() > 0.2 && r.near_constant() < 20.0,
+            "near constant {} out of range at n={}",
+            r.near_constant(),
+            r.n
+        );
+    }
+    assert!(
+        constants_stable(&rows, 4.0),
+        "hidden constants drift: {:?}",
+        rows.iter()
+            .map(|r| (r.far_constant(), r.near_constant()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn near_blocks_scale_inversely_with_rho() {
+    // Theorem 6: a near block carries rho*B bytes, so blocks-per-byte must
+    // scale as 1/rho. (Byte volumes themselves may differ slightly across
+    // rho — the merge fanout legitimately adapts to the rho*B block size.)
+    let s2 = nmsort_snapshot(400_000, 2.0);
+    let s8 = nmsort_snapshot(400_000, 8.0);
+    let bpb2 = s2.near_blocks() as f64 / s2.near_bytes as f64;
+    let bpb8 = s8.near_blocks() as f64 / s8.near_bytes as f64;
+    let ratio = bpb2 / bpb8;
+    assert!(
+        (ratio - 4.0).abs() < 0.4,
+        "blocks-per-byte ratio {ratio} should be ~4 (= 8/2)"
+    );
+    // And each is close to its nominal 1/(rho*B), allowing ceiling slack.
+    assert!((1.0 / 128.0..1.15 / 128.0).contains(&bpb2), "bpb2 {bpb2}");
+    assert!((1.0 / 512.0..1.15 / 512.0).contains(&bpb8), "bpb8 {bpb8}");
+}
+
+#[test]
+fn seqsort_recursion_depth_obeys_lemma5_scale() {
+    let tl = TwoLevel::new(params(4.0));
+    let n = 1_000_000usize;
+    let input = tl.far_from_vec(generate(Workload::UniformU64, n, 11));
+    let (out, report) = seq_scratchpad_sort(&tl, input, &SeqSortConfig::default()).unwrap();
+    assert!(out.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    // M = 2 MiB -> cap ~ 100k elems; m ~ 2048 pivots. log_m(N/cap) = ~0.3,
+    // so 1-2 levels should always suffice for uniform input.
+    assert!(report.max_depth <= 2, "depth {}", report.max_depth);
+    assert_eq!(report.fallback_buckets, 0);
+    // Lemma 5's analytic scan count bounds the observed one (with slack).
+    let p = params(4.0);
+    let predicted = theorems::lemma5_scan_count(&p, n as u64, 8).max(1) as u64;
+    assert!(
+        report.scans <= 20 * predicted,
+        "scans {} vs predicted O({})",
+        report.scans,
+        predicted
+    );
+}
+
+#[test]
+fn bad_split_probability_is_negligible_at_real_sample_sizes() {
+    let p = params(4.0);
+    let m = p.sample_size_m();
+    assert!(m >= 1000, "paper-scale samples are large (m = {m})");
+    assert!(recursion::bad_split_probability_approx(m) < 1e-12);
+}
+
+#[test]
+fn lower_bound_never_exceeds_measured() {
+    // The (constant-free) lower bound should sit below the measured counts.
+    let p = params(4.0);
+    let n = 400_000u64;
+    let s = nmsort_snapshot(n as usize, 4.0);
+    let lb = theorems::theorem6_lower_bound(&p, n, 8);
+    assert!(
+        (s.total_blocks() as f64) > 0.5 * lb,
+        "measured {} suspiciously below lower bound {}",
+        s.total_blocks(),
+        lb
+    );
+}
+
+#[test]
+fn baseline_matches_theorem1_shape() {
+    // Baseline far blocks should track Theorem 1's (n/B)·log_{Z/B}(n/B)
+    // within a stable constant across n.
+    let consts: Vec<f64> = [200_000usize, 400_000, 800_000]
+        .iter()
+        .map(|&n| {
+            let tl = TwoLevel::new(params(2.0));
+            let input = tl.far_from_vec(generate(Workload::UniformU64, n, 13));
+            baseline_sort(
+                &tl,
+                input,
+                &BaselineConfig {
+                    sim_lanes: 16,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let meas = tl.ledger().snapshot().far_blocks() as f64;
+            let pred = theorems::theorem1_multiway_sort(n as u64, 8, 128 << 10, 64);
+            meas / pred
+        })
+        .collect();
+    let max = consts.iter().cloned().fold(0.0f64, f64::max);
+    let min = consts.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max / min < 4.0, "constants {consts:?} drift");
+}

@@ -1,0 +1,140 @@
+//! Property-based tests across the workspace: for arbitrary inputs and
+//! geometries, every sort is a sorted permutation of its input and the
+//! accounting invariants hold.
+
+use proptest::prelude::*;
+use two_level_mem::prelude::*;
+
+fn tiny_params() -> ScratchpadParams {
+    // Small M so even modest inputs are multi-chunk: M = 256 KiB, Z = 32 KiB.
+    ScratchpadParams::new(64, 3.0, 256 << 10, 32 << 10).unwrap()
+}
+
+fn sorted_copy(v: &[u64]) -> Vec<u64> {
+    let mut s = v.to_vec();
+    s.sort_unstable();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn nmsort_sorts_arbitrary_inputs(
+        v in proptest::collection::vec(any::<u64>(), 0..60_000),
+        lanes in 1usize..16,
+        chunk_div in 1usize..6,
+    ) {
+        let tl = TwoLevel::new(tiny_params());
+        let expect = sorted_copy(&v);
+        let n = v.len();
+        let input = tl.far_from_vec(v);
+        let cfg = NmSortConfig {
+            sim_lanes: lanes,
+            chunk_elems: if n > 16 { Some((n / chunk_div).clamp(8, 14_000)) } else { None },
+            parallel: false,
+            ..Default::default()
+        };
+        let r = nmsort(&tl, input, &cfg).unwrap();
+        prop_assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
+    }
+
+    #[test]
+    fn nmsort_handles_duplicate_heavy_inputs(
+        n in 0usize..50_000,
+        distinct in 1u64..8,
+        seed in any::<u64>(),
+    ) {
+        let v = generate(Workload::FewDistinct(distinct), n, seed);
+        let tl = TwoLevel::new(tiny_params());
+        let expect = sorted_copy(&v);
+        let input = tl.far_from_vec(v);
+        let r = nmsort(&tl, input, &NmSortConfig {
+            parallel: false,
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
+    }
+
+    #[test]
+    fn baseline_sorts_arbitrary_inputs(
+        v in proptest::collection::vec(any::<u64>(), 0..40_000),
+        lanes in 1usize..32,
+    ) {
+        let tl = TwoLevel::new(tiny_params());
+        let expect = sorted_copy(&v);
+        let input = tl.far_from_vec(v);
+        let r = baseline_sort(&tl, input, &BaselineConfig {
+            sim_lanes: lanes,
+            parallel: false,
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
+    }
+
+    #[test]
+    fn seqsort_sorts_arbitrary_inputs(
+        v in proptest::collection::vec(any::<u64>(), 0..40_000),
+    ) {
+        let tl = TwoLevel::new(tiny_params());
+        let expect = sorted_copy(&v);
+        let input = tl.far_from_vec(v);
+        let (out, _) = seq_scratchpad_sort(&tl, input, &SeqSortConfig::default()).unwrap();
+        prop_assert_eq!(out.as_slice_uncharged(), expect.as_slice());
+    }
+
+    #[test]
+    fn ledger_bytes_and_blocks_are_consistent(
+        v in proptest::collection::vec(any::<u64>(), 100..30_000),
+    ) {
+        let tl = TwoLevel::new(tiny_params());
+        let input = tl.far_from_vec(v);
+        nmsort(&tl, input, &NmSortConfig { parallel: false, ..Default::default() }).unwrap();
+        let s = tl.ledger().snapshot();
+        let p = tiny_params();
+        // Block counts can exceed bytes/block (ceiling per transfer) but
+        // never be smaller, and never exceed one block per byte.
+        prop_assert!(s.far_blocks() >= s.far_bytes / p.block_bytes);
+        prop_assert!(s.near_blocks() >= s.near_bytes / p.near_block_bytes());
+        prop_assert!(s.far_blocks() <= s.far_bytes.max(1));
+        // Trace volumes match ledger byte volumes for sequential IO; random
+        // accesses inflate the trace (full blocks), never deflate it.
+        let t = tl.take_trace().total();
+        prop_assert!(t.far_bytes() >= s.far_bytes);
+        prop_assert!(t.near_bytes() >= s.near_bytes);
+    }
+
+    #[test]
+    fn simulated_time_monotone_in_rho(
+        v in proptest::collection::vec(any::<u64>(), 2_000..25_000),
+    ) {
+        let tl = TwoLevel::new(tiny_params());
+        let input = tl.far_from_vec(v);
+        nmsort(&tl, input, &NmSortConfig { parallel: false, ..Default::default() }).unwrap();
+        let trace = tl.take_trace();
+        let mut prev = f64::INFINITY;
+        for rho in [1.0, 2.0, 4.0, 8.0] {
+            let s = simulate_flow(&trace, &MachineConfig::fig4(16, rho)).seconds;
+            prop_assert!(s <= prev * 1.0001, "rho {} time {} prev {}", rho, s, prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn kmeans_assignments_valid_and_variants_agree(
+        n in 50usize..2_000,
+        k in 1usize..6,
+        d in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let pts = two_level_mem::kmeans::generate_blobs(n, d, k, 5.0, seed);
+        let tl = TwoLevel::new(tiny_params());
+        let arr = tl.far_from_vec(pts);
+        let cfg = KMeansConfig { k, dim: d, max_iters: 8, sim_lanes: 4, parallel: false, ..Default::default() };
+        let a = kmeans_far(&tl, &arr, &cfg);
+        let b = kmeans_near(&tl, &arr, &cfg).unwrap();
+        prop_assert_eq!(&a.assignments, &b.assignments);
+        prop_assert!(a.assignments.iter().all(|&c| (c as usize) < k));
+        prop_assert!(a.inertia.is_finite());
+    }
+}
