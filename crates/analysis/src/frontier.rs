@@ -28,7 +28,11 @@ impl FrontierPoint {
 
 /// Evaluate the frontier for Fig. 4-style nodes at each core count,
 /// scaling DRAM bandwidth by `bw_scale`.
-pub fn frontier_for_cores(core_counts: &[u32], bw_scale: f64, elem_bytes: usize) -> Vec<FrontierPoint> {
+pub fn frontier_for_cores(
+    core_counts: &[u32],
+    bw_scale: f64,
+    elem_bytes: usize,
+) -> Vec<FrontierPoint> {
     core_counts
         .iter()
         .map(|&cores| {

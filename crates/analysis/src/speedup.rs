@@ -22,8 +22,7 @@ pub fn compare_runs(baseline: &SimReport, candidate: &SimReport) -> Comparison {
     Comparison {
         speedup,
         advantage: 1.0 - candidate.seconds / baseline.seconds.max(f64::MIN_POSITIVE),
-        far_access_ratio: baseline.far_accesses as f64
-            / (candidate.far_accesses.max(1)) as f64,
+        far_access_ratio: baseline.far_accesses as f64 / (candidate.far_accesses.max(1)) as f64,
         near_per_far: candidate.near_accesses as f64 / (candidate.far_accesses.max(1)) as f64,
     }
 }
@@ -52,7 +51,10 @@ mod tests {
         let nm8 = report(640.126, 158_521_515, 368_351_141);
         let c = compare_runs(&gnu, &nm8);
         assert!(c.advantage > 0.25, "paper: >25% at 8x, got {}", c.advantage);
-        assert!(c.far_access_ratio > 2.0, "NMsort does ~half the DRAM accesses");
+        assert!(
+            c.far_access_ratio > 2.0,
+            "NMsort does ~half the DRAM accesses"
+        );
         assert!(c.near_per_far > 2.0 && c.near_per_far < 3.0);
     }
 

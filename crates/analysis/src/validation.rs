@@ -85,7 +85,10 @@ mod tests {
     fn row_constants() {
         let p = ScratchpadParams::paper_default(4.0);
         let pred = theorems::theorem6_scratchpad_sort(&p, 1 << 22, 8);
-        let s = snap((2.0 * pred.far_blocks) as u64, (3.0 * pred.near_blocks) as u64);
+        let s = snap(
+            (2.0 * pred.far_blocks) as u64,
+            (3.0 * pred.near_blocks) as u64,
+        );
         let row = ValidationRow::new(&p, 1 << 22, 8, &s);
         assert!((row.far_constant() - 2.0).abs() < 0.01);
         assert!((row.near_constant() - 3.0).abs() < 0.01);

@@ -81,5 +81,10 @@ fn bench_quicksort_and_select(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kmeans_assign, bench_gemm, bench_quicksort_and_select);
+criterion_group!(
+    benches,
+    bench_kmeans_assign,
+    bench_gemm,
+    bench_quicksort_and_select
+);
 criterion_main!(benches);

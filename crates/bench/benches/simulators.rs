@@ -8,7 +8,7 @@ use tlmm_memsim::{simulate_flow, MachineConfig};
 
 fn bench_engines(c: &mut Criterion) {
     // One real NMsort run's trace, reused across engines.
-    let run = run_nmsort(500_000, 64, 100_000, 1);
+    let run = run_nmsort(500_000, 64, 100_000, 1).expect("nmsort run");
     let m = MachineConfig::fig4(64, 4.0);
     let mut g = c.benchmark_group("trace_replay");
     g.sample_size(10);

@@ -1,10 +1,16 @@
 //! Run the whole evaluation suite and write each artifact's output under
 //! `results/` — the one-command reproduction of EXPERIMENTS.md.
 //!
+//! Each child binary writes its own `<name>.txt` and `<name>.json` (this
+//! driver points them at the output directory via `TLMM_RESULTS_DIR`);
+//! afterwards a `manifest.json` maps every artifact to its files, runtime
+//! and exit status, stamped with the git commit.
+//!
 //! Run: `cargo run --release -p tlmm-bench --bin all_experiments [out_dir]`
 
-use std::io::Write;
+use serde::Serialize;
 use std::process::Command;
+use tlmm_bench::artifact;
 
 const BINS: &[&str] = &[
     "table1",
@@ -18,7 +24,24 @@ const BINS: &[&str] = &[
     "fig_energy",
     "fig_gemm",
     "ablation",
+    "telemetry_overhead",
 ];
+
+#[derive(Serialize)]
+struct ManifestEntry {
+    artifact: String,
+    ok: bool,
+    seconds: f64,
+    files: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct Manifest {
+    schema_version: u32,
+    git_sha: String,
+    out_dir: String,
+    entries: Vec<ManifestEntry>,
+}
 
 fn main() {
     let out_dir = std::env::args()
@@ -31,23 +54,26 @@ fn main() {
         .expect("exe dir")
         .to_path_buf();
 
+    let mut entries = Vec::new();
     let mut failures = 0;
     for bin in BINS {
         let path = exe_dir.join(bin);
         eprint!("[all_experiments] {bin} ... ");
         let started = std::time::Instant::now();
-        let output = Command::new(&path).output();
-        match output {
+        let output = Command::new(&path)
+            .env(artifact::RESULTS_DIR_ENV, &out_dir)
+            .output();
+        let seconds = started.elapsed().as_secs_f64();
+        let ok = match &output {
             Ok(o) if o.status.success() => {
-                let file = format!("{out_dir}/{bin}.txt");
-                let mut f = std::fs::File::create(&file).expect("create result file");
-                f.write_all(&o.stdout).expect("write result");
-                eprintln!("ok ({:.1}s) -> {file}", started.elapsed().as_secs_f64());
+                eprintln!("ok ({seconds:.1}s)");
+                true
             }
             Ok(o) => {
                 failures += 1;
                 eprintln!("FAILED (status {:?})", o.status.code());
                 eprintln!("{}", String::from_utf8_lossy(&o.stderr));
+                false
             }
             Err(e) => {
                 failures += 1;
@@ -55,9 +81,34 @@ fn main() {
                     "could not launch {path:?}: {e}. Build all binaries first: \
                      `cargo build --release -p tlmm-bench --bins`"
                 );
+                false
             }
-        }
+        };
+        // Record whichever artifact files the child actually produced.
+        let files: Vec<String> = ["txt", "json", "jsonl"]
+            .iter()
+            .map(|ext| format!("{bin}.{ext}"))
+            .filter(|f| std::path::Path::new(&out_dir).join(f).exists())
+            .collect();
+        entries.push(ManifestEntry {
+            artifact: bin.to_string(),
+            ok,
+            seconds,
+            files,
+        });
     }
+
+    let manifest = Manifest {
+        schema_version: 1,
+        git_sha: artifact::git_sha(),
+        out_dir: out_dir.clone(),
+        entries,
+    };
+    let manifest_path = format!("{out_dir}/manifest.json");
+    let json = serde::json::to_string_pretty(&manifest).expect("serialize manifest");
+    std::fs::write(&manifest_path, json).expect("write manifest");
+    eprintln!("[all_experiments] manifest -> {manifest_path}");
+
     if failures > 0 {
         eprintln!("[all_experiments] {failures} experiment(s) failed");
         std::process::exit(1);

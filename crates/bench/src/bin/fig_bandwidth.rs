@@ -9,18 +9,19 @@
 //! Run: `cargo run --release -p tlmm-bench --bin fig_bandwidth`
 
 use tlmm_analysis::table::{ratio, secs, Table};
-use tlmm_bench::{run_baseline, run_nmsort, TABLE1_CHUNK, TABLE1_LANES, TABLE1_N};
+use tlmm_bench::{artifact, outln, run_baseline, run_nmsort, TABLE1_CHUNK, TABLE1_LANES, TABLE1_N};
 use tlmm_memsim::stats::Bottleneck;
 use tlmm_memsim::{simulate_flow, MachineConfig};
+use tlmm_telemetry::RunReport;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(TABLE1_N);
     eprintln!("[fig_bandwidth] sorting {n} random u64 once, replaying across rho...");
-    let base = run_baseline(n, TABLE1_LANES, 0xF1);
-    let nm = run_nmsort(n, TABLE1_LANES, TABLE1_CHUNK.min(n / 4 + 1), 0xF1);
+    let base = run_baseline(n, TABLE1_LANES, 0xF1)?;
+    let nm = run_nmsort(n, TABLE1_LANES, TABLE1_CHUNK.min(n / 4 + 1), 0xF1)?;
     let base_sim = simulate_flow(&base.trace, &MachineConfig::fig4(256, 2.0));
 
     let mut t = Table::new([
@@ -31,6 +32,7 @@ fn main() {
         "near-bound (s)",
         "far-bound (s)",
     ]);
+    let mut sweep = Vec::new();
     for rho in [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0] {
         let m = MachineConfig::fig4(256, rho);
         let sim = simulate_flow(&nm.trace, &m);
@@ -42,11 +44,25 @@ fn main() {
             secs(sim.seconds_bound_by(Bottleneck::NearBandwidth)),
             secs(sim.seconds_bound_by(Bottleneck::FarBandwidth)),
         ]);
+        sweep.push(sim.seconds);
     }
-    println!("\nF-BW — NMsort simulated time vs scratchpad bandwidth (256 cores)\n");
-    println!("{}", t.render());
-    println!(
+    let mut out = String::new();
+    outln!(
+        out,
+        "\nF-BW — NMsort simulated time vs scratchpad bandwidth (256 cores)\n"
+    );
+    outln!(out, "{}", t.render());
+    outln!(
+        out,
         "expected shape: time falls ~linearly in rho while the near-bound \
          component dominates, then flattens once far passes dominate."
     );
+
+    let report = RunReport::collect("fig_bandwidth")
+        .meta("n", n)
+        .meta("lanes", TABLE1_LANES)
+        .section("baseline_sim_2x", &base_sim)
+        .section("nmsort_seconds_by_rho", &sweep);
+    artifact::emit("fig_bandwidth", &out, report)?;
+    Ok(())
 }

@@ -8,18 +8,19 @@
 //! Run: `cargo run --release -p tlmm-bench --bin fig_corescale`
 
 use tlmm_analysis::table::{secs, Table};
-use tlmm_bench::{run_baseline, run_nmsort, TABLE1_CHUNK, TABLE1_LANES, TABLE1_N};
+use tlmm_bench::{artifact, outln, run_baseline, run_nmsort, TABLE1_CHUNK, TABLE1_LANES, TABLE1_N};
 use tlmm_memsim::{simulate_flow, MachineConfig};
 use tlmm_model::bounds::bandwidth_bound_verdict;
+use tlmm_telemetry::RunReport;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(TABLE1_N);
     eprintln!("[fig_corescale] sorting {n} random u64 once, replaying across core counts...");
-    let base = run_baseline(n, TABLE1_LANES, 0xC0);
-    let nm = run_nmsort(n, TABLE1_LANES, TABLE1_CHUNK.min(n / 4 + 1), 0xC0);
+    let base = run_baseline(n, TABLE1_LANES, 0xC0)?;
+    let nm = run_nmsort(n, TABLE1_LANES, TABLE1_CHUNK.min(n / 4 + 1), 0xC0)?;
 
     let mut t = Table::new([
         "cores",
@@ -29,25 +30,40 @@ fn main() {
         "NMsort 8x (s)",
         "advantage",
     ]);
+    let mut advantages = Vec::new();
     for cores in [32u32, 64, 128, 256, 512, 1024] {
         let m8 = MachineConfig::fig4(cores, 8.0);
         let m_base = MachineConfig::fig4(cores, 2.0);
         let v = bandwidth_bound_verdict(&m8.machine_rates(8));
         let bs = simulate_flow(&base.trace, &m_base);
         let ns = simulate_flow(&nm.trace, &m8);
+        let adv = 1.0 - ns.seconds / bs.seconds;
         t.row(vec![
             cores.to_string(),
             format!("{:.2}", v.pressure()),
             if v.is_memory_bound() { "yes" } else { "no" }.to_string(),
             secs(bs.seconds),
             secs(ns.seconds),
-            format!("{:.1}%", (1.0 - ns.seconds / bs.seconds) * 100.0),
+            format!("{:.1}%", adv * 100.0),
         ]);
+        advantages.push(adv);
     }
-    println!("\nF-CORES — scratchpad benefit vs core count (10M u64, rho=8)\n");
-    println!("{}", t.render());
-    println!(
+    let mut out = String::new();
+    outln!(
+        out,
+        "\nF-CORES — scratchpad benefit vs core count (10M u64, rho=8)\n"
+    );
+    outln!(out, "{}", t.render());
+    outln!(
+        out,
         "expected shape: advantage appears once pressure exceeds 1 \
          (the paper's 128-vs-256 flip) and grows with core count."
     );
+
+    let report = RunReport::collect("fig_corescale")
+        .meta("n", n)
+        .meta("lanes", TABLE1_LANES)
+        .section("advantage_by_cores", &advantages);
+    artifact::emit("fig_corescale", &out, report)?;
+    Ok(())
 }

@@ -10,10 +10,12 @@
 //! Run: `cargo run --release -p tlmm-bench --bin fig_kmeans`
 
 use tlmm_analysis::table::{ratio, secs, Table};
+use tlmm_bench::{artifact, outln};
 use tlmm_kmeans::{generate_blobs, kmeans_far, kmeans_near, KMeansConfig};
 use tlmm_memsim::{simulate_flow, MachineConfig, SimReport};
 use tlmm_model::ScratchpadParams;
 use tlmm_scratchpad::TwoLevel;
+use tlmm_telemetry::RunReport;
 
 fn iter_seconds(sim: &SimReport) -> f64 {
     sim.phase_summary()
@@ -64,11 +66,24 @@ fn run(n: usize, d: usize, k: usize, rho: f64) -> Row {
     }
 }
 
-fn main() {
-    println!("\nF-KMEANS — DRAM-streaming vs scratchpad k-means (256 cores)\n");
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = String::new();
+    outln!(
+        out,
+        "\nF-KMEANS — DRAM-streaming vs scratchpad k-means (256 cores)\n"
+    );
     let mut t = Table::new([
-        "n", "d", "k", "rho", "DRAM (s)", "scratch (s)", "iter speedup", "total speedup", "iters",
+        "n",
+        "d",
+        "k",
+        "rho",
+        "DRAM (s)",
+        "scratch (s)",
+        "iter speedup",
+        "total speedup",
+        "iters",
     ]);
+    let mut iter_speedups = Vec::new();
     for &(n, d, k) in &[
         (2_000_000usize, 4usize, 8usize),
         (1_000_000, 8, 16),
@@ -87,11 +102,19 @@ fn main() {
                 ratio(r.far_total / r.near_total),
                 r.iters.to_string(),
             ]);
+            iter_speedups.push(r.far_iter / r.near_iter);
         }
     }
-    println!("{}", t.render());
-    println!(
+    outln!(out, "{}", t.render());
+    outln!(
+        out,
         "expected shape: iteration speedup approaches rho while iterations \
          are bandwidth-bound (paper: 'a factor of rho faster')."
     );
+
+    let report = RunReport::collect("fig_kmeans")
+        .meta("lanes", 256)
+        .section("iter_speedups", &iter_speedups);
+    artifact::emit("fig_kmeans", &out, report)?;
+    Ok(())
 }

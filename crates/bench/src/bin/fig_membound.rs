@@ -9,8 +9,10 @@
 
 use tlmm_analysis::frontier::{fig4_crossover_cores, frontier_for_cores};
 use tlmm_analysis::table::Table;
+use tlmm_bench::{artifact, outln};
+use tlmm_telemetry::RunReport;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cores = [16u32, 32, 64, 128, 192, 256, 384, 512, 1024];
     let scales = [0.5, 1.0, 2.0, 4.0, 8.0];
 
@@ -18,6 +20,7 @@ fn main() {
         std::iter::once("cores \\ bw".to_string())
             .chain(scales.iter().map(|s| format!("{s}x DRAM"))),
     );
+    let mut pressures = Vec::new();
     for &c in &cores {
         let mut row = vec![c.to_string()];
         for &s in &scales {
@@ -27,16 +30,29 @@ fn main() {
                 p.pressure,
                 if p.memory_bound() { "*" } else { " " }
             ));
+            pressures.push(p.pressure);
         }
         t.row(row);
     }
-    println!("\nF-BOUND — memory pressure x/(y·log Z); '*' = memory-bandwidth bound\n");
-    println!("{}", t.render());
-    match fig4_crossover_cores(8) {
-        Some(c) => println!(
+    let mut out = String::new();
+    outln!(
+        out,
+        "\nF-BOUND — memory pressure x/(y·log Z); '*' = memory-bandwidth bound\n"
+    );
+    outln!(out, "{}", t.render());
+    let crossover = fig4_crossover_cores(8);
+    match crossover {
+        Some(c) => outln!(
+            out,
             "Fig. 4 node crossover: sorting becomes memory-bound at {c} cores \
              (paper: between 128 and 256)."
         ),
-        None => println!("no crossover below u32::MAX cores"),
+        None => outln!(out, "no crossover below u32::MAX cores"),
     }
+
+    let report = RunReport::collect("fig_membound")
+        .section("pressure_grid", &pressures)
+        .section("crossover_cores", &crossover);
+    artifact::emit("fig_membound", &out, report)?;
+    Ok(())
 }

@@ -10,12 +10,14 @@
 
 use tlmm_analysis::table::{count, Table};
 use tlmm_analysis::validation::{constants_stable, ValidationRow};
+use tlmm_bench::{artifact, check_sorted, outln};
 use tlmm_core::nmsort::{nmsort, NmSortConfig};
 use tlmm_model::ScratchpadParams;
 use tlmm_scratchpad::TwoLevel;
+use tlmm_telemetry::RunReport;
 use tlmm_workloads::{generate, Workload};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A smaller scratchpad (4 MiB) so every N in the sweep is multi-chunk.
     let mut rows = Vec::new();
     let mut t = Table::new([
@@ -38,12 +40,8 @@ fn main() {
                 parallel: true,
                 ..Default::default()
             };
-            let report = nmsort(&tl, input, &cfg).expect("nmsort");
-            assert!(report
-                .output
-                .as_slice_uncharged()
-                .windows(2)
-                .all(|w| w[0] <= w[1]));
+            let report = nmsort(&tl, input, &cfg)?;
+            check_sorted(report.output.as_slice_uncharged())?;
             let s = tl.ledger().snapshot();
             let row = ValidationRow::new(&params, n as u64, 8, &s);
             t.row(vec![
@@ -59,15 +57,30 @@ fn main() {
             rows.push(row);
         }
     }
-    println!("\nF-MODEL — ledger block counts vs Theorem 6 (NMsort, M=4MiB, Z=256KiB)\n");
-    println!("{}", t.render());
+    let mut out = String::new();
+    outln!(
+        out,
+        "\nF-MODEL — ledger block counts vs Theorem 6 (NMsort, M=4MiB, Z=256KiB)\n"
+    );
+    outln!(out, "{}", t.render());
     let stable = constants_stable(&rows, 4.0);
-    println!(
+    outln!(
+        out,
         "hidden-constant stability across the sweep (max/min <= 4): {}",
         if stable { "PASS" } else { "FAIL" }
     );
-    println!(
+    outln!(
+        out,
         "expected shape: c_far and c_near drift slowly (log factors), \
          far below any polynomial divergence."
     );
+
+    let far_constants: Vec<f64> = rows.iter().map(|r| r.far_constant()).collect();
+    let near_constants: Vec<f64> = rows.iter().map(|r| r.near_constant()).collect();
+    let report = RunReport::collect("fig_model_validation")
+        .meta("stable", stable)
+        .section("far_constants", &far_constants)
+        .section("near_constants", &near_constants);
+    artifact::emit("fig_model_validation", &out, report)?;
+    Ok(())
 }

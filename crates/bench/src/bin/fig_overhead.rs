@@ -8,12 +8,14 @@
 //! Run: `cargo run --release -p tlmm-bench --bin fig_overhead`
 
 use tlmm_analysis::table::{count, Table};
+use tlmm_bench::{artifact, check_sorted, outln};
 use tlmm_core::nmsort::{nmsort, NmSortConfig};
 use tlmm_model::ScratchpadParams;
 use tlmm_scratchpad::TwoLevel;
+use tlmm_telemetry::RunReport;
 use tlmm_workloads::{generate, Workload};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 2_000_000usize;
     let mut t = Table::new([
         "B (bytes)",
@@ -23,6 +25,7 @@ fn main() {
         "data (B)",
         "overhead",
     ]);
+    let mut overheads = Vec::new();
     for &b in &[64u64, 128, 256, 512, 1024] {
         let params = ScratchpadParams::new(b, 4.0, 16 << 20, 1 << 20).unwrap();
         let tl = TwoLevel::new(params);
@@ -36,10 +39,11 @@ fn main() {
             n_pivots: Some((chunk / b as usize).max(1)),
             ..Default::default()
         };
-        let r = nmsort(&tl, input, &cfg).expect("nmsort");
-        assert!(r.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+        let r = nmsort(&tl, input, &cfg)?;
+        check_sorted(r.output.as_slice_uncharged())?;
         // Metadata: one BucketPos array (m+2 u64) per chunk + BucketTot.
-        let meta_bytes = r.chunks as u64 * (r.n_pivots as u64 + 2) * 8 + (r.n_pivots as u64 + 1) * 8;
+        let meta_bytes =
+            r.chunks as u64 * (r.n_pivots as u64 + 2) * 8 + (r.n_pivots as u64 + 1) * 8;
         let data_bytes = (n * 8) as u64;
         t.row(vec![
             b.to_string(),
@@ -49,8 +53,22 @@ fn main() {
             count(data_bytes),
             format!("{:.3}%", meta_bytes as f64 / data_bytes as f64 * 100.0),
         ]);
+        overheads.push(meta_bytes as f64 / data_bytes as f64);
     }
-    println!("\nF-OVHD — bucket metadata overhead vs block size B (N = 2M u64)\n");
-    println!("{}", t.render());
-    println!("expected shape: overhead ~ 1/B; around or below 1% by B = 128.");
+    let mut out = String::new();
+    outln!(
+        out,
+        "\nF-OVHD — bucket metadata overhead vs block size B (N = 2M u64)\n"
+    );
+    outln!(out, "{}", t.render());
+    outln!(
+        out,
+        "expected shape: overhead ~ 1/B; around or below 1% by B = 128."
+    );
+
+    let report = RunReport::collect("fig_overhead")
+        .meta("n", n)
+        .section("overhead_by_block", &overheads);
+    artifact::emit("fig_overhead", &out, report)?;
+    Ok(())
 }

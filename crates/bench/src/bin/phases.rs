@@ -1,20 +1,28 @@
-//! Diagnostic: per-phase simulated time breakdown for one NMsort run.
+//! Diagnostic: per-phase simulated time breakdown for one NMsort run,
+//! plus the run's own wall-clock telemetry span tree.
 //!
 //! Run: `cargo run --release -p tlmm-bench --bin phases [N]`
 
 use tlmm_analysis::table::{secs, Table};
-use tlmm_bench::{run_baseline, run_nmsort, TABLE1_LANES};
+use tlmm_bench::{artifact, outln, run_baseline, run_nmsort, TABLE1_LANES};
 use tlmm_memsim::{simulate_flow, MachineConfig};
+use tlmm_telemetry::RunReport;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000_000);
-    let nm = run_nmsort(n, TABLE1_LANES, n / 4 + 1, 0xD1);
+    let nm = run_nmsort(n, TABLE1_LANES, n / 4 + 1, 0xD1)?;
     let m = MachineConfig::fig4(256, 8.0);
     let sim = simulate_flow(&nm.trace, &m);
-    println!("NMsort total: {:.6} s over {} phases", sim.seconds, sim.phases.len());
+    let mut out = String::new();
+    outln!(
+        out,
+        "NMsort total: {:.6} s over {} phases",
+        sim.seconds,
+        sim.phases.len()
+    );
     let mut t = Table::new(["phase", "total (s)", "bottleneck sample"]);
     for (name, s) in sim.phase_summary() {
         let b = sim
@@ -26,14 +34,25 @@ fn main() {
             .unwrap_or_default();
         t.row(vec![name, secs(s), b]);
     }
-    println!("{}", t.render());
+    outln!(out, "{}", t.render());
 
-    let base = run_baseline(n, TABLE1_LANES, 0xD1);
+    let base = run_baseline(n, TABLE1_LANES, 0xD1)?;
     let bsim = simulate_flow(&base.trace, &MachineConfig::fig4(256, 2.0));
-    println!("baseline total: {:.6} s", bsim.seconds);
+    outln!(out, "baseline total: {:.6} s", bsim.seconds);
     let mut t = Table::new(["phase", "total (s)"]);
     for (name, s) in bsim.phase_summary() {
         t.row(vec![name, secs(s)]);
     }
-    println!("{}", t.render());
+    outln!(out, "{}", t.render());
+
+    let report = RunReport::collect("phases")
+        .meta("n", n)
+        .meta("lanes", TABLE1_LANES)
+        .section("nmsort_sim_8x", &sim)
+        .section("baseline_sim_2x", &bsim);
+    // The measured span tree is this diagnostic's whole point: show it.
+    outln!(out, "host wall-clock span tree (telemetry):\n");
+    outln!(out, "{}", report.render_tree());
+    artifact::emit("phases", &out, report)?;
+    Ok(())
 }

@@ -2,16 +2,21 @@
 //!
 //! Every binary in `src/bin/` regenerates one artifact of the paper's
 //! evaluation (see DESIGN.md §4 for the index). This library holds the
-//! common plumbing: the experiment-scale memory parameters, and runners
-//! that execute a sort once and hand back its phase trace, ledger and
-//! report so the binaries can replay the same run on many machine
-//! configurations.
+//! common plumbing: the experiment-scale memory parameters, one
+//! parameterized runner ([`run_sort`]) that executes a sort and hands back
+//! its phase trace, ledger and size so the binaries can replay the same run
+//! on many machine configurations, and the [`artifact`] module that writes
+//! each binary's text and [`tlmm_telemetry::RunReport`] JSON under
+//! `results/`.
 
 use tlmm_core::baseline::{baseline_sort, BaselineConfig};
 use tlmm_core::nmsort::{nmsort, NmSortConfig};
+use tlmm_core::SortError;
 use tlmm_model::{CostSnapshot, ScratchpadParams};
 use tlmm_scratchpad::{PhaseTrace, TwoLevel};
 use tlmm_workloads::{generate, Workload};
+
+pub mod artifact;
 
 /// Experiment-scale model parameters.
 ///
@@ -35,69 +40,151 @@ pub struct SortRun {
     pub n: usize,
 }
 
-fn assert_sorted(v: &[u64]) {
-    assert!(
-        v.windows(2).all(|w| w[0] <= w[1]),
-        "harness: output not sorted"
-    );
+/// Errors surfaced by the harness runners.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// The sort itself failed.
+    Sort(SortError),
+    /// The output failed verification: `output[index] > output[index + 1]`.
+    NotSorted {
+        /// First out-of-order position.
+        index: usize,
+    },
+}
+
+impl From<SortError> for HarnessError {
+    fn from(e: SortError) -> Self {
+        HarnessError::Sort(e)
+    }
+}
+
+impl core::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HarnessError::Sort(e) => write!(f, "sort failed: {e}"),
+            HarnessError::NotSorted { index } => {
+                write!(f, "harness: output not sorted at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Verify `v` is non-decreasing; report the first violation instead of
+/// panicking so binaries can surface the failure with context.
+pub fn check_sorted(v: &[u64]) -> Result<(), HarnessError> {
+    match v.windows(2).position(|w| w[0] > w[1]) {
+        None => Ok(()),
+        Some(index) => Err(HarnessError::NotSorted { index }),
+    }
+}
+
+/// Which algorithm [`run_sort`] executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortAlgo {
+    /// NMsort with blocking ingest transfers.
+    NmSort,
+    /// NMsort with DMA-overlapped ingest (the §VII improvement).
+    NmSortDma,
+    /// The GNU-style far-memory multiway mergesort baseline.
+    Baseline,
+}
+
+/// Parameters for one measured sort run.
+#[derive(Debug, Clone, Copy)]
+pub struct SortSpec {
+    /// Algorithm variant.
+    pub algo: SortAlgo,
+    /// Elements to sort (random u64).
+    pub n: usize,
+    /// Virtual lanes (simulated cores).
+    pub lanes: usize,
+    /// NMsort chunk bound in elements (ignored by the baseline).
+    pub chunk_elems: Option<usize>,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Run one sort per `spec` on a fresh experiment-scale [`TwoLevel`],
+/// verify the output, and return the recorded trace and ledger.
+///
+/// This is the single runner behind [`run_nmsort`], [`run_nmsort_dma`] and
+/// [`run_baseline`]; the setup (params, workload, verification, trace
+/// harvest) lives only here.
+pub fn run_sort(spec: &SortSpec) -> Result<SortRun, HarnessError> {
+    let tl = TwoLevel::new(experiment_params(4.0));
+    let input = tl.far_from_vec(generate(Workload::UniformU64, spec.n, spec.seed));
+    let output = match spec.algo {
+        SortAlgo::NmSort | SortAlgo::NmSortDma => {
+            let cfg = NmSortConfig {
+                sim_lanes: spec.lanes,
+                chunk_elems: spec.chunk_elems,
+                parallel: true,
+                use_dma: spec.algo == SortAlgo::NmSortDma,
+                ..Default::default()
+            };
+            nmsort(&tl, input, &cfg)?.output
+        }
+        SortAlgo::Baseline => {
+            let cfg = BaselineConfig {
+                sim_lanes: spec.lanes,
+                parallel: true,
+                ..Default::default()
+            };
+            baseline_sort(&tl, input, &cfg)?.output
+        }
+    };
+    check_sorted(output.as_slice_uncharged())?;
+    Ok(SortRun {
+        trace: tl.take_trace(),
+        ledger: tl.ledger().snapshot(),
+        n: spec.n,
+    })
 }
 
 /// Run NMsort on `n` random u64s with `lanes` virtual lanes; chunks are
 /// bounded to `chunk_elems` to exercise the two-phase structure.
-pub fn run_nmsort(n: usize, lanes: usize, chunk_elems: usize, seed: u64) -> SortRun {
-    let tl = TwoLevel::new(experiment_params(4.0));
-    let input = tl.far_from_vec(generate(Workload::UniformU64, n, seed));
-    let cfg = NmSortConfig {
-        sim_lanes: lanes,
-        chunk_elems: Some(chunk_elems),
-        parallel: true,
-        ..Default::default()
-    };
-    let report = nmsort(&tl, input, &cfg).expect("nmsort");
-    assert_sorted(report.output.as_slice_uncharged());
-    SortRun {
-        trace: tl.take_trace(),
-        ledger: tl.ledger().snapshot(),
+pub fn run_nmsort(
+    n: usize,
+    lanes: usize,
+    chunk_elems: usize,
+    seed: u64,
+) -> Result<SortRun, HarnessError> {
+    run_sort(&SortSpec {
+        algo: SortAlgo::NmSort,
         n,
-    }
+        lanes,
+        chunk_elems: Some(chunk_elems),
+        seed,
+    })
 }
 
 /// Run NMsort with DMA-overlapped ingest (the §VII improvement).
-pub fn run_nmsort_dma(n: usize, lanes: usize, chunk_elems: usize, seed: u64) -> SortRun {
-    let tl = TwoLevel::new(experiment_params(4.0));
-    let input = tl.far_from_vec(generate(Workload::UniformU64, n, seed));
-    let cfg = NmSortConfig {
-        sim_lanes: lanes,
-        chunk_elems: Some(chunk_elems),
-        parallel: true,
-        use_dma: true,
-        ..Default::default()
-    };
-    let report = nmsort(&tl, input, &cfg).expect("nmsort dma");
-    assert_sorted(report.output.as_slice_uncharged());
-    SortRun {
-        trace: tl.take_trace(),
-        ledger: tl.ledger().snapshot(),
+pub fn run_nmsort_dma(
+    n: usize,
+    lanes: usize,
+    chunk_elems: usize,
+    seed: u64,
+) -> Result<SortRun, HarnessError> {
+    run_sort(&SortSpec {
+        algo: SortAlgo::NmSortDma,
         n,
-    }
+        lanes,
+        chunk_elems: Some(chunk_elems),
+        seed,
+    })
 }
 
 /// Run the GNU-style far-memory baseline.
-pub fn run_baseline(n: usize, lanes: usize, seed: u64) -> SortRun {
-    let tl = TwoLevel::new(experiment_params(4.0));
-    let input = tl.far_from_vec(generate(Workload::UniformU64, n, seed));
-    let cfg = BaselineConfig {
-        sim_lanes: lanes,
-        parallel: true,
-        ..Default::default()
-    };
-    let report = baseline_sort(&tl, input, &cfg).expect("baseline");
-    assert_sorted(report.output.as_slice_uncharged());
-    SortRun {
-        trace: tl.take_trace(),
-        ledger: tl.ledger().snapshot(),
+pub fn run_baseline(n: usize, lanes: usize, seed: u64) -> Result<SortRun, HarnessError> {
+    run_sort(&SortSpec {
+        algo: SortAlgo::Baseline,
         n,
-    }
+        lanes,
+        chunk_elems: None,
+        seed,
+    })
 }
 
 /// The Table-I scale: 10 M random 64-bit integers on a 256-core node, with
@@ -115,14 +202,30 @@ mod tests {
 
     #[test]
     fn harness_runs_small() {
-        let nm = run_nmsort(100_000, 16, 20_000, 1);
+        let nm = run_nmsort(100_000, 16, 20_000, 1).expect("nmsort run");
         assert!(nm.trace.phases.len() > 4);
         assert!(nm.ledger.near_blocks() > 0);
-        let base = run_baseline(100_000, 16, 1);
+        let base = run_baseline(100_000, 16, 1).expect("baseline run");
         assert_eq!(base.ledger.near_blocks(), 0);
         // At toy scale the baseline's runs fit its per-lane cache share, so
         // its far traffic is the 4-pass minimum — NMsort's should be close
         // (the Table-I gap appears at paper scale; see tests/end_to_end.rs).
         assert!(nm.ledger.far_bytes < 2 * base.ledger.far_bytes);
+    }
+
+    #[test]
+    fn check_sorted_reports_first_violation() {
+        assert!(check_sorted(&[]).is_ok());
+        assert!(check_sorted(&[1, 2, 2, 3]).is_ok());
+        match check_sorted(&[1, 3, 2, 0]) {
+            Err(HarnessError::NotSorted { index: 1 }) => {}
+            other => panic!("expected NotSorted at 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dma_spec_routes_through_same_runner() {
+        let dma = run_nmsort_dma(50_000, 8, 10_000, 2).expect("dma run");
+        assert!(dma.trace.phases.iter().any(|p| p.overlappable));
     }
 }

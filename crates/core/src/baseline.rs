@@ -78,6 +78,7 @@ pub fn baseline_sort<T: SortElem>(
             merge_rounds: 0,
         });
     }
+    let _run_span = tlmm_telemetry::span!("baseline_sort");
     let run_elems = n.div_ceil(p);
     let zc_bytes = cfg
         .cache_per_lane_bytes

@@ -35,7 +35,10 @@ pub fn bucket_positions<T: SortElem>(
     parallel: bool,
 ) -> BucketPositions {
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "chunk not sorted");
-    debug_assert!(pivots.windows(2).all(|w| w[0] < w[1]), "pivots not sorted/unique");
+    debug_assert!(
+        pivots.windows(2).all(|w| w[0] < w[1]),
+        "pivots not sorted/unique"
+    );
     let m = pivots.len();
     let n = sorted.len();
     let elem = std::mem::size_of::<T>() as u64;
@@ -106,10 +109,19 @@ pub fn accumulate_totals(
     positions: &BucketPositions,
     lanes: usize,
 ) {
-    assert_eq!(totals.len() + 1, positions.len(), "totals/positions mismatch");
+    assert_eq!(
+        totals.len() + 1,
+        positions.len(),
+        "totals/positions mismatch"
+    );
     for (i, t) in totals.iter_mut().enumerate() {
-        *t += positions[i + 1] - positions[i];
+        let size = positions[i + 1] - positions[i];
+        *t += size;
     }
+    // Batched: one atomic flush per non-empty log2 bucket instead of three
+    // atomics per bucket-size sample (this loop runs per chunk).
+    tlmm_telemetry::histogram!("core.bucketize.bucket_elems")
+        .record_iter((0..totals.len()).map(|i| positions[i + 1] - positions[i]));
     let lanes = lanes.max(1);
     let per = totals.len().div_ceil(lanes).max(1);
     let base = current_lane();

@@ -128,7 +128,10 @@ pub fn external_sort<T: SortElem>(
         .run_elems
         .unwrap_or_else(|| default_run_elems::<T>(tl, lanes));
     let run_elems = run_elems.clamp(2, n);
-    let fanout = cfg.fanout.unwrap_or_else(|| default_fanout(tl, level)).max(2);
+    let fanout = cfg
+        .fanout
+        .unwrap_or_else(|| default_fanout(tl, level))
+        .max(2);
 
     // ---- Run formation ------------------------------------------------
     let base = current_lane();
@@ -152,8 +155,16 @@ pub fn external_sort<T: SortElem>(
 
     // ---- Merge rounds --------------------------------------------------
     let bounds: Vec<usize> = (0..=n_runs).map(|i| (i * run_elems).min(n)).collect();
-    let (in_scratch, rounds, merge_cmps) =
-        merge_rounds(tl, level, data, scratch, bounds, fanout, lanes, cfg.parallel);
+    let (in_scratch, rounds, merge_cmps) = merge_rounds(
+        tl,
+        level,
+        data,
+        scratch,
+        bounds,
+        fanout,
+        lanes,
+        cfg.parallel,
+    );
     total_cmps.fetch_add(merge_cmps, std::sync::atomic::Ordering::Relaxed);
 
     ExtSortOutcome {

@@ -135,6 +135,17 @@ impl<T: Ord + Copy> Iterator for LoserTree<'_, T> {
     }
 }
 
+impl<T> Drop for LoserTree<'_, T> {
+    fn drop(&mut self) {
+        // Comparisons are accumulated locally (one add per comparison would
+        // dominate the merge inner loop) and flushed to the global telemetry
+        // counter once per tree.
+        if self.comparisons > 0 {
+            tlmm_telemetry::counter!("core.losertree.comparisons").add(self.comparisons);
+        }
+    }
+}
+
 /// Merge `runs` into `out` (appended), returning the number of comparisons.
 pub fn merge_into<T: Ord + Copy>(runs: &[&[T]], out: &mut Vec<T>) -> u64 {
     let total: usize = runs.iter().map(|r| r.len()).sum();
@@ -162,6 +173,9 @@ pub fn merge_into<T: Ord + Copy>(runs: &[&[T]], out: &mut Vec<T>) -> u64 {
             }
             out.extend_from_slice(&a[i..]);
             out.extend_from_slice(&b[j..]);
+            if cmps > 0 {
+                tlmm_telemetry::counter!("core.losertree.comparisons").add(cmps);
+            }
             cmps
         }
         _ => {

@@ -184,6 +184,7 @@ pub fn nmsort<T: SortElem>(
             phase2_cost: CostSnapshot::default(),
         });
     }
+    let _run_span = tlmm_telemetry::span!("nmsort");
     let geo = geometry::<T>(tl, n, cfg)?;
     let base = tl.ledger().snapshot();
 
@@ -288,7 +289,13 @@ pub fn nmsort<T: SortElem>(
             // BucketPos for this chunk goes to DRAM (the auxiliary array of
             // Fig. 2(c)); the write is a cooperative stream like the data
             // transfers.
-            charge_io_striped(tl, RegionLevel::Far, Dir::Write, (pos.len() * 8) as u64, lanes);
+            charge_io_striped(
+                tl,
+                RegionLevel::Far,
+                Dir::Write,
+                (pos.len() * 8) as u64,
+                lanes,
+            );
             all_positions.push(pos);
         }
         tl.end_phase();
@@ -306,7 +313,13 @@ pub fn nmsort<T: SortElem>(
         // Read BucketTot (resident in near) to plan batches (Fig. 3(a)).
         tl.begin_phase("nmsort.p2.plan");
         let totals: Vec<u64> = totals_buf.as_slice_uncharged().to_vec();
-        charge_io_striped(tl, RegionLevel::Near, Dir::Read, (totals.len() * 8) as u64, lanes);
+        charge_io_striped(
+            tl,
+            RegionLevel::Near,
+            Dir::Read,
+            (totals.len() * 8) as u64,
+            lanes,
+        );
         let cap = geo.chunk as u64;
         let batches = plan_batches(&totals, cap);
         batches_run = batches.len();
@@ -379,12 +392,7 @@ fn batch_segments(
     all_positions
         .iter()
         .zip(chunk_starts)
-        .map(|(pos, &start)| {
-            (
-                start + pos[blo] as usize,
-                start + pos[bhi] as usize,
-            )
-        })
+        .map(|(pos, &start)| (start + pos[blo] as usize, start + pos[bhi] as usize))
         .collect()
 }
 
@@ -442,7 +450,13 @@ fn merge_batch_via_scratchpad<T: SortElem>(
         // transfer (segments are subdivided further on a real machine), so
         // the volume is charged striped rather than one-lane-per-chunk.
         charge_io_striped(tl, RegionLevel::Far, Dir::Read, total as u64 * elem, lanes);
-        charge_io_striped(tl, RegionLevel::Near, Dir::Write, total as u64 * elem, lanes);
+        charge_io_striped(
+            tl,
+            RegionLevel::Near,
+            Dir::Write,
+            total as u64 * elem,
+            lanes,
+        );
     }
 
     // -- Merge inside the scratchpad -------------------------------------
@@ -459,7 +473,13 @@ fn merge_batch_via_scratchpad<T: SortElem>(
         let cmps = parallel_merge(&seg_slices, out, lanes, parallel);
         // Merge streams the batch through cache once each way.
         charge_io_striped(tl, RegionLevel::Near, Dir::Read, total as u64 * elem, lanes);
-        charge_io_striped(tl, RegionLevel::Near, Dir::Write, total as u64 * elem, lanes);
+        charge_io_striped(
+            tl,
+            RegionLevel::Near,
+            Dir::Write,
+            total as u64 * elem,
+            lanes,
+        );
         charge_compute_striped(tl, cmps, lanes);
     }
 
@@ -558,17 +578,32 @@ fn merge_oversized_bucket<T: SortElem>(
             // Degenerate duplication: merge straight from DRAM.
             tl.begin_phase("nmsort.p2.stream_far");
             let seg_slices: Vec<&[T]> = part_segs.iter().map(|&(a, b)| &src[a..b]).collect();
-            let out =
-                &mut output.as_mut_slice_uncharged()[part_off..part_off + part_total];
+            let out = &mut output.as_mut_slice_uncharged()[part_off..part_off + part_total];
             let cmps = parallel_merge(&seg_slices, out, lanes, parallel);
-            charge_io_striped(tl, RegionLevel::Far, Dir::Read, part_total as u64 * elem, lanes);
-            charge_io_striped(tl, RegionLevel::Far, Dir::Write, part_total as u64 * elem, lanes);
+            charge_io_striped(
+                tl,
+                RegionLevel::Far,
+                Dir::Read,
+                part_total as u64 * elem,
+                lanes,
+            );
+            charge_io_striped(
+                tl,
+                RegionLevel::Far,
+                Dir::Write,
+                part_total as u64 * elem,
+                lanes,
+            );
             charge_compute_striped(tl, cmps, lanes);
             tl.end_phase();
         }
         part_off += part_total;
     }
-    debug_assert_eq!(part_off, out_off + total, "oversized parts must cover bucket");
+    debug_assert_eq!(
+        part_off,
+        out_off + total,
+        "oversized parts must cover bucket"
+    );
 }
 
 /// Gather + merge + writeout for an explicit segment list (used by the
@@ -596,7 +631,13 @@ fn merge_part_via_scratchpad<T: SortElem>(
             cursor += hi - lo;
         }
         charge_io_striped(tl, RegionLevel::Far, Dir::Read, total as u64 * elem, lanes);
-        charge_io_striped(tl, RegionLevel::Near, Dir::Write, total as u64 * elem, lanes);
+        charge_io_striped(
+            tl,
+            RegionLevel::Near,
+            Dir::Write,
+            total as u64 * elem,
+            lanes,
+        );
     }
     tl.begin_phase("nmsort.p2.merge");
     {
@@ -610,7 +651,13 @@ fn merge_part_via_scratchpad<T: SortElem>(
         let out = &mut merge_buf.as_mut_slice_uncharged()[..total];
         let cmps = parallel_merge(&seg_slices, out, lanes, parallel);
         charge_io_striped(tl, RegionLevel::Near, Dir::Read, total as u64 * elem, lanes);
-        charge_io_striped(tl, RegionLevel::Near, Dir::Write, total as u64 * elem, lanes);
+        charge_io_striped(
+            tl,
+            RegionLevel::Near,
+            Dir::Write,
+            total as u64 * elem,
+            lanes,
+        );
         charge_compute_striped(tl, cmps, lanes);
     }
     tl.begin_phase("nmsort.p2.writeout");

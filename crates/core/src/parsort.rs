@@ -49,6 +49,7 @@ pub fn par_scratchpad_sort<T: SortElem>(
     input: FarArray<T>,
     cfg: &ParSortConfig,
 ) -> Result<(FarArray<T>, SeqSortReport), SortError> {
+    let _run_span = tlmm_telemetry::span!("par_scratchpad_sort");
     seq_scratchpad_sort(
         tl,
         input,
@@ -142,9 +143,8 @@ mod tests {
             .unwrap();
             tl.take_trace()
         };
-        let steps = |t: &PhaseTrace| -> u64 {
-            t.phases.iter().map(|p| p.max_lane().noc_bytes()).sum()
-        };
+        let steps =
+            |t: &PhaseTrace| -> u64 { t.phases.iter().map(|p| p.max_lane().noc_bytes()).sum() };
         let t1 = steps(&trace_of(1));
         let t8 = steps(&trace_of(8));
         let ratio = t1 as f64 / t8 as f64;

@@ -139,7 +139,9 @@ mod tests {
 
     #[test]
     fn merges_correctly_across_ways() {
-        let segs: Vec<Vec<u64>> = (0..6).map(|i| random_sorted(1000 + i * 37, i as u64)).collect();
+        let segs: Vec<Vec<u64>> = (0..6)
+            .map(|i| random_sorted(1000 + i * 37, i as u64))
+            .collect();
         for ways in [1, 2, 4, 8, 16] {
             check(segs.clone(), ways, false);
             check(segs.clone(), ways, true);

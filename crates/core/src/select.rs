@@ -126,7 +126,11 @@ pub fn select_kth<T: SortElem>(
             acc += c;
         }
         rank -= acc as usize;
-        let new_lo = if bucket == 0 { lo } else { Some(pivots[bucket - 1]) };
+        let new_lo = if bucket == 0 {
+            lo
+        } else {
+            Some(pivots[bucket - 1])
+        };
         let new_hi = if bucket == pivots.len() {
             hi
         } else {
@@ -199,7 +203,11 @@ pub fn select_kth<T: SortElem>(
             ..Default::default()
         },
     );
-    let sorted = if out.in_scratch { &scratch } else { &candidates };
+    let sorted = if out.in_scratch {
+        &scratch
+    } else {
+        &candidates
+    };
     Ok((sorted[rank], report))
 }
 

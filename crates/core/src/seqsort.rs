@@ -131,7 +131,13 @@ fn sort_rec<T: SortElem>(ctx: &mut Ctx<'_>, data: Vec<T>, depth: u32) -> Vec<T> 
     if n <= ctx.cap_elems {
         let mut data = data;
         charge_io_striped(tl, RegionLevel::Far, Dir::Read, n as u64 * elem, ctx.lanes);
-        charge_io_striped(tl, RegionLevel::Near, Dir::Write, n as u64 * elem, ctx.lanes);
+        charge_io_striped(
+            tl,
+            RegionLevel::Near,
+            Dir::Write,
+            n as u64 * elem,
+            ctx.lanes,
+        );
         let mut scratch = vec![T::default(); n];
         let out = external_sort(
             tl,
@@ -167,9 +173,7 @@ fn sort_rec<T: SortElem>(ctx: &mut Ctx<'_>, data: Vec<T>, depth: u32) -> Vec<T> 
 
     // --- Sample and sort pivots (resident for the whole scan) ----------
     let m = ctx.n_pivots.min(n);
-    let mut pivots: Vec<T> = (0..m)
-        .map(|_| data[ctx.rng.gen_range(0..n)])
-        .collect();
+    let mut pivots: Vec<T> = (0..m).map(|_| data[ctx.rng.gen_range(0..n)]).collect();
     tl.charge_far_random(Dir::Read, m as u64, m as u64 * elem);
     tl.charge_near_io(Dir::Write, m as u64 * elem);
     crate::extsort::cache_sort(tl, RegionLevel::Near, &mut pivots);
@@ -185,8 +189,20 @@ fn sort_rec<T: SortElem>(ctx: &mut Ctx<'_>, data: Vec<T>, depth: u32) -> Vec<T> 
         let len = piece.len();
         // Ingest the group (all lanes cooperate on the stream — the
         // "parallel ingest" of §IV-C).
-        charge_io_striped(tl, RegionLevel::Far, Dir::Read, len as u64 * elem, ctx.lanes);
-        charge_io_striped(tl, RegionLevel::Near, Dir::Write, len as u64 * elem, ctx.lanes);
+        charge_io_striped(
+            tl,
+            RegionLevel::Far,
+            Dir::Read,
+            len as u64 * elem,
+            ctx.lanes,
+        );
+        charge_io_striped(
+            tl,
+            RegionLevel::Near,
+            Dir::Write,
+            len as u64 * elem,
+            ctx.lanes,
+        );
         let mut work = piece.to_vec();
         let out = external_sort(
             tl,
@@ -199,9 +215,20 @@ fn sort_rec<T: SortElem>(ctx: &mut Ctx<'_>, data: Vec<T>, depth: u32) -> Vec<T> 
                 ..Default::default()
             },
         );
-        let sorted: &[T] = if out.in_scratch { &scratch[..len] } else { &work };
+        let sorted: &[T] = if out.in_scratch {
+            &scratch[..len]
+        } else {
+            &work
+        };
         // Boundaries within the sorted group.
-        let pos = bucket_positions(tl, RegionLevel::Near, sorted, &pivots, ctx.lanes, ctx.parallel);
+        let pos = bucket_positions(
+            tl,
+            RegionLevel::Near,
+            sorted,
+            &pivots,
+            ctx.lanes,
+            ctx.parallel,
+        );
         // Append each piece to its bucket in DRAM: the piece streams out of
         // the scratchpad, plus up to two extra far blocks per piece for the
         // unaligned bucket ends (Lemma 4's accounting).
@@ -237,7 +264,13 @@ fn sort_rec<T: SortElem>(ctx: &mut Ctx<'_>, data: Vec<T>, depth: u32) -> Vec<T> 
             ctx.report.fallback_buckets += 1;
             let mut b = bucket;
             let mut s = vec![T::default(); n];
-            let o = external_sort(tl, RegionLevel::Far, &mut b, &mut s, &ExtSortConfig::default());
+            let o = external_sort(
+                tl,
+                RegionLevel::Far,
+                &mut b,
+                &mut s,
+                &ExtSortConfig::default(),
+            );
             out.extend_from_slice(if o.in_scratch { &s } else { &b });
         } else if distribute {
             ctx.lanes = 1;

@@ -146,7 +146,13 @@ fn init_centroids(tl: &TwoLevel, points: &[f64], n: usize, cfg: &KMeansConfig) -
         }
         // One streaming pass over the points per added centroid, striped
         // across the node's lanes.
-        charge_striped(tl, false, Dir::Read, (points.len() * 8) as u64, cfg.sim_lanes);
+        charge_striped(
+            tl,
+            false,
+            Dir::Read,
+            (points.len() * 8) as u64,
+            cfg.sim_lanes,
+        );
         tl.charge_compute((n * d) as u64);
         let pick = if total > 0.0 {
             let target = rng.gen_range(0.0..total);

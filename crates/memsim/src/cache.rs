@@ -181,6 +181,22 @@ impl Cache {
     }
 }
 
+impl Drop for Cache {
+    fn drop(&mut self) {
+        // Hit/miss telemetry flushes once per cache lifetime — per-access
+        // global counter traffic would dominate the simulated access loop.
+        if self.hits > 0 {
+            tlmm_telemetry::counter!("memsim.cache.hits").add(self.hits);
+        }
+        if self.misses > 0 {
+            tlmm_telemetry::counter!("memsim.cache.misses").add(self.misses);
+        }
+        if self.writebacks > 0 {
+            tlmm_telemetry::counter!("memsim.cache.writebacks").add(self.writebacks);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -208,8 +208,7 @@ mod tests {
         assert!(v256.is_memory_bound());
         // ...and not at 64 cores.
         let m64 = MachineConfig::fig4(64, 4.0);
-        let v64 =
-            tlmm_model::bounds::bandwidth_bound_verdict(&m64.machine_rates(8));
+        let v64 = tlmm_model::bounds::bandwidth_bound_verdict(&m64.machine_rates(8));
         assert!(!v64.is_memory_bound());
     }
 

@@ -238,8 +238,11 @@ pub fn simulate_des(trace: &PhaseTrace, m: &MachineConfig, opt: &DesOptions) -> 
     let mut phases: Vec<PhaseStat> = Vec::with_capacity(trace.phases.len());
     let mut total_ps = 0u64;
     let mut i = 0usize;
-    let reset_all = |far: &mut MemorySide, near: &mut MemorySide, noc: &mut Noc,
-                         fdc: &mut DirectoryController, ndc: &mut DirectoryController| {
+    let reset_all = |far: &mut MemorySide,
+                     near: &mut MemorySide,
+                     noc: &mut Noc,
+                     fdc: &mut DirectoryController,
+                     ndc: &mut DirectoryController| {
         far.reset_time();
         near.reset_time();
         noc.reset_time();
@@ -249,12 +252,30 @@ pub fn simulate_des(trace: &PhaseTrace, m: &MachineConfig, opt: &DesOptions) -> 
     while i < trace.phases.len() {
         let p = &trace.phases[i];
         reset_all(&mut far, &mut near, &mut noc, &mut far_dc, &mut near_dc);
-        let t = simulate_phase(p, m, opt, &mut far, &mut near, &mut noc, &mut far_dc, &mut near_dc);
+        let t = simulate_phase(
+            p,
+            m,
+            opt,
+            &mut far,
+            &mut near,
+            &mut noc,
+            &mut far_dc,
+            &mut near_dc,
+        );
         let tot = p.total();
         let visible = if p.overlappable && i + 1 < trace.phases.len() {
             reset_all(&mut far, &mut near, &mut noc, &mut far_dc, &mut near_dc);
             let q = &trace.phases[i + 1];
-            let tq = simulate_phase(q, m, opt, &mut far, &mut near, &mut noc, &mut far_dc, &mut near_dc);
+            let tq = simulate_phase(
+                q,
+                m,
+                opt,
+                &mut far,
+                &mut near,
+                &mut noc,
+                &mut far_dc,
+                &mut near_dc,
+            );
             let qtot = q.total();
             let pair = t.max(tq);
             phases.push(PhaseStat {
@@ -289,14 +310,23 @@ pub fn simulate_des(trace: &PhaseTrace, m: &MachineConfig, opt: &DesOptions) -> 
         };
         total_ps += visible;
     }
+    tlmm_telemetry::counter!("memsim.des.phases").add(phases.len() as u64);
+    tlmm_telemetry::counter!("memsim.des.far_row_hits").add(far.row_hits());
+    tlmm_telemetry::counter!("memsim.des.far_row_misses")
+        .add(far.accesses().saturating_sub(far.row_hits()));
+    tlmm_telemetry::counter!("memsim.des.near_row_hits").add(near.row_hits());
+    tlmm_telemetry::counter!("memsim.des.near_row_misses")
+        .add(near.accesses().saturating_sub(near.row_hits()));
+    for stat in &phases {
+        crate::stats::emit_phase_sim("des", stat);
+    }
     let (far_accesses, near_accesses) = line_accesses(trace, m.line_bytes);
     let t_total = trace.total();
     let total_s = (total_ps as f64 / PS).max(f64::MIN_POSITIVE);
     let detail = DesDetail {
         far_row_hit_rate: far.row_hit_rate(),
         near_row_hit_rate: near.row_hit_rate(),
-        far_bus_utilization: (far.busy_ps() as f64 / PS)
-            / (total_s * m.far.channels.max(1) as f64),
+        far_bus_utilization: (far.busy_ps() as f64 / PS) / (total_s * m.far.channels.max(1) as f64),
         near_bus_utilization: (near.busy_ps() as f64 / PS)
             / (total_s * m.near.channels.max(1) as f64),
         noc_bytes: noc.total_bytes(),

@@ -136,6 +136,11 @@ impl MemorySide {
         self.channels.iter().map(|c| c.accesses).sum()
     }
 
+    /// Total requests that hit an open row buffer.
+    pub fn row_hits(&self) -> u64 {
+        self.channels.iter().map(|c| c.row_hits).sum()
+    }
+
     /// Row-buffer hit fraction (0 when idle).
     pub fn row_hit_rate(&self) -> f64 {
         let a = self.accesses();

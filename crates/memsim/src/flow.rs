@@ -107,6 +107,10 @@ pub fn simulate_flow(trace: &PhaseTrace, m: &MachineConfig) -> SimReport {
         });
         i += 1;
     }
+    tlmm_telemetry::counter!("memsim.flow.phases").add(phases.len() as u64);
+    for stat in &phases {
+        crate::stats::emit_phase_sim("flow", stat);
+    }
     let (far_accesses, near_accesses) = line_accesses(trace, m.line_bytes);
     let t_total = trace.total();
     SimReport {
@@ -216,11 +220,7 @@ mod tests {
     fn overlappable_phase_hides_behind_next() {
         let m = MachineConfig::fig4(256, 4.0);
         let xfer = phase("dma", lanes_with(30e9 as u64 / 256, 0, 0, 256), true);
-        let work = phase(
-            "compute",
-            lanes_with(0, 0, 2_000_000_000, 256),
-            false,
-        );
+        let work = phase("compute", lanes_with(0, 0, 2_000_000_000, 256), false);
         let (t_x, _) = phase_time(&xfer, &m);
         let (t_w, _) = phase_time(&work, &m);
         let r = simulate_flow(

@@ -100,7 +100,10 @@ mod tests {
         let t = n.traverse(0, 1000, 7200); // 7200 B at 72 GB/s = 100 ns
         let m = MachineConfig::fig4(256, 4.0);
         let expect = 1000 + ps(7200.0 / m.noc_link_bytes_per_sec) + ps(m.noc_latency_s);
-        assert!((t as i64 - expect as i64).abs() <= 1, "t={t} expect={expect}");
+        assert!(
+            (t as i64 - expect as i64).abs() <= 1,
+            "t={t} expect={expect}"
+        );
     }
 
     #[test]

@@ -107,6 +107,22 @@ impl SimReport {
     }
 }
 
+/// Emit one `phase_sim` telemetry event for a replayed phase: which engine
+/// simulated it, its simulated seconds, the binding bottleneck, and the
+/// byte/op volumes. No-op unless the JSONL sink is enabled.
+pub(crate) fn emit_phase_sim(engine: &str, stat: &PhaseStat) {
+    if !tlmm_telemetry::sink::enabled() {
+        return;
+    }
+    use serde::{Serialize, Value};
+    let mut fields = match stat.to_value() {
+        Value::Map(fields) => fields,
+        other => vec![("payload".to_string(), other)],
+    };
+    fields.insert(0, ("engine".to_string(), Value::Str(engine.to_string())));
+    tlmm_telemetry::sink::emit("phase_sim", fields);
+}
+
 /// Count line-granular accesses for a trace (bytes / line, rounded up per
 /// phase-lane so partial lines count as a full access, matching what a
 /// line-based memory controller serves).

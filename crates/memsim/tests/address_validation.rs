@@ -39,7 +39,10 @@ fn sequential_chunk_scan_reaches_memory_unfiltered() {
     let refs = patterns::scan(0, 8 << 20, 64, false);
     let st = run_hierarchy(&refs, &m());
     let lines = (8 << 20) / 64;
-    assert_eq!(st.far_lines, lines, "every line must reach DRAM exactly once");
+    assert_eq!(
+        st.far_lines, lines,
+        "every line must reach DRAM exactly once"
+    );
 }
 
 #[test]

@@ -127,14 +127,16 @@ mod tests {
         // paper observes 256 cores memory-bound, 128 not. The verdict for the
         // nominal figures should be within 2x of the boundary.
         let v = bandwidth_bound_verdict(&MachineRates::paper_fig4());
-        assert!(v.pressure() > 0.4 && v.pressure() < 2.5, "pressure {}", v.pressure());
+        assert!(
+            v.pressure() > 0.4 && v.pressure() < 2.5,
+            "pressure {}",
+            v.pressure()
+        );
     }
 
     #[test]
     fn more_cores_make_it_memory_bound() {
-        let mk = |cores| {
-            MachineRates::for_node(cores, 1.7e9 * 2.0, 60e9, 8, 1e6)
-        };
+        let mk = |cores| MachineRates::for_node(cores, 1.7e9 * 2.0, 60e9, 8, 1e6);
         let few = bandwidth_bound_verdict(&mk(32));
         let many = bandwidth_bound_verdict(&mk(1024));
         assert!(!few.is_memory_bound());

@@ -6,6 +6,7 @@
 //! "Scratchpad Accesses" / "DRAM Accesses" columns of Table I and behind the
 //! model-validation experiment (F-MODEL in DESIGN.md).
 
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Direction of a charged transfer, from the processor's point of view.
@@ -99,7 +100,7 @@ impl CostLedger {
 }
 
 /// An immutable snapshot of a [`CostLedger`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CostSnapshot {
     pub far_read_blocks: u64,
     pub far_write_blocks: u64,

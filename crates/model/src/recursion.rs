@@ -76,7 +76,10 @@ mod tests {
             let approx = bad_split_probability_approx(m);
             // (1 - 1/√m)^m = e^{m ln(1-1/√m)} ≈ e^{-√m - 1/2 - ...}: the
             // exact value is *smaller*; they agree within a factor e.
-            assert!(exact <= approx * 1.01, "m={m} exact={exact} approx={approx}");
+            assert!(
+                exact <= approx * 1.01,
+                "m={m} exact={exact} approx={approx}"
+            );
             assert!(exact >= approx * (-2.0f64).exp(), "m={m}");
         }
     }

@@ -34,9 +34,7 @@ impl<S, D> DmaTransfer<S, D> {
     /// Block until the transfer completes; returns the source and
     /// destination arrays (or the transfer's error).
     pub fn wait(self) -> Result<(S, D), SpError> {
-        self.handle
-            .join()
-            .expect("DMA worker thread panicked")
+        self.handle.join().expect("DMA worker thread panicked")
     }
 
     /// Has the transfer finished (non-blocking)?
@@ -63,6 +61,11 @@ impl DmaEngine {
         self.tl.mark_phase_overlappable();
         let tl = self.tl.clone();
         let lane = current_lane();
+        record_issue(
+            "far_to_near",
+            (src_range.len() * std::mem::size_of::<T>()) as u64,
+            lane,
+        );
         let handle = std::thread::spawn(move || {
             with_lane(lane, || tl.far_to_near(&src, src_range, &mut dst, dst_at))
                 .map(|()| (src, dst))
@@ -81,11 +84,35 @@ impl DmaEngine {
         self.tl.mark_phase_overlappable();
         let tl = self.tl.clone();
         let lane = current_lane();
+        record_issue(
+            "near_to_far",
+            (src_range.len() * std::mem::size_of::<T>()) as u64,
+            lane,
+        );
         let handle = std::thread::spawn(move || {
             with_lane(lane, || tl.near_to_far(&src, src_range, &mut dst, dst_at))
                 .map(|()| (src, dst))
         });
         DmaTransfer { handle }
+    }
+}
+
+/// Telemetry for one issued DMA transfer: counters, the transfer-size
+/// histogram, and (when the sink is on) a structured `dma` event.
+fn record_issue(dir: &str, bytes: u64, lane: usize) {
+    tlmm_telemetry::counter!("dma.transfers").incr();
+    tlmm_telemetry::counter!("dma.bytes").add(bytes);
+    tlmm_telemetry::histogram!("dma.transfer_bytes").record(bytes);
+    if tlmm_telemetry::sink::enabled() {
+        use serde::Value;
+        tlmm_telemetry::sink::emit(
+            "dma",
+            vec![
+                ("dir".to_string(), Value::Str(dir.to_string())),
+                ("bytes".to_string(), Value::U64(bytes)),
+                ("lane".to_string(), Value::U64(lane as u64)),
+            ],
+        );
     }
 }
 

@@ -141,6 +141,11 @@ impl TwoLevel {
             Dir::Read => w.far_read_bytes += bytes,
             Dir::Write => w.far_write_bytes += bytes,
         });
+        match dir {
+            Dir::Read => tlmm_telemetry::counter!("scratchpad.far.read_bytes").add(bytes),
+            Dir::Write => tlmm_telemetry::counter!("scratchpad.far.write_bytes").add(bytes),
+        }
+        tlmm_telemetry::histogram!("scratchpad.far.transfer_bytes").record(bytes);
     }
 
     fn charge_near(&self, dir: Dir, bytes: u64) {
@@ -150,12 +155,18 @@ impl TwoLevel {
             Dir::Read => w.near_read_bytes += bytes,
             Dir::Write => w.near_write_bytes += bytes,
         });
+        match dir {
+            Dir::Read => tlmm_telemetry::counter!("scratchpad.near.read_bytes").add(bytes),
+            Dir::Write => tlmm_telemetry::counter!("scratchpad.near.write_bytes").add(bytes),
+        }
+        tlmm_telemetry::histogram!("scratchpad.near.transfer_bytes").record(bytes);
     }
 
     /// Record `n` RAM-model operations (comparisons, arithmetic).
     pub fn charge_compute(&self, n: u64) {
         self.inner.ledger.charge_compute(n);
         self.inner.recorder.charge(|w| w.compute_ops += n);
+        tlmm_telemetry::counter!("scratchpad.compute_ops").add(n);
     }
 
     // Low-level charging API.
@@ -385,7 +396,6 @@ impl TwoLevel {
         self.inner.ledger.reset();
         self.inner.recorder.reset();
     }
-
 }
 
 /// Ends the phase it guards when dropped.

@@ -15,26 +15,21 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
-
-thread_local! {
-    static CURRENT_LANE: Cell<usize> = const { Cell::new(0) };
-}
 
 /// Run `f` with all runtime charges on this thread attributed to virtual
 /// lane `lane`. Nestable; the previous lane is restored afterwards.
+///
+/// Delegates to [`tlmm_telemetry::with_lane`] so that telemetry spans and
+/// events opened inside the closure carry the same lane attribution the
+/// cost trace uses — one thread-local, one source of truth.
 pub fn with_lane<R>(lane: usize, f: impl FnOnce() -> R) -> R {
-    CURRENT_LANE.with(|c| {
-        let prev = c.replace(lane);
-        let r = f();
-        c.set(prev);
-        r
-    })
+    tlmm_telemetry::with_lane(lane, f)
 }
 
 /// The lane charges on this thread are currently attributed to.
+/// Outside any [`with_lane`] scope, charges land on lane 0.
 pub fn current_lane() -> usize {
-    CURRENT_LANE.with(|c| c.get())
+    tlmm_telemetry::current_lane().unwrap_or(0)
 }
 
 /// Work attributed to one virtual lane within one phase. All byte fields are
@@ -169,15 +164,31 @@ pub struct TraceRecorder {
 struct RecorderInner {
     finished: Vec<PhaseRecord>,
     open: Option<PhaseRecord>,
+    /// Wall-clock telemetry span covering the open phase. Detached: phase
+    /// begin/end may happen on different frames (or threads) than the
+    /// charges inside it.
+    open_span: Option<tlmm_telemetry::Span>,
 }
 
 impl RecorderInner {
     fn open_mut(&mut self) -> &mut PhaseRecord {
-        self.open.get_or_insert_with(|| PhaseRecord {
-            name: "anonymous".to_string(),
-            lanes: Vec::new(),
-            overlappable: false,
+        self.open.get_or_insert_with(|| {
+            self.open_span = Some(tlmm_telemetry::Span::detached("anonymous"));
+            PhaseRecord {
+                name: "anonymous".to_string(),
+                lanes: Vec::new(),
+                overlappable: false,
+            }
         })
+    }
+
+    fn close_open(&mut self) {
+        if let Some(p) = self.open.take() {
+            self.finished.push(p);
+        }
+        if let Some(span) = self.open_span.take() {
+            span.finish();
+        }
     }
 }
 
@@ -190,14 +201,13 @@ impl TraceRecorder {
     /// Close the open phase (if any) and start a new one.
     pub fn begin_phase(&self, name: &str) {
         let mut g = self.inner.lock();
-        if let Some(p) = g.open.take() {
-            g.finished.push(p);
-        }
+        g.close_open();
         g.open = Some(PhaseRecord {
             name: name.to_string(),
             lanes: Vec::new(),
             overlappable: false,
         });
+        g.open_span = Some(tlmm_telemetry::Span::detached(name));
     }
 
     /// Mark the open phase as overlappable (DMA semantics).
@@ -208,10 +218,7 @@ impl TraceRecorder {
 
     /// Close the open phase.
     pub fn end_phase(&self) {
-        let mut g = self.inner.lock();
-        if let Some(p) = g.open.take() {
-            g.finished.push(p);
-        }
+        self.inner.lock().close_open();
     }
 
     /// Charge work to the current thread's virtual lane in the open phase
@@ -240,11 +247,10 @@ impl TraceRecorder {
     /// Take the trace and reset the recorder.
     pub fn take_trace(&self) -> PhaseTrace {
         let mut g = self.inner.lock();
-        let mut phases = std::mem::take(&mut g.finished);
-        if let Some(p) = g.open.take() {
-            phases.push(p);
+        g.close_open();
+        PhaseTrace {
+            phases: std::mem::take(&mut g.finished),
         }
-        PhaseTrace { phases }
     }
 
     /// Drop everything recorded so far.
@@ -252,6 +258,9 @@ impl TraceRecorder {
         let mut g = self.inner.lock();
         g.finished.clear();
         g.open = None;
+        if let Some(span) = g.open_span.take() {
+            span.finish();
+        }
     }
 }
 

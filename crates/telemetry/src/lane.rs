@@ -1,0 +1,74 @@
+//! Per-thread virtual-lane attribution.
+//!
+//! The scratchpad runtime models a machine with many more *lanes*
+//! (hardware thread contexts) than the host has cores; algorithm code
+//! wraps each simulated lane's work in `with_lane(lane, || …)`. This
+//! module owns the thread-local lane id so that spans and events opened
+//! inside that closure are attributed to the lane that did the work.
+//! `tlmm_scratchpad` re-exports [`with_lane`] from here, keeping one
+//! source of truth without a dependency cycle.
+
+use std::cell::Cell;
+
+/// Sentinel for "not inside any lane" (host/driver code).
+pub(crate) const NO_LANE: usize = usize::MAX;
+
+thread_local! {
+    static CURRENT_LANE: Cell<usize> = const { Cell::new(NO_LANE) };
+}
+
+/// Run `f` with the current thread attributed to virtual lane `lane`.
+///
+/// Nested calls are allowed; the previous lane is restored on exit (also
+/// on panic, via an RAII guard).
+pub fn with_lane<R>(lane: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_LANE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = CURRENT_LANE.with(|c| c.replace(lane));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The virtual lane the current thread is attributed to, or `None` when
+/// outside any [`with_lane`] scope.
+pub fn current_lane() -> Option<usize> {
+    let lane = CURRENT_LANE.with(|c| c.get());
+    (lane != NO_LANE).then_some(lane)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_nests_and_restores() {
+        assert_eq!(current_lane(), None);
+        with_lane(4, || {
+            assert_eq!(current_lane(), Some(4));
+            with_lane(9, || assert_eq!(current_lane(), Some(9)));
+            assert_eq!(current_lane(), Some(4));
+        });
+        assert_eq!(current_lane(), None);
+    }
+
+    #[test]
+    fn lane_restored_after_panic() {
+        let caught = std::panic::catch_unwind(|| with_lane(7, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(current_lane(), None);
+    }
+
+    #[test]
+    fn lane_is_per_thread() {
+        with_lane(1, || {
+            std::thread::scope(|s| {
+                s.spawn(|| assert_eq!(current_lane(), None));
+            });
+            assert_eq!(current_lane(), Some(1));
+        });
+    }
+}

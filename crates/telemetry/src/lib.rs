@@ -1,0 +1,92 @@
+//! `tlmm-telemetry` — the observability layer of the two-level-memory
+//! stack.
+//!
+//! The paper's argument rests on *measured* quantities (Table I's sim
+//! time, scratchpad and DRAM access counts); this crate makes every layer
+//! of the reproduction emit those measurements in a structured,
+//! machine-readable form instead of free-form text:
+//!
+//! * [`span!`] — lightweight RAII spans with wall-clock timing, nesting,
+//!   and per-lane attribution. The lane is the same *virtual lane* the
+//!   scratchpad runtime charges work to ([`with_lane`] is the single
+//!   source of truth; `tlmm_scratchpad::with_lane` re-exports it).
+//! * [`counter!`] / [`histogram!`] — monotonic counters and log2-bucketed
+//!   histograms (transfer sizes, bucket occupancies, loser-tree
+//!   comparisons, cache hits…) registered in a global sharded
+//!   [`Registry`].
+//! * [`sink`] — a structured JSONL event stream, enabled with
+//!   `TLMM_TELEMETRY=json` (stderr) or `TLMM_TELEMETRY=<path>.jsonl`.
+//! * [`RunReport`] — the end-of-run artifact: span tree + counter and
+//!   histogram snapshots + caller-attached sections (cost ledgers, sim
+//!   reports), serializable to JSON and renderable as a text timeline
+//!   ([`RunReport::render_tree`]).
+//!
+//! Overhead discipline: spans are opened at *phase* granularity (tens per
+//! run), counters are batched by the hot loops that feed them, and the
+//! sink is off unless requested — the whole layer stays well under 5 % of
+//! wall clock on a 1M-element NMsort run (see `tests/overhead.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use tlmm_telemetry as tel;
+//!
+//! tel::reset(); // fresh run
+//! {
+//!     let _run = tel::span!("demo.run");
+//!     tel::with_lane(3, || {
+//!         let _s = tel::span!("demo.phase1");
+//!         tel::counter!("demo.items").add(128);
+//!         tel::histogram!("demo.transfer_bytes").record(4096);
+//!     });
+//! }
+//! let report = tel::RunReport::collect("demo");
+//! assert_eq!(report.spans.len(), 1);            // one root...
+//! assert_eq!(report.spans[0].children.len(), 1); // ...with a nested child
+//! assert_eq!(report.spans[0].children[0].lane, Some(3));
+//! println!("{}", report.render_tree());
+//! let json = report.to_json_pretty().unwrap();
+//! assert!(json.contains("demo.transfer_bytes"));
+//! ```
+
+mod lane;
+mod metrics;
+mod report;
+mod span;
+
+pub mod sink;
+
+pub use lane::{current_lane, with_lane};
+pub use metrics::{
+    bucket_bounds, registry, BucketCount, Counter, CounterSnapshot, Histogram, HistogramSnapshot,
+    Registry,
+};
+pub use report::{RunReport, SpanNode};
+pub use span::{enter, take_spans, Span, SpanGuard, SpanRecord};
+
+/// Nanoseconds since the process-wide telemetry epoch (first use).
+pub fn now_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Clear all recorded telemetry (spans, counters, histograms): the
+/// boundary between two measured runs in one process.
+pub fn reset() {
+    span::reset();
+    metrics::registry().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,339 @@
+//! The end-of-run `RunReport`: span tree + metric snapshots + arbitrary
+//! caller-attached sections, serializable to JSON and renderable as a
+//! text timeline.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::metrics::{registry, CounterSnapshot, HistogramSnapshot};
+use crate::span::{take_spans, SpanRecord};
+
+/// One node of the reconstructed span tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Dotted span name, e.g. `nmsort.p2.merge`.
+    pub name: String,
+    /// Open time, nanoseconds since the telemetry epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Virtual lane attribution (`None` outside `with_lane`).
+    pub lane: Option<u64>,
+    /// Spans opened while this one was current, ordered by open time.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.dur_ns as f64 / 1e9
+    }
+
+    /// This node plus all descendants, depth-first.
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::count).sum::<usize>()
+    }
+}
+
+/// Merged observability artifact for one measured run.
+///
+/// Produced by [`RunReport::collect`] from the global telemetry state;
+/// callers then attach run metadata ([`RunReport::meta`]) and structured
+/// sections such as cost-model ledgers or simulator reports
+/// ([`RunReport::section`]) before writing it out as JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Report schema version; bump on breaking layout changes.
+    pub schema_version: u32,
+    /// Run name (conventionally the harness binary name, e.g. `table1`).
+    pub name: String,
+    /// Wall-clock extent of all recorded spans, in seconds.
+    pub wall_seconds: f64,
+    /// Reconstructed span forest, roots ordered by open time.
+    pub spans: Vec<SpanNode>,
+    /// Non-zero counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Non-empty histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Free-form run metadata (`n`, `lanes`, `git_sha`, …).
+    pub meta: BTreeMap<String, String>,
+    /// Structured payloads merged in by the caller (cost snapshots,
+    /// simulator reports), keyed by section name.
+    pub sections: BTreeMap<String, Value>,
+}
+
+/// Current [`RunReport::schema_version`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+fn build_tree(mut records: Vec<SpanRecord>) -> Vec<SpanNode> {
+    records.sort_by_key(|r| r.start_ns);
+    // Ids of spans present in this batch; parents that already drained
+    // (or never closed) degrade gracefully into roots.
+    let ids: std::collections::HashSet<u64> = records.iter().map(|r| r.id).collect();
+    let mut nodes: BTreeMap<u64, SpanNode> = BTreeMap::new();
+    let mut order: Vec<(u64, u64)> = Vec::new(); // (id, effective parent)
+    for r in &records {
+        let parent = if r.parent != 0 && ids.contains(&r.parent) {
+            r.parent
+        } else {
+            0
+        };
+        order.push((r.id, parent));
+        nodes.insert(
+            r.id,
+            SpanNode {
+                name: r.name.clone(),
+                start_ns: r.start_ns,
+                dur_ns: r.dur_ns,
+                lane: r.lane().map(|l| l as u64),
+                children: Vec::new(),
+            },
+        );
+    }
+    // Attach children to parents, deepest-start-time first so a child is
+    // complete before its parent absorbs it.
+    let mut roots = Vec::new();
+    for (id, parent) in order.iter().rev() {
+        let node = nodes.remove(id).expect("node inserted above");
+        if *parent == 0 {
+            roots.push(node);
+        } else if let Some(p) = nodes.get_mut(parent) {
+            p.children.insert(0, node);
+        } else {
+            // Parent already moved (start-time tie ordering); keep as root
+            // rather than losing the span.
+            roots.push(node);
+        }
+    }
+    roots.reverse();
+    roots.sort_by_key(|n| n.start_ns);
+    roots
+}
+
+impl RunReport {
+    /// Drain the global telemetry state into a report for run `name`.
+    pub fn collect(name: &str) -> RunReport {
+        let records = take_spans();
+        let wall_ns = records
+            .iter()
+            .map(|r| r.start_ns + r.dur_ns)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(records.iter().map(|r| r.start_ns).min().unwrap_or(0));
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            name: name.to_string(),
+            wall_seconds: wall_ns as f64 / 1e9,
+            spans: build_tree(records),
+            counters: registry().counter_snapshots(),
+            histograms: registry().histogram_snapshots(),
+            meta: BTreeMap::new(),
+            sections: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a metadata key/value pair (chainable).
+    pub fn meta(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.meta.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Attach a structured section, e.g. a `CostSnapshot` or `SimReport`
+    /// (chainable).
+    pub fn section<T: Serialize>(mut self, key: &str, payload: &T) -> Self {
+        self.sections.insert(key.to_string(), payload.to_value());
+        self
+    }
+
+    /// Serialize to compact JSON.
+    pub fn to_json(&self) -> Result<String, serde::Error> {
+        serde::json::to_string(self)
+    }
+
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> Result<String, serde::Error> {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parse a report back from JSON.
+    pub fn from_json(s: &str) -> Result<RunReport, serde::Error> {
+        serde::json::from_str(s)
+    }
+
+    /// Render the span tree as a text timeline ("poor man's flamegraph"):
+    /// indented tree with durations, share-of-run bars, and lane tags,
+    /// followed by counter and histogram summaries.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run {}  wall {:.3}s  spans {}  counters {}  histograms {}\n",
+            self.name,
+            self.wall_seconds,
+            self.spans.iter().map(SpanNode::count).sum::<usize>(),
+            self.counters.len(),
+            self.histograms.len(),
+        ));
+        let total_ns = self
+            .spans
+            .iter()
+            .map(|s| s.dur_ns)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        for root in &self.spans {
+            render_node(&mut out, root, "", true, total_ns);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self
+                .counters
+                .iter()
+                .map(|c| c.name.len())
+                .max()
+                .unwrap_or(0);
+            for c in &self.counters {
+                out.push_str(&format!("  {:<width$}  {}\n", c.name, c.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {}  count {}  mean {:.1}\n",
+                    h.name,
+                    h.count,
+                    h.mean()
+                ));
+                let peak = h.buckets.iter().map(|b| b.count).max().unwrap_or(1);
+                for b in &h.buckets {
+                    let bar = "#".repeat(((b.count * 24).div_ceil(peak)) as usize);
+                    out.push_str(&format!(
+                        "    [{:>12} .. {:>12}]  {:>10}  {}\n",
+                        b.lo, b.hi, b.count, bar
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `root` means "print flush-left with no connector"; children then get
+/// the usual `├─`/`└─` tree art under an indentation prefix.
+fn render_node(out: &mut String, node: &SpanNode, prefix: &str, root: bool, total_ns: u64) {
+    let share = node.dur_ns as f64 / total_ns as f64;
+    let bar = "█".repeat((share * 20.0).round() as usize);
+    let lane = match node.lane {
+        Some(l) => format!("  [lane {l}]"),
+        None => String::new(),
+    };
+    out.push_str(&format!(
+        "{prefix}{:<32} {:>9.3}s  {:>5.1}%  {bar}{lane}\n",
+        node.name,
+        node.seconds(),
+        share * 100.0,
+    ));
+    for (i, child) in node.children.iter().enumerate() {
+        let last = i + 1 == node.children.len();
+        let stem = prefix
+            .strip_suffix("├─ ")
+            .map(|p| format!("{p}│  "))
+            .or_else(|| prefix.strip_suffix("└─ ").map(|p| format!("{p}   ")))
+            .unwrap_or_else(|| {
+                if root {
+                    String::new()
+                } else {
+                    prefix.to_string()
+                }
+            });
+        let child_prefix = format!("{stem}{}", if last { "└─ " } else { "├─ " });
+        render_node(out, child, &child_prefix, false, total_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_tree_nests_by_parent() {
+        let records = vec![
+            SpanRecord {
+                id: 1,
+                parent: 0,
+                name: "root".into(),
+                start_ns: 0,
+                dur_ns: 100,
+                lane: u64::MAX,
+            },
+            SpanRecord {
+                id: 2,
+                parent: 1,
+                name: "child_a".into(),
+                start_ns: 10,
+                dur_ns: 30,
+                lane: 3,
+            },
+            SpanRecord {
+                id: 3,
+                parent: 1,
+                name: "child_b".into(),
+                start_ns: 50,
+                dur_ns: 40,
+                lane: u64::MAX,
+            },
+            SpanRecord {
+                id: 4,
+                parent: 2,
+                name: "grandchild".into(),
+                start_ns: 15,
+                dur_ns: 10,
+                lane: u64::MAX,
+            },
+        ];
+        let roots = build_tree(records);
+        assert_eq!(roots.len(), 1);
+        let root = &roots[0];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "child_a");
+        assert_eq!(root.children[0].lane, Some(3));
+        assert_eq!(root.children[0].children.len(), 1);
+        assert_eq!(root.children[1].name, "child_b");
+    }
+
+    #[test]
+    fn orphan_parent_degrades_to_root() {
+        let records = vec![SpanRecord {
+            id: 9,
+            parent: 5, // never recorded
+            name: "orphan".into(),
+            start_ns: 0,
+            dur_ns: 1,
+            lane: u64::MAX,
+        }];
+        let roots = build_tree(records);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "orphan");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let report = RunReport {
+            schema_version: SCHEMA_VERSION,
+            name: "empty".into(),
+            wall_seconds: 0.0,
+            spans: vec![],
+            counters: vec![],
+            histograms: vec![],
+            meta: BTreeMap::new(),
+            sections: BTreeMap::new(),
+        };
+        let text = report.render_tree();
+        assert!(text.contains("run empty"));
+        let json = report.to_json().unwrap();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back.name, "empty");
+    }
+}

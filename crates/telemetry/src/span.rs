@@ -1,0 +1,222 @@
+//! Wall-clock spans with nesting and lane attribution.
+//!
+//! Two flavours cover every call site in the workspace:
+//!
+//! * [`enter`] / the [`span!`](crate::span!) macro — RAII guard tied to
+//!   the opening thread. Spans nest through a thread-local "current span"
+//!   cell: a guard records its parent at open and restores it at drop,
+//!   so sibling and nested spans reconstruct into a tree.
+//! * [`Span::detached`] — an owned span that records its parent at open
+//!   but does not become the thread's current span. Used by holders that
+//!   outlive a stack frame (the scratchpad trace recorder keeps one per
+//!   open phase).
+//!
+//! Finished spans are appended to a global vector; [`take_spans`] drains
+//! it at report time. Span volume is phase-granular (tens to a few
+//! hundred per run), so a single mutex-guarded vector is not a
+//! bottleneck.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::lane::current_lane;
+use crate::now_ns;
+
+/// A finished span, as drained by [`take_spans`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Unique id (process-wide, starts at 1; 0 means "no span").
+    pub id: u64,
+    /// Id of the span that was current when this one opened (0 = root).
+    pub parent: u64,
+    /// Dotted span name, e.g. `nmsort.p1.sort`.
+    pub name: String,
+    /// Open time, nanoseconds since the telemetry epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Virtual lane attribution at open (`usize::MAX` = no lane).
+    pub lane: u64,
+}
+
+impl SpanRecord {
+    /// Lane attribution, if the span was opened inside `with_lane`.
+    pub fn lane(&self) -> Option<usize> {
+        (self.lane != u64::MAX).then_some(self.lane as usize)
+    }
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static FINISHED: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+fn open(name: &str, set_current: bool) -> Span {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT_SPAN.with(|c| {
+        let parent = c.get();
+        if set_current {
+            c.set(id);
+        }
+        parent
+    });
+    Span {
+        id,
+        parent,
+        name: name.to_string(),
+        start_ns: now_ns(),
+        lane: current_lane().map_or(u64::MAX, |l| l as u64),
+    }
+}
+
+fn finish(span: &mut Span) {
+    let record = SpanRecord {
+        id: span.id,
+        parent: span.parent,
+        name: std::mem::take(&mut span.name),
+        start_ns: span.start_ns,
+        dur_ns: now_ns().saturating_sub(span.start_ns),
+        lane: span.lane,
+    };
+    crate::sink::emit_span(&record);
+    FINISHED.lock().push(record);
+}
+
+/// An owned, detached span (see module docs). Finishes on drop or via
+/// [`Span::finish`].
+#[derive(Debug)]
+pub struct Span {
+    id: u64,
+    parent: u64,
+    name: String,
+    start_ns: u64,
+    lane: u64,
+}
+
+impl Span {
+    /// Open a span that does not alter the thread's current-span cell.
+    pub fn detached(name: &str) -> Span {
+        open(name, false)
+    }
+
+    /// Unique id of this span (usable as an explicit parent in events).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Close the span now, recording its duration.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        finish(self);
+    }
+}
+
+/// RAII guard returned by [`enter`]: restores the previous current span
+/// (and records this one) when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    span: Option<Span>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(mut span) = self.span.take() {
+            CURRENT_SPAN.with(|c| c.set(span.parent));
+            finish(&mut span);
+            std::mem::forget(span); // already finished by hand
+        }
+    }
+}
+
+/// Open a nested span on the current thread. Prefer the
+/// [`span!`](crate::span!) macro at call sites.
+pub fn enter(name: &str) -> SpanGuard {
+    SpanGuard {
+        span: Some(open(name, true)),
+    }
+}
+
+/// Open a nested RAII span: `let _g = span!("phase1.chunk_sort");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::enter($name)
+    };
+}
+
+/// Drain all finished spans recorded since the last call (or [`reset`]).
+pub fn take_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *FINISHED.lock())
+}
+
+pub(crate) fn reset() {
+    FINISHED.lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_named(prefix: &str) -> Vec<SpanRecord> {
+        take_spans()
+            .into_iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .collect()
+    }
+
+    #[test]
+    fn guard_restores_parent() {
+        let outer = enter("t.sg.outer");
+        let outer_id = outer.span.as_ref().unwrap().id;
+        {
+            let inner = enter("t.sg.inner");
+            assert_eq!(inner.span.as_ref().unwrap().parent, outer_id);
+        }
+        // After the inner guard drops, a new span sees `outer` again.
+        let sibling = enter("t.sg.sibling");
+        assert_eq!(sibling.span.as_ref().unwrap().parent, outer_id);
+        drop(sibling);
+        drop(outer);
+        let spans = drain_named("t.sg.");
+        assert_eq!(spans.len(), 3);
+        // Drop order: inner, sibling, outer.
+        assert_eq!(spans[0].name, "t.sg.inner");
+        assert_eq!(spans[2].name, "t.sg.outer");
+        assert!(spans[2].dur_ns >= spans[0].dur_ns);
+    }
+
+    #[test]
+    fn detached_span_does_not_become_current() {
+        let outer = enter("t.det.outer");
+        let outer_id = outer.span.as_ref().unwrap().id;
+        let det = Span::detached("t.det.phase");
+        assert_eq!(det.parent, outer_id);
+        let inner = enter("t.det.inner");
+        // `inner` nests under `outer`, not under the detached span.
+        assert_eq!(inner.span.as_ref().unwrap().parent, outer_id);
+        drop(inner);
+        det.finish();
+        drop(outer);
+        drain_named("t.det.");
+    }
+
+    #[test]
+    fn spans_record_lane() {
+        crate::with_lane(5, || {
+            let _g = enter("t.lane.span");
+        });
+        let spans = drain_named("t.lane.");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].lane(), Some(5));
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-module telemetry behavior: span nesting over `with_lane` and OS
+//! threads, histogram bucket edges, report round-trips.
+//!
+//! All tests drain the global span store and registry, so they serialize
+//! on one mutex instead of relying on test-runner threading.
+
+use std::sync::Mutex;
+use tlmm_telemetry::{
+    bucket_bounds, counter, current_lane, histogram, registry, span, with_lane, RunReport,
+};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn span_nesting_across_with_lane_and_threads() {
+    let _g = lock();
+    tlmm_telemetry::reset();
+
+    {
+        let _outer = span!("it.outer");
+        with_lane(7, || {
+            assert_eq!(current_lane(), Some(7));
+            let _inner = span!("it.inner");
+            with_lane(9, || {
+                let _deep = span!("it.deep");
+            });
+        });
+        // Lane attribution must not leak out of with_lane.
+        assert_eq!(current_lane(), None);
+        // Spans opened on other OS threads have no parent on this thread's
+        // stack: they must become roots, not children of it.outer.
+        std::thread::scope(|s| {
+            for lane in 0..3usize {
+                s.spawn(move || {
+                    with_lane(lane, || {
+                        let _t = span!("it.thread");
+                    });
+                });
+            }
+        });
+    }
+
+    let report = RunReport::collect("it");
+    let roots: Vec<&str> = report.spans.iter().map(|n| n.name.as_str()).collect();
+    assert_eq!(roots.iter().filter(|n| **n == "it.thread").count(), 3);
+    let outer = report
+        .spans
+        .iter()
+        .find(|n| n.name == "it.outer")
+        .expect("outer span present");
+    assert_eq!(outer.lane, None);
+    let inner = outer
+        .children
+        .iter()
+        .find(|n| n.name == "it.inner")
+        .expect("inner nests under outer");
+    assert_eq!(inner.lane, Some(7));
+    let deep = inner
+        .children
+        .iter()
+        .find(|n| n.name == "it.deep")
+        .expect("deep nests under inner");
+    assert_eq!(deep.lane, Some(9));
+    for t in report.spans.iter().filter(|n| n.name == "it.thread") {
+        assert!(t.lane.is_some());
+        assert!(t.children.is_empty());
+    }
+}
+
+#[test]
+fn histogram_buckets_are_exact_at_powers_of_two() {
+    let _g = lock();
+    tlmm_telemetry::reset();
+
+    let h = registry().histogram("it.pow2");
+    for shift in 0..16u32 {
+        let v = 1u64 << shift;
+        h.record(v); // exactly on a bucket's lower edge
+        h.record(v + (v / 2)); // interior of the same bucket
+    }
+    let snap = h.snapshot("it.pow2");
+    for b in &snap.buckets {
+        assert!(
+            b.lo.is_power_of_two() || b.lo == 0,
+            "bucket lower bound {} must be a power of two",
+            b.lo
+        );
+        // Every bucket got its lower-edge value plus one interior value
+        // (for [1,1] the "interior" 1 + 0 is the edge again).
+        assert_eq!(b.count, 2, "bucket [{}, {}]", b.lo, b.hi);
+    }
+    assert_eq!(snap.count, 32);
+    // The seam between adjacent buckets: 2^k-1 and 2^k never share one.
+    let (lo8, _) = bucket_bounds(4);
+    assert_eq!(lo8, 8);
+    tlmm_telemetry::reset();
+}
+
+#[test]
+fn run_report_json_round_trip() {
+    let _g = lock();
+    tlmm_telemetry::reset();
+
+    {
+        let _a = span!("rt.root");
+        with_lane(2, || {
+            let _b = span!("rt.child");
+        });
+    }
+    counter!("rt.counter").add(42);
+    histogram!("rt.hist").record_n(1024, 3);
+
+    let report = RunReport::collect("rt")
+        .meta("n", 12345)
+        .section("extra", &vec![1.5f64, 2.5]);
+    let json = report.to_json_pretty().expect("serialize");
+    let back = RunReport::from_json(&json).expect("parse");
+    assert_eq!(back.schema_version, report.schema_version);
+    assert_eq!(back.name, "rt");
+    assert_eq!(back.meta.get("n").map(String::as_str), Some("12345"));
+    assert_eq!(back.spans.len(), report.spans.len());
+    assert_eq!(back.spans[0].children.len(), 1);
+    assert_eq!(back.spans[0].children[0].lane, Some(2));
+    let c = back
+        .counters
+        .iter()
+        .find(|c| c.name == "rt.counter")
+        .unwrap();
+    assert_eq!(c.value, 42);
+    let h = back
+        .histograms
+        .iter()
+        .find(|h| h.name == "rt.hist")
+        .unwrap();
+    assert_eq!(h.count, 3);
+    assert_eq!(h.sum, 3 * 1024);
+    assert!(back.sections.contains_key("extra"));
+    // And the parsed report still renders.
+    assert!(back.render_tree().contains("rt.root"));
+}
+
+#[test]
+fn zero_event_report_renders() {
+    let _g = lock();
+    tlmm_telemetry::reset();
+
+    let report = RunReport::collect("empty");
+    assert!(report.spans.is_empty());
+    assert!(report.counters.is_empty());
+    assert!(report.histograms.is_empty());
+    let rendered = report.render_tree();
+    assert!(rendered.contains("empty"));
+    let json = report.to_json().expect("serialize");
+    let back = RunReport::from_json(&json).expect("parse");
+    assert!(back.spans.is_empty());
+}

@@ -37,9 +37,7 @@ pub fn generate(w: Workload, n: usize, seed: u64) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
     match w {
         Workload::UniformU64 => (0..n).map(|_| rng.gen()).collect(),
-        Workload::UniformBounded(max) => {
-            (0..n).map(|_| rng.gen_range(0..max.max(1))).collect()
-        }
+        Workload::UniformBounded(max) => (0..n).map(|_| rng.gen_range(0..max.max(1))).collect(),
         Workload::Sorted => (0..n as u64).collect(),
         Workload::Reverse => (0..n as u64).rev().collect(),
         Workload::NearlySorted(frac) => {

@@ -9,21 +9,12 @@ use two_level_mem::prelude::*;
 
 fn main() {
     let m = MachineConfig::fig4(256, 4.0);
-    let mut t = Table::new([
-        "pattern",
-        "L1 hit%",
-        "L2 hit%",
-        "mem lines",
-        "time (ms)",
-    ]);
+    let mut t = Table::new(["pattern", "L1 hit%", "L2 hit%", "mem lines", "time (ms)"]);
 
     let cases: Vec<(&str, Vec<_>)> = vec![
         ("stream 4 MB (far)", patterns::scan(0, 4 << 20, 64, false)),
         ("stream 4 MB (near)", patterns::scan(0, 4 << 20, 64, true)),
-        (
-            "word-wise scan 4 MB",
-            patterns::scan(0, 4 << 20, 8, false),
-        ),
+        ("word-wise scan 4 MB", patterns::scan(0, 4 << 20, 8, false)),
         (
             "8 KB hot loop x100",
             patterns::working_set(0, 8 << 10, 64, 100, false),

@@ -50,8 +50,7 @@ fn main() {
         machine.near.sustained_bw() / machine.far.sustained_bw(),
         machine.compute_rate() / 1e9,
     );
-    let verdict =
-        two_level_mem::model::bounds::bandwidth_bound_verdict(&machine.machine_rates(8));
+    let verdict = two_level_mem::model::bounds::bandwidth_bound_verdict(&machine.machine_rates(8));
     println!(
         "sorting on this node is {} (pressure {:.2})",
         if verdict.is_memory_bound() {
@@ -91,7 +90,10 @@ fn main() {
     let mut t = Table::new(["engine", "sim time (s)"]);
     t.row(vec!["analytic flow".to_string(), secs(flow.seconds)]);
     t.row(vec!["DES, 64 B requests".to_string(), secs(des.seconds)]);
-    t.row(vec!["DES, 1 KiB requests".to_string(), secs(des_coarse.seconds)]);
+    t.row(vec![
+        "DES, 1 KiB requests".to_string(),
+        secs(des_coarse.seconds),
+    ]);
     println!("\n{}", t.render());
     println!(
         "the analytic engine ignores queueing; the DES engines model per-request\n\

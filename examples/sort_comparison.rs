@@ -25,7 +25,11 @@ fn main() {
         },
     )
     .unwrap();
-    assert!(base.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    assert!(base
+        .output
+        .as_slice_uncharged()
+        .windows(2)
+        .all(|w| w[0] <= w[1]));
     let base_trace = tl.take_trace();
 
     // NMsort, one run; the byte trace is independent of rho, so we replay it
@@ -42,11 +46,22 @@ fn main() {
         },
     )
     .unwrap();
-    assert!(nm.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    assert!(nm
+        .output
+        .as_slice_uncharged()
+        .windows(2)
+        .all(|w| w[0] <= w[1]));
     let nm_trace = tl.take_trace();
 
     let base_sim = simulate_flow(&base_trace, &MachineConfig::fig4(lanes as u32, 2.0));
-    let mut t = Table::new(["rho", "GNU (s)", "NMsort (s)", "speedup", "DRAM ratio", "near acc"]);
+    let mut t = Table::new([
+        "rho",
+        "GNU (s)",
+        "NMsort (s)",
+        "speedup",
+        "DRAM ratio",
+        "near acc",
+    ]);
     for rho in [2.0, 4.0, 8.0] {
         let sim = simulate_flow(&nm_trace, &MachineConfig::fig4(lanes as u32, rho));
         let c = compare_runs(&base_sim, &sim);

@@ -46,13 +46,14 @@ fn main() {
         let mut hist = [0u64; 64];
         for _ in 0..passes {
             tl.begin_phase("scan.dram");
-            let partials: Vec<Hist> = par_scan_far(&tl, &far, 1 << 14, lanes, |mut h: Hist, piece| {
-                histogram_of(piece, &mut h.0);
-                // One op per element, charged to the scanning lane.
-                tl.charge_compute(piece.len() as u64);
-                h
-            })
-            .unwrap();
+            let partials: Vec<Hist> =
+                par_scan_far(&tl, &far, 1 << 14, lanes, |mut h: Hist, piece| {
+                    histogram_of(piece, &mut h.0);
+                    // One op per element, charged to the scanning lane.
+                    tl.charge_compute(piece.len() as u64);
+                    h
+                })
+                .unwrap();
             for p in partials {
                 for (a, b) in hist.iter_mut().zip(p.0) {
                     *a += b;

@@ -60,7 +60,7 @@ pub mod prelude {
     pub use tlmm_memsim::des::{simulate_des, DesOptions};
     pub use tlmm_memsim::{simulate_flow, MachineConfig, SimReport};
     pub use tlmm_model::{CostSnapshot, ScratchpadParams};
-    pub use tlmm_tile::{gemm_far, gemm_near, GemmConfig, Matrix};
     pub use tlmm_scratchpad::{FarArray, NearArray, TwoLevel};
+    pub use tlmm_tile::{gemm_far, gemm_near, GemmConfig, Matrix};
     pub use tlmm_workloads::{generate, Workload};
 }

@@ -25,7 +25,11 @@ fn nmsort_run(n: usize, seed: u64) -> (tlmm_scratchpad::PhaseTrace, CostSnapshot
         },
     )
     .unwrap();
-    assert!(r.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    assert!(r
+        .output
+        .as_slice_uncharged()
+        .windows(2)
+        .all(|w| w[0] <= w[1]));
     assert!(
         n < 250_000 || r.chunks > 1,
         "paper-shaped runs must exercise the multi-chunk path"
@@ -45,7 +49,11 @@ fn baseline_run(n: usize, seed: u64) -> (tlmm_scratchpad::PhaseTrace, CostSnapsh
         },
     )
     .unwrap();
-    assert!(r.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    assert!(r
+        .output
+        .as_slice_uncharged()
+        .windows(2)
+        .all(|w| w[0] <= w[1]));
     (tl.take_trace(), tl.ledger().snapshot())
 }
 
@@ -53,14 +61,21 @@ fn baseline_run(n: usize, seed: u64) -> (tlmm_scratchpad::PhaseTrace, CostSnapsh
 fn nmsort_moves_less_dram_traffic_than_baseline() {
     let (_, nm) = nmsort_run(N, 1);
     let (_, base) = baseline_run(N, 1);
-    assert_eq!(base.near_blocks(), 0, "baseline never touches the scratchpad");
+    assert_eq!(
+        base.near_blocks(),
+        0,
+        "baseline never touches the scratchpad"
+    );
     assert!(
         nm.far_bytes < base.far_bytes,
         "NMsort far {} should be below baseline {}",
         nm.far_bytes,
         base.far_bytes
     );
-    assert!(nm.near_bytes > nm.far_bytes, "NMsort works mostly in-scratchpad");
+    assert!(
+        nm.near_bytes > nm.far_bytes,
+        "NMsort works mostly in-scratchpad"
+    );
 }
 
 #[test]

@@ -51,10 +51,7 @@ fn both_engines_show_the_rho_benefit() {
         };
         let t2 = run(2.0);
         let t8 = run(8.0);
-        assert!(
-            t8 < t2,
-            "{engine}: 8x ({t8}) must be faster than 2x ({t2})"
-        );
+        assert!(t8 < t2, "{engine}: 8x ({t8}) must be faster than 2x ({t2})");
     }
 }
 

@@ -23,7 +23,11 @@ fn nmsort_snapshot(n: usize, rho: f64) -> CostSnapshot {
         },
     )
     .unwrap();
-    assert!(r.output.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+    assert!(r
+        .output
+        .as_slice_uncharged()
+        .windows(2)
+        .all(|w| w[0] <= w[1]));
     tl.ledger().snapshot()
 }
 

@@ -1,0 +1,348 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment cannot reach crates.io, so the workspace patches
+//! `rand` to this self-contained implementation. It covers exactly the
+//! surface the repo uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] / [`Rng::gen_range`] over
+//! integer and float ranges, and [`distributions::Distribution`].
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — high quality
+//! and deterministic, but the streams differ from upstream `rand`'s
+//! ChaCha-based `StdRng`, so seeded sequences are stable *within* this
+//! repo only.
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Sampling helpers layered over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value of a [`Standard`]-distributed type.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample uniformly from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(&mut |n| plumbing::next_n(self, n))
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        plumbing::unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Seed from system entropy; here, from the monotonic clock (the repo
+    /// only uses explicit seeds, this exists for API compatibility).
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E3779B97F4A7C15);
+        Self::seed_from_u64(t)
+    }
+}
+
+mod plumbing {
+    use super::RngCore;
+
+    /// Map a `u64` to the unit interval `[0, 1)`.
+    pub fn unit_f64(x: u64) -> f64 {
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased sample from `[0, n)` via Lemire's multiply-shift with
+    /// rejection; `n = 0` means "any u64".
+    pub fn next_n<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        if n == 0 {
+            return rng.next_u64();
+        }
+        loop {
+            let x = rng.next_u64();
+            let hi = ((x as u128 * n as u128) >> 64) as u64;
+            let lo = x.wrapping_mul(n);
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return hi;
+            }
+        }
+    }
+}
+
+/// Uniform sampling from range types, mirroring `rand`'s `SampleRange`.
+/// The sampler closure draws uniformly from `[0, n)` (`n = 0` ⇒ any u64).
+///
+/// Like upstream, this is a *blanket* impl over [`SampleUniform`] types —
+/// a single applicable impl is what lets `i + rng.gen_range(0..16)` infer
+/// the sample type from surrounding arithmetic.
+pub trait SampleRange<T> {
+    fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> T;
+}
+
+/// Types uniformly sampleable from half-open / inclusive ranges
+/// (mirrors `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample_half_open(start: Self, end: Self, draw: &mut dyn FnMut(u64) -> u64) -> Self;
+    fn sample_inclusive(start: Self, end: Self, draw: &mut dyn FnMut(u64) -> u64) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(self.start, self.end, draw)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_inclusive(start, end, draw)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: Self, end: Self, draw: &mut dyn FnMut(u64) -> u64) -> Self {
+                let span = (end as i128 - start as i128) as u64;
+                let off = draw(span);
+                (start as i128 + off as i128) as $t
+            }
+            fn sample_inclusive(start: Self, end: Self, draw: &mut dyn FnMut(u64) -> u64) -> Self {
+                let span = (end as i128 - start as i128 + 1) as u64; // 0 ⇒ full u64 domain
+                let off = draw(span);
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: Self, end: Self, draw: &mut dyn FnMut(u64) -> u64) -> Self {
+                let u = plumbing::unit_f64(draw(0)) as $t;
+                start + u * (end - start)
+            }
+            fn sample_inclusive(start: Self, end: Self, draw: &mut dyn FnMut(u64) -> u64) -> Self {
+                Self::sample_half_open(start, end, draw)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+pub mod distributions {
+    use super::{plumbing, Rng, RngCore};
+
+    /// A distribution over `T` sampleable with any [`Rng`].
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution per type: full range for integers,
+    /// `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            plumbing::unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            plumbing::unit_f64(rng.next_u64()) as f32
+        }
+    }
+
+    // Keep the blanket RngCore import "used" in all macro expansions.
+    const _: fn(&mut dyn RngCore) = |_| {};
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator: xoshiro256** with SplitMix64 seeding.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Thread-local convenience generator (`rand::thread_rng` shape).
+pub fn thread_rng() -> rngs::StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    SeedableRng::seed_from_u64(0xA076_1D64_78BD_642F ^ COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::StdRng;
+    pub use super::{thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::Distribution;
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(0..3);
+            assert!(y < 3);
+            let f: f64 = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn standard_distribution_and_dyn_rng() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _: u64 = rng.gen();
+        let _: bool = rng.gen();
+        // `R: Rng + ?Sized` call shape used by tlmm-workloads.
+        fn via_dyn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let v = via_dyn(&mut rng);
+        assert!((0.0..1.0).contains(&v));
+        let s = super::distributions::Standard;
+        let _: f64 = s.sample(&mut rng);
+    }
+
+    #[test]
+    fn signed_and_inclusive_ranges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+            let y: u8 = rng.gen_range(0..=255);
+            let _ = y; // full domain, always in range
+        }
+    }
+}

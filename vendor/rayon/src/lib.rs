@@ -1,0 +1,287 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace patches
+//! `rayon` to this implementation. It supports the combinator surface the
+//! repo uses (`par_iter`, `par_chunks_mut`, `into_par_iter`, `enumerate`,
+//! `zip`, `copied`, `map`, `for_each`, `collect`, `join`) with genuine
+//! multi-threading: items are statically partitioned into one contiguous
+//! chunk per available core and executed on `std::thread::scope` threads.
+//!
+//! Differences from real rayon: combinators are *eager* (each `map` is a
+//! full parallel pass), there is no work stealing, and nested parallelism
+//! spawns fresh OS threads instead of reusing a pool. For the coarse
+//! chunk-granular parallelism in this repo that is an acceptable trade.
+
+use std::num::NonZeroUsize;
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` over every item, statically partitioned across threads,
+/// returning results in input order.
+fn run<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let workers = threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    {
+        let mut items = items;
+        let per = n.div_ceil(workers);
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().saturating_sub(per));
+            chunks.push(rest);
+        }
+        chunks.reverse(); // split_off collected tail-first
+    }
+    let f = &f;
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-stub worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-stub join arm panicked"))
+    })
+}
+
+/// An eager "parallel iterator": a materialized list of items whose
+/// heavyweight combinators (`map`, `for_each`) execute across threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn zip<U: Send, I: IntoParallelIterator<Item = U>>(self, other: I) -> ParIter<(T, U)> {
+        ParIter {
+            items: self
+                .items
+                .into_iter()
+                .zip(other.into_par_iter().items)
+                .collect(),
+        }
+    }
+
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: run(self.items, f),
+        }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    pub fn reduce<Id, F>(self, identity: Id, op: F) -> T
+    where
+        Id: Fn() -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<T: Copy + Send + Sync> ParIter<&T> {
+    pub fn copied(self) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().copied().collect(),
+        }
+    }
+
+    pub fn cloned(self) -> ParIter<T> {
+        self.copied()
+    }
+}
+
+/// Conversion into a [`ParIter`], mirroring `rayon::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter`/`par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, chunk: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk).collect(),
+        }
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+pub mod iter {
+    pub use super::{IntoParallelIterator, ParIter};
+}
+
+pub mod slice {
+    pub use super::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().copied().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut v = vec![0usize; 1000];
+        v.par_chunks_mut(100).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i / 100);
+        }
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let a = [1, 2, 3];
+        let b = vec!["x", "y", "z"];
+        let out: Vec<(i32, &str)> = a
+            .par_iter()
+            .copied()
+            .zip(b.into_par_iter())
+            .map(|(n, s)| (n, s))
+            .collect();
+        assert_eq!(out, vec![(1, "x"), (2, "y"), (3, "z")]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_for_large_inputs() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let v: Vec<u32> = (0..100_000).collect();
+        v.par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        let n = ids.lock().unwrap().len();
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(n > 1, "expected multiple worker threads, saw {n}");
+        }
+    }
+}

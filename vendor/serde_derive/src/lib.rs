@@ -1,0 +1,269 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports the shapes this workspace derives on: structs with named
+//! fields and fieldless enums (tuple/unit structs and payload-carrying
+//! variants produce a compile error naming the limitation). Written
+//! against `proc_macro` directly — `syn`/`quote` are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Struct with named fields.
+    Struct { fields: Vec<String> },
+    /// Enum whose variants all carry no data.
+    Enum { variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => render(&name, &shape, mode)
+            .parse()
+            .expect("serde_derive stub generated invalid code"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility to the `struct`/`enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            None => return Err("serde_derive stub: no struct or enum found".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // #[attr]
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break "struct";
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                i += 1;
+                break "enum";
+            }
+            Some(_) => i += 1, // pub, pub(crate) group, etc.
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive stub: missing type name".into()),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "serde_derive stub: generic type `{name}` is not supported"
+        )),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Ok((
+                    name,
+                    Shape::Struct {
+                        fields: parse_named_fields(&body)?,
+                    },
+                ))
+            } else {
+                let shape = parse_enum_variants(&name, &body)?;
+                Ok((name, shape))
+            }
+        }
+        _ => Err(format!(
+            "serde_derive stub: `{name}` must be a brace-delimited struct or enum \
+             (tuple/unit shapes are not supported)"
+        )),
+    }
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // Skip attributes and visibility.
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = body.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let field = id.to_string();
+                i += 1;
+                match body.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    _ => {
+                        return Err(format!(
+                            "serde_derive stub: expected `:` after field `{field}`"
+                        ))
+                    }
+                }
+                // Skip the type up to a top-level comma (tracking angle depth).
+                let mut angle = 0i32;
+                while let Some(t) = body.get(i) {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1; // past the comma (or end)
+                fields.push(field);
+            }
+            other => {
+                return Err(format!(
+                    "serde_derive stub: unexpected token `{other}` in struct body"
+                ))
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(name: &str, body: &[TokenTree]) -> Result<Shape, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                match body.get(i) {
+                    None => break,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "serde_derive stub: enum `{name}` has a payload-carrying \
+                             variant `{}` which is not supported",
+                            variants.last().unwrap()
+                        ));
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Skip explicit discriminant to the comma.
+                        while let Some(t) = body.get(i) {
+                            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                                break;
+                            }
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    Some(other) => {
+                        return Err(format!(
+                            "serde_derive stub: unexpected token `{other}` in enum `{name}`"
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                    "serde_derive stub: unexpected token `{other}` in enum `{name}`"
+                ))
+            }
+        }
+    }
+    Ok(Shape::Enum { variants })
+}
+
+fn render(name: &str, shape: &Shape, mode: Mode) -> String {
+    match (shape, mode) {
+        (Shape::Struct { fields }, Mode::Serialize) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         let mut __m = ::std::vec::Vec::new();\
+                         {pushes}\
+                         ::serde::Value::Map(__m)\
+                     }}\
+                 }}"
+            )
+        }
+        (Shape::Struct { fields }, Mode::Deserialize) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+        }
+        (Shape::Enum { variants }, Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+        (Shape::Enum { variants }, Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok(Self::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\
+                         match __v {{\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\
+                                 {arms}\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown variant `{{}}` for {name}\", __other))),\
+                             }},\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected string for enum {name}, found {{}}\", \
+                                         __other.kind()))),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
