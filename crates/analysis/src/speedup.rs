@@ -39,6 +39,7 @@ mod tests {
             near_accesses: near,
             far_bytes: far * 64,
             near_bytes: near * 64,
+            fault_events: 0,
             detail: None,
         }
     }

@@ -1,0 +1,184 @@
+//! **Fault matrix** — graceful-degradation sweep across fault profiles.
+//!
+//! Runs NMsort at a small scale under a matrix of fault profiles
+//! (clean, alloc-only, transfer-only, DMA-only, mixed) × seeds, verifying
+//! every run sorts correctly and reporting the far-traffic overhead each
+//! profile pays relative to the clean run. Honest accounting means an
+//! injected fault can only add far traffic, never remove it — the sweep
+//! asserts that invariant on every cell.
+//!
+//! Writes `results/fault_matrix.txt` (rendered matrix) and
+//! `results/fault_matrix.json` (telemetry report with one `degradations`
+//! section per profile, so fault-matrix artifacts are diffable rather than
+//! pass/fail).
+//!
+//! Run: `cargo run --release -p tlmm-bench --bin fault_matrix -- [n] [n_seeds]`
+
+use tlmm_analysis::table::Table;
+use tlmm_bench::{artifact, outln, run_sort_with_plan, RunDegradations, SortAlgo, SortSpec};
+use tlmm_scratchpad::FaultPlan;
+use tlmm_telemetry::RunReport;
+
+/// One row of the matrix: a named fault profile.
+struct Profile {
+    name: &'static str,
+    /// DMA aborts only fire on the DMA-overlapped ingest path.
+    algo: SortAlgo,
+    make: fn(u64) -> Option<FaultPlan>,
+}
+
+fn alloc_only(seed: u64) -> Option<FaultPlan> {
+    Some(FaultPlan {
+        near_alloc_fail_permille: 120,
+        ..FaultPlan::none(seed)
+    })
+}
+
+fn transfer_only(seed: u64) -> Option<FaultPlan> {
+    Some(FaultPlan {
+        transfer_fail_permille: 30,
+        transfer_delay_permille: 20,
+        ..FaultPlan::none(seed)
+    })
+}
+
+fn dma_only(seed: u64) -> Option<FaultPlan> {
+    Some(FaultPlan {
+        dma_abort_permille: 300,
+        ..FaultPlan::none(seed)
+    })
+}
+
+const PROFILES: &[Profile] = &[
+    Profile {
+        name: "clean",
+        algo: SortAlgo::NmSort,
+        make: |_| None,
+    },
+    Profile {
+        name: "alloc",
+        algo: SortAlgo::NmSort,
+        make: alloc_only,
+    },
+    Profile {
+        name: "transfer",
+        algo: SortAlgo::NmSort,
+        make: transfer_only,
+    },
+    Profile {
+        name: "dma",
+        algo: SortAlgo::NmSortDma,
+        make: dma_only,
+    },
+    Profile {
+        name: "mixed",
+        algo: SortAlgo::NmSort,
+        make: |seed| Some(FaultPlan::seeded(seed)),
+    },
+];
+
+/// Aggregate of one profile across all seeds.
+#[derive(Default)]
+struct ProfileAgg {
+    runs: u64,
+    faults_injected: u64,
+    faults_delayed: u64,
+    degraded_runs: u64,
+    far_bytes: u64,
+    last: RunDegradations,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.and_next_parse().unwrap_or(200_000);
+    let n_seeds: u64 = args.and_next_parse().unwrap_or(3);
+    let lanes = 16;
+    let chunk = (n / 5).max(1000);
+    eprintln!(
+        "[fault_matrix] {} profiles x {n_seeds} seeds, n={n}, lanes={lanes}, chunk={chunk}",
+        PROFILES.len()
+    );
+
+    let mut aggs: Vec<ProfileAgg> = PROFILES.iter().map(|_| ProfileAgg::default()).collect();
+    for seed in 0..n_seeds {
+        for (profile, agg) in PROFILES.iter().zip(aggs.iter_mut()) {
+            let spec = SortSpec {
+                algo: profile.algo,
+                n,
+                lanes,
+                chunk_elems: Some(chunk),
+                seed: 0xFA, // same workload for every cell; only faults vary
+                fault_seed: None,
+            };
+            let run = run_sort_with_plan(&spec, (profile.make)(seed))
+                .map_err(|e| format!("{} seed {seed}: {e}", profile.name))?;
+            agg.runs += 1;
+            agg.faults_injected += run.degradations.faults_injected;
+            agg.faults_delayed += run.degradations.faults_delayed;
+            agg.degraded_runs += u64::from(run.degradations.any());
+            agg.far_bytes += run.ledger.far_bytes;
+            agg.last = run.degradations;
+        }
+    }
+
+    // Clean baseline is deterministic across seeds: same workload, no plan.
+    let clean_far = aggs[0].far_bytes as f64 / aggs[0].runs as f64;
+    let mut out = String::new();
+    outln!(
+        out,
+        "\nFault matrix — NMsort, n={n}, {n_seeds} seeds per profile\n"
+    );
+    let mut t = Table::new([
+        "profile",
+        "runs",
+        "injected",
+        "delayed",
+        "degraded",
+        "far overhead",
+    ]);
+    for (profile, agg) in PROFILES.iter().zip(&aggs) {
+        let far = agg.far_bytes as f64 / agg.runs as f64;
+        let overhead = far / clean_far - 1.0;
+        assert!(
+            overhead >= -1e-9,
+            "{}: degraded run cheaper than clean ({far} < {clean_far})",
+            profile.name
+        );
+        t.row(vec![
+            profile.name.to_string(),
+            agg.runs.to_string(),
+            agg.faults_injected.to_string(),
+            agg.faults_delayed.to_string(),
+            format!("{}/{}", agg.degraded_runs, agg.runs),
+            format!("{:+.2}%", overhead * 100.0),
+        ]);
+    }
+    outln!(out, "{}", t.render());
+    outln!(
+        out,
+        "every cell sorted correctly; far overhead is the honest-accounting \
+         cost of the degradation ladders (never negative)."
+    );
+
+    let mut report = RunReport::collect("fault_matrix")
+        .meta("n", n)
+        .meta("n_seeds", n_seeds)
+        .meta("lanes", lanes)
+        .meta("chunk_elems", chunk);
+    for (profile, agg) in PROFILES.iter().zip(&aggs) {
+        report = report.section(&format!("degradations_{}", profile.name), &agg.last);
+    }
+    artifact::emit("fault_matrix", &out, report)?;
+    Ok(())
+}
+
+/// Tiny arg-parsing helper so `n` and `n_seeds` read cleanly above.
+trait NextParse {
+    fn and_next_parse<T: std::str::FromStr>(&mut self) -> Option<T>;
+}
+
+impl<I: Iterator<Item = String>> NextParse for I {
+    fn and_next_parse<T: std::str::FromStr>(&mut self) -> Option<T> {
+        self.next().and_then(|s| s.parse().ok())
+    }
+}

@@ -89,6 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .meta("chunk_elems", chunk)
         .section("baseline_ledger", &base.ledger)
         .section("nmsort_ledger", &nm.ledger)
+        .section("nmsort_degradations", &nm.degradations)
         .section("baseline_sim_2x", &base_sim)
         .section("nmsort_sim_2x", &nm_sims[0])
         .section("nmsort_sim_4x", &nm_sims[1])

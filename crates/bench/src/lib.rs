@@ -9,11 +9,12 @@
 //! each binary's text and [`tlmm_telemetry::RunReport`] JSON under
 //! `results/`.
 
+use serde::{Deserialize, Serialize};
 use tlmm_core::baseline::{baseline_sort, BaselineConfig};
-use tlmm_core::nmsort::{nmsort, NmSortConfig};
+use tlmm_core::nmsort::{nmsort, DegradationStats, NmSortConfig};
 use tlmm_core::SortError;
 use tlmm_model::{CostSnapshot, ScratchpadParams};
-use tlmm_scratchpad::{PhaseTrace, TwoLevel};
+use tlmm_scratchpad::{FaultPlan, PhaseTrace, TwoLevel};
 use tlmm_workloads::{generate, Workload};
 
 pub mod artifact;
@@ -30,6 +31,82 @@ pub fn experiment_params(rho: f64) -> ScratchpadParams {
     ScratchpadParams::new(64, rho, 256 << 20, 36 << 20).expect("valid experiment params")
 }
 
+/// Fault and degradation summary of one measured run, in the shape the
+/// result-file JSON wants (attach with `RunReport::section("degradations",
+/// …)` so fault-matrix artifacts are diffable, not just pass/fail).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunDegradations {
+    /// Fault seed the run was driven by (0 when no plan was installed —
+    /// the `Option` is flattened because a fired fault count of zero
+    /// already distinguishes clean runs).
+    pub fault_seed: u64,
+    /// Injected (aborting) faults the runtime fired.
+    pub faults_injected: u64,
+    /// Injected retransmission delays the runtime fired.
+    pub faults_delayed: u64,
+    /// Fault events recorded in the phase trace (what memsim replays).
+    pub trace_faults: u64,
+    /// Phase-1 chunk-size halvings.
+    pub chunk_shrinks: u64,
+    /// Retried small near allocations.
+    pub alloc_retries: u64,
+    /// Re-staged Phase-1 transfers (aborted attempts charged in full).
+    pub transfer_retries: u64,
+    /// Transfers charged twice after an injected delay.
+    pub transfer_delays: u64,
+    /// Chunk-sorter staging streams re-read after stage faults.
+    pub stage_restages: u64,
+    /// Operations forced through with injection suppressed.
+    pub forced_ops: u64,
+    /// Phase-2 batches merged straight from DRAM.
+    pub batch_fallbacks: u64,
+    /// Oversized-bucket parts merged straight from DRAM.
+    pub dram_direct_parts: u64,
+    /// DMA-overlapped transfers demoted to blocking synchronous copies.
+    pub dma_fallbacks: u64,
+}
+
+impl RunDegradations {
+    fn from_parts(fault_seed: u64, tl: &TwoLevel, stats: DegradationStats, faults: u64) -> Self {
+        let (injected, delayed) = match tl.fault_injector() {
+            Some(inj) => (inj.injected(), inj.delayed()),
+            None => (0, 0),
+        };
+        RunDegradations {
+            fault_seed,
+            faults_injected: injected,
+            faults_delayed: delayed,
+            trace_faults: faults,
+            chunk_shrinks: stats.chunk_shrinks,
+            alloc_retries: stats.alloc_retries,
+            transfer_retries: stats.transfer_retries,
+            transfer_delays: stats.transfer_delays,
+            stage_restages: stats.stage_restages,
+            forced_ops: stats.forced_ops,
+            batch_fallbacks: stats.batch_fallbacks,
+            dram_direct_parts: stats.dram_direct_parts,
+            dma_fallbacks: stats.dma_fallbacks,
+        }
+    }
+
+    /// Did the run degrade at all (fault fired or any ladder rung taken)?
+    pub fn any(&self) -> bool {
+        self.faults_injected
+            + self.faults_delayed
+            + self.trace_faults
+            + self.chunk_shrinks
+            + self.alloc_retries
+            + self.transfer_retries
+            + self.transfer_delays
+            + self.stage_restages
+            + self.forced_ops
+            + self.batch_fallbacks
+            + self.dram_direct_parts
+            + self.dma_fallbacks
+            > 0
+    }
+}
+
 /// Outcome of one measured sort run.
 pub struct SortRun {
     /// The recorded phase trace (replayable on any machine config).
@@ -38,6 +115,8 @@ pub struct SortRun {
     pub ledger: CostSnapshot,
     /// Output is sorted (verified before returning).
     pub n: usize,
+    /// Fault/degradation summary (all-zero for clean runs).
+    pub degradations: RunDegradations,
 }
 
 /// Errors surfaced by the harness runners.
@@ -104,6 +183,10 @@ pub struct SortSpec {
     pub chunk_elems: Option<usize>,
     /// Workload seed.
     pub seed: u64,
+    /// When set, install [`FaultPlan::seeded`] with this seed on the run's
+    /// `TwoLevel` before sorting — the sort must still produce verified
+    /// output by degrading gracefully.
+    pub fault_seed: Option<u64>,
 }
 
 /// Run one sort per `spec` on a fresh experiment-scale [`TwoLevel`],
@@ -113,9 +196,30 @@ pub struct SortSpec {
 /// [`run_baseline`]; the setup (params, workload, verification, trace
 /// harvest) lives only here.
 pub fn run_sort(spec: &SortSpec) -> Result<SortRun, HarnessError> {
+    // `TLMM_FAULT_SEED` turns any harness binary into a degraded run;
+    // an explicit `fault_seed` on the spec wins over the environment.
+    let plan = spec
+        .fault_seed
+        .map(FaultPlan::seeded)
+        .or_else(FaultPlan::from_env);
+    run_sort_with_plan(spec, plan)
+}
+
+/// Like [`run_sort`] but with an explicit [`FaultPlan`] instead of the
+/// standard seeded profile — the `fault_matrix` binary sweeps targeted
+/// profiles (alloc-only, transfer-only, DMA-only, …) through this.
+/// `spec.fault_seed` is ignored; the plan's own seed is recorded.
+pub fn run_sort_with_plan(
+    spec: &SortSpec,
+    plan: Option<FaultPlan>,
+) -> Result<SortRun, HarnessError> {
     let tl = TwoLevel::new(experiment_params(4.0));
+    let fault_seed = plan.as_ref().map(|p| p.seed).unwrap_or(0);
+    if let Some(plan) = plan {
+        tl.install_fault_plan(plan);
+    }
     let input = tl.far_from_vec(generate(Workload::UniformU64, spec.n, spec.seed));
-    let output = match spec.algo {
+    let (output, stats) = match spec.algo {
         SortAlgo::NmSort | SortAlgo::NmSortDma => {
             let cfg = NmSortConfig {
                 sim_lanes: spec.lanes,
@@ -124,7 +228,8 @@ pub fn run_sort(spec: &SortSpec) -> Result<SortRun, HarnessError> {
                 use_dma: spec.algo == SortAlgo::NmSortDma,
                 ..Default::default()
             };
-            nmsort(&tl, input, &cfg)?.output
+            let report = nmsort(&tl, input, &cfg)?;
+            (report.output, report.degradations)
         }
         SortAlgo::Baseline => {
             let cfg = BaselineConfig {
@@ -132,14 +237,22 @@ pub fn run_sort(spec: &SortSpec) -> Result<SortRun, HarnessError> {
                 parallel: true,
                 ..Default::default()
             };
-            baseline_sort(&tl, input, &cfg)?.output
+            // The baseline has no degradation ladder of its own; injector
+            // counts below still record any faults it absorbed.
+            (
+                baseline_sort(&tl, input, &cfg)?.output,
+                DegradationStats::default(),
+            )
         }
     };
     check_sorted(output.as_slice_uncharged())?;
+    let trace = tl.take_trace();
+    let degradations = RunDegradations::from_parts(fault_seed, &tl, stats, trace.faults());
     Ok(SortRun {
-        trace: tl.take_trace(),
+        trace,
         ledger: tl.ledger().snapshot(),
         n: spec.n,
+        degradations,
     })
 }
 
@@ -157,6 +270,7 @@ pub fn run_nmsort(
         lanes,
         chunk_elems: Some(chunk_elems),
         seed,
+        fault_seed: None,
     })
 }
 
@@ -173,6 +287,7 @@ pub fn run_nmsort_dma(
         lanes,
         chunk_elems: Some(chunk_elems),
         seed,
+        fault_seed: None,
     })
 }
 
@@ -184,6 +299,7 @@ pub fn run_baseline(n: usize, lanes: usize, seed: u64) -> Result<SortRun, Harnes
         lanes,
         chunk_elems: None,
         seed,
+        fault_seed: None,
     })
 }
 
@@ -227,5 +343,33 @@ mod tests {
     fn dma_spec_routes_through_same_runner() {
         let dma = run_nmsort_dma(50_000, 8, 10_000, 2).expect("dma run");
         assert!(dma.trace.phases.iter().any(|p| p.overlappable));
+    }
+
+    #[test]
+    fn faulted_spec_sorts_and_surfaces_degradations() {
+        let spec = SortSpec {
+            algo: SortAlgo::NmSort,
+            n: 100_000,
+            lanes: 8,
+            chunk_elems: Some(20_000),
+            seed: 3,
+            fault_seed: Some(7),
+        };
+        // run_sort already verified the output; a degraded run must still
+        // return Ok. The summary must be serializable (it feeds the
+        // results/<name>.json section) and carry the seed.
+        let run = run_sort(&spec).expect("faulted run degrades, not fails");
+        assert_eq!(run.degradations.fault_seed, 7);
+        let json = serde::json::to_string(&run.degradations).expect("summary serializes");
+        assert!(json.contains("\"fault_seed\""));
+        let clean = run_sort(&SortSpec {
+            fault_seed: None,
+            ..spec
+        })
+        .expect("clean run");
+        assert_eq!(clean.degradations.fault_seed, 0);
+        assert_eq!(clean.degradations.faults_injected, 0);
+        // Honest accounting: injected faults never make the run cheaper.
+        assert!(run.ledger.far_bytes >= clean.ledger.far_bytes);
     }
 }

@@ -21,7 +21,7 @@
 use crate::{ceil_lg, SortElem};
 use rayon::prelude::*;
 use tlmm_scratchpad::trace::{current_lane, with_lane};
-use tlmm_scratchpad::{Dir, TwoLevel};
+use tlmm_scratchpad::{Dir, FaultDecision, FaultOp, TwoLevel};
 
 /// Which memory level the sorted region lives in (decides charge units and
 /// default geometry).
@@ -136,8 +136,25 @@ pub fn external_sort<T: SortElem>(
     // ---- Run formation ------------------------------------------------
     let base = current_lane();
     let total_cmps = std::sync::atomic::AtomicU64::new(0);
+    let stage_op = match level {
+        RegionLevel::Near => FaultOp::NearStage,
+        RegionLevel::Far => FaultOp::FarStage,
+    };
     let form = |(i, run): (usize, &mut [T])| {
         with_lane(base + i % lanes, || {
+            match tl.preflight(stage_op) {
+                FaultDecision::Fail(_) => {
+                    // The inbound formation stream aborted mid-run: the
+                    // wasted read is charged and the run is streamed again.
+                    charge_io::<T>(tl, level, Dir::Read, run.len());
+                    tlmm_telemetry::counter!("degradation.extsort_restage").incr();
+                }
+                FaultDecision::Delay(_) => {
+                    charge_io::<T>(tl, level, Dir::Read, run.len());
+                    tlmm_telemetry::counter!("degradation.extsort_delay").incr();
+                }
+                FaultDecision::Proceed => {}
+            }
             charge_io::<T>(tl, level, Dir::Read, run.len());
             run.sort_unstable();
             let cmps = run.len() as u64 * ceil_lg(run.len());

@@ -53,7 +53,7 @@ pub mod select;
 pub mod seqsort;
 
 pub use baseline::{baseline_sort, BaselineConfig};
-pub use nmsort::{nmsort, ChunkSorter, NmSortConfig, NmSortReport};
+pub use nmsort::{nmsort, ChunkSorter, DegradationStats, NmSortConfig, NmSortReport};
 pub use parsort::{par_scratchpad_sort, ParSortConfig};
 pub use select::{select_kth, SelectConfig};
 pub use seqsort::{seq_scratchpad_sort, SeqSortConfig};

@@ -29,9 +29,12 @@ use crate::quicksort::external_quicksort;
 use crate::sample::{draw_pivots, PivotSample};
 use crate::{SortElem, SortError};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use tlmm_model::CostSnapshot;
 use tlmm_scratchpad::trace::with_lane;
-use tlmm_scratchpad::{Dir, FarArray, TwoLevel};
+use tlmm_scratchpad::{
+    with_faults_suppressed, Dir, FarArray, FaultDecision, FaultOp, NearArray, TwoLevel,
+};
 
 /// Which algorithm sorts each chunk inside the scratchpad (§III-A: "Other
 /// sorting algorithms could be used, such as quicksort").
@@ -81,6 +84,62 @@ impl Default for NmSortConfig {
     }
 }
 
+/// Counts of every degradation-ladder action a run took; all zero on a
+/// clean run over well-spread keys. Each ladder rung is also mirrored in a
+/// `degradation.*` telemetry counter, so fleets can alert on them without
+/// plumbing reports around.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationStats {
+    /// Phase-1 chunk-size halvings after injected allocation failures.
+    pub chunk_shrinks: u64,
+    /// Retried small near allocations (pivot residence, bucket totals).
+    pub alloc_retries: u64,
+    /// Re-staged transfers after injected aborts (Phase-1 ingest and
+    /// writeback; each aborted attempt was charged in full).
+    pub transfer_retries: u64,
+    /// Transfers that completed after an injected retransmission delay
+    /// (charged twice).
+    pub transfer_delays: u64,
+    /// Cache staging streams re-read (or retransmitted) inside the chunk
+    /// sorter after injected [`FaultOp::FarStage`]/[`FaultOp::NearStage`]
+    /// events.
+    pub stage_restages: u64,
+    /// Operations forced through with injection suppressed after the retry
+    /// budget ran out — the last rung of every ladder.
+    pub forced_ops: u64,
+    /// Phase-2 batches merged straight from DRAM because their gather could
+    /// not be staged into the scratchpad.
+    pub batch_fallbacks: u64,
+    /// Oversized-bucket parts merged straight from DRAM (too few distinct
+    /// keys to sub-split). Fires on duplicate-heavy inputs even without
+    /// faults — a data-driven degradation, not a fault-driven one.
+    pub dram_direct_parts: u64,
+    /// DMA-overlapped Phase-1 transfers demoted to blocking synchronous
+    /// copies after an injected [`FaultOp::DmaIssue`] abort (same bytes
+    /// moved; only the overlap is lost).
+    pub dma_fallbacks: u64,
+}
+
+impl DegradationStats {
+    /// Total degradation events of any kind.
+    pub fn total(&self) -> u64 {
+        self.chunk_shrinks
+            + self.alloc_retries
+            + self.transfer_retries
+            + self.transfer_delays
+            + self.stage_restages
+            + self.forced_ops
+            + self.batch_fallbacks
+            + self.dram_direct_parts
+            + self.dma_fallbacks
+    }
+
+    /// Did any ladder rung fire?
+    pub fn any(&self) -> bool {
+        self.total() > 0
+    }
+}
+
 /// Result of an [`nmsort`] run.
 #[derive(Debug)]
 pub struct NmSortReport<T> {
@@ -94,6 +153,9 @@ pub struct NmSortReport<T> {
     pub batches: usize,
     /// Oversized buckets that required sub-splitting or streaming.
     pub oversized_buckets: usize,
+    /// Degradation-ladder actions the run took (fault recovery and
+    /// DRAM-direct fallbacks).
+    pub degradations: DegradationStats,
     /// Ledger delta of the sampling step.
     pub sample_cost: CostSnapshot,
     /// Ledger delta of Phase 1.
@@ -104,19 +166,12 @@ pub struct NmSortReport<T> {
 
 struct Geometry {
     chunk: usize,
-    n_pivots: usize,
-    n_chunks: usize,
 }
 
-fn geometry<T: SortElem>(
-    tl: &TwoLevel,
-    n: usize,
-    cfg: &NmSortConfig,
-) -> Result<Geometry, SortError> {
-    let elem = std::mem::size_of::<T>();
-    let m_elems = tl.params().scratchpad_capacity_elems(elem);
-    let default_chunk = (m_elems * 2 / 5).max(2);
-    let chunk = cfg.chunk_elems.unwrap_or(default_chunk).clamp(1, n.max(1));
+/// Chunk-derived counts: `(n_chunks, n_pivots)` for a given chunk size.
+/// Factored out so the shrink ladder can recompute them after the chunk is
+/// reduced under allocation pressure.
+fn chunk_counts(tl: &TwoLevel, n: usize, chunk: usize, cfg: &NmSortConfig) -> (usize, usize) {
     let n_chunks = n.div_ceil(chunk.max(1)).max(1);
     let n_pivots = if n_chunks <= 1 {
         0
@@ -128,6 +183,19 @@ fn geometry<T: SortElem>(
             })
             .max(1)
     };
+    (n_chunks, n_pivots)
+}
+
+fn geometry<T: SortElem>(
+    tl: &TwoLevel,
+    n: usize,
+    cfg: &NmSortConfig,
+) -> Result<Geometry, SortError> {
+    let elem = std::mem::size_of::<T>();
+    let m_elems = tl.params().scratchpad_capacity_elems(elem);
+    let default_chunk = (m_elems * 2 / 5).max(2);
+    let chunk = cfg.chunk_elems.unwrap_or(default_chunk).clamp(1, n.max(1));
+    let (_n_chunks, n_pivots) = chunk_counts(tl, n, chunk, cfg);
     // Feasibility: two chunk buffers + pivots + totals must fit in M.
     let needed = (2 * chunk * elem + n_pivots * elem + (n_pivots + 1) * 8) as u64;
     if needed > tl.params().scratchpad_bytes {
@@ -136,11 +204,168 @@ fn geometry<T: SortElem>(
             available: tl.params().scratchpad_bytes,
         });
     }
-    Ok(Geometry {
-        chunk,
-        n_pivots,
-        n_chunks,
-    })
+    Ok(Geometry { chunk })
+}
+
+/// Bounded retries before a degradation ladder forces its operation through
+/// with injection suppressed. Small on purpose: the ladders must make
+/// progress under any [`tlmm_scratchpad::FaultPlan`].
+const MAX_CHUNK_SHRINKS: u64 = 3;
+const MAX_ALLOC_RETRIES: u32 = 3;
+const MAX_STAGE_RETRIES: u32 = 3;
+
+/// Charge the full traffic of a far↔near copy of `bytes` without moving
+/// data — the honest cost of an aborted or retransmitted staging attempt
+/// (the payload crossed the channels and was discarded).
+fn charge_copy_volume(tl: &TwoLevel, kind: CopyKind, bytes: u64, lanes: usize) {
+    match kind {
+        CopyKind::FarToNear => {
+            charge_io_striped(tl, RegionLevel::Far, Dir::Read, bytes, lanes);
+            charge_io_striped(tl, RegionLevel::Near, Dir::Write, bytes, lanes);
+        }
+        CopyKind::NearToFar => {
+            charge_io_striped(tl, RegionLevel::Near, Dir::Read, bytes, lanes);
+            charge_io_striped(tl, RegionLevel::Far, Dir::Write, bytes, lanes);
+        }
+        _ => unreachable!("staged copies move between far and near"),
+    }
+}
+
+/// A [`charged_copy`] that consults the fault injector first and re-stages
+/// on injected aborts: every aborted attempt is charged in full, bounded by
+/// [`MAX_STAGE_RETRIES`] before the copy is forced through.
+#[allow(clippy::too_many_arguments)]
+fn staged_copy_with_retry<T: SortElem>(
+    tl: &TwoLevel,
+    kind: CopyKind,
+    src: &[T],
+    dst: &mut [T],
+    lanes: usize,
+    parallel: bool,
+    stats: &mut DegradationStats,
+) {
+    let op = match kind {
+        CopyKind::FarToNear => FaultOp::FarToNear,
+        CopyKind::NearToFar => FaultOp::NearToFar,
+        _ => unreachable!("staged copies move between far and near"),
+    };
+    let bytes = std::mem::size_of_val(src) as u64;
+    let mut attempts = 0u32;
+    loop {
+        match tl.preflight(op) {
+            FaultDecision::Fail(_) => {
+                charge_copy_volume(tl, kind, bytes, lanes);
+                if attempts < MAX_STAGE_RETRIES {
+                    attempts += 1;
+                    stats.transfer_retries += 1;
+                    tlmm_telemetry::counter!("degradation.transfer_retry").incr();
+                } else {
+                    stats.forced_ops += 1;
+                    tlmm_telemetry::counter!("degradation.transfer_forced").incr();
+                    break;
+                }
+            }
+            FaultDecision::Delay(_) => {
+                charge_copy_volume(tl, kind, bytes, lanes);
+                stats.transfer_delays += 1;
+                tlmm_telemetry::counter!("degradation.transfer_delay").incr();
+                break;
+            }
+            FaultDecision::Proceed => break,
+        }
+    }
+    charged_copy(tl, kind, src, dst, lanes, parallel);
+}
+
+/// Consult the injector's [`FaultOp::DmaIssue`] class before overlapping a
+/// Phase-1 transfer with DMA. An injected abort demotes the transfer to a
+/// blocking synchronous copy (the phase is simply not marked overlappable):
+/// same bytes move, only the latency hiding is lost — the mildest rung of
+/// the degradation ladder. Delay decisions keep the overlap.
+fn dma_issue_allowed(tl: &TwoLevel, stats: &mut DegradationStats) -> bool {
+    match tl.preflight(FaultOp::DmaIssue) {
+        FaultDecision::Fail(_) => {
+            stats.dma_fallbacks += 1;
+            tlmm_telemetry::counter!("degradation.dma_abort").incr();
+            tlmm_telemetry::counter!("degradation.dma_sync_fallback").incr();
+            false
+        }
+        FaultDecision::Delay(_) | FaultDecision::Proceed => true,
+    }
+}
+
+/// Injected fault events on the cache staging classes so far (the chunk
+/// sorter recovers from these internally; see [`crate::extsort`]).
+fn stage_event_count(tl: &TwoLevel) -> u64 {
+    tl.fault_injector()
+        .map(|inj| {
+            inj.events()
+                .iter()
+                .filter(|e| matches!(e.op, FaultOp::FarStage | FaultOp::NearStage))
+                .count() as u64
+        })
+        .unwrap_or(0)
+}
+
+/// Near allocation with bounded retry of injected refusals, then a forced
+/// attempt with injection suppressed. Genuine capacity errors propagate
+/// immediately.
+fn near_alloc_with_retry<T: Copy + Default>(
+    tl: &TwoLevel,
+    len: usize,
+    stats: &mut DegradationStats,
+) -> Result<NearArray<T>, SortError> {
+    for _ in 0..MAX_ALLOC_RETRIES {
+        match tl.near_alloc::<T>(len) {
+            Ok(a) => return Ok(a),
+            Err(e) if e.is_injected() => {
+                stats.alloc_retries += 1;
+                tlmm_telemetry::counter!("degradation.alloc_retry").incr();
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    stats.forced_ops += 1;
+    tlmm_telemetry::counter!("degradation.alloc_forced").incr();
+    with_faults_suppressed(|| tl.near_alloc::<T>(len)).map_err(SortError::from)
+}
+
+/// Allocate the two chunk-sized scratchpad buffers, halving the chunk under
+/// injected allocation pressure (up to [`MAX_CHUNK_SHRINKS`] times) before
+/// forcing the allocation through. Returns the chunk size actually used.
+fn alloc_chunk_buffers<T: SortElem>(
+    tl: &TwoLevel,
+    mut chunk: usize,
+    stats: &mut DegradationStats,
+) -> Result<(usize, NearArray<T>, NearArray<T>), SortError> {
+    let mut shrinks = 0u64;
+    loop {
+        let attempt = tl
+            .near_alloc::<T>(chunk)
+            .and_then(|a| tl.near_alloc::<T>(chunk).map(|b| (a, b)));
+        match attempt {
+            Ok((a, b)) => return Ok((chunk, a, b)),
+            Err(e) if e.is_injected() && shrinks < MAX_CHUNK_SHRINKS && chunk > 2 => {
+                // Transient scratchpad pressure: degrade to a smaller chunk
+                // (more Phase-1 chunks, same asymptotics) instead of failing.
+                chunk = (chunk / 2).max(2);
+                shrinks += 1;
+                stats.chunk_shrinks += 1;
+                tlmm_telemetry::counter!("degradation.chunk_shrink").incr();
+            }
+            Err(e) if e.is_injected() => {
+                stats.forced_ops += 1;
+                tlmm_telemetry::counter!("degradation.alloc_forced").incr();
+                return with_faults_suppressed(|| -> Result<_, tlmm_scratchpad::SpError> {
+                    let a = tl.near_alloc::<T>(chunk)?;
+                    let b = tl.near_alloc::<T>(chunk)?;
+                    Ok((chunk, a, b))
+                })
+                .map_err(SortError::from);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
 /// Greedy batch plan over buckets: maximal consecutive groups with total
@@ -179,6 +404,7 @@ pub fn nmsort<T: SortElem>(
             n_pivots: 0,
             batches: 0,
             oversized_buckets: 0,
+            degradations: DegradationStats::default(),
             sample_cost: CostSnapshot::default(),
             phase1_cost: CostSnapshot::default(),
             phase2_cost: CostSnapshot::default(),
@@ -187,11 +413,34 @@ pub fn nmsort<T: SortElem>(
     let _run_span = tlmm_telemetry::span!("nmsort");
     let geo = geometry::<T>(tl, n, cfg)?;
     let base = tl.ledger().snapshot();
+    let mut degradations = DegradationStats::default();
+    // Stage-class faults are handled (and charged) inside the chunk sorter;
+    // attribute them to this run by event-log delta.
+    let stage_events_base = stage_event_count(tl);
+
+    // ---- Scratchpad allocations ---------------------------------------
+    // chunk_buf: ingest + gather space; scratch_buf: sort ping-pong + merge
+    // output. Allocated before sampling so that an allocation-pressure
+    // chunk shrink can still influence the default pivot count.
+    let (chunk, mut chunk_buf, mut scratch_buf) =
+        alloc_chunk_buffers::<T>(tl, geo.chunk, &mut degradations)?;
+    let n_chunks = n.div_ceil(chunk.max(1)).max(1);
+    // The pivot count stays anchored to the *pre-shrink* geometry: a
+    // degraded run must never sample fewer pivots (and so pay less far
+    // traffic) than the clean run would. The shrunk chunk only affects how
+    // many Phase-1 chunks there are; the smaller buffers always still hold
+    // the pre-shrink pivot set.
+    let n_pivots = if n_chunks <= 1 {
+        0
+    } else {
+        let (_, p) = chunk_counts(tl, n, geo.chunk, cfg);
+        p.max(1)
+    };
 
     // ---- Pivot sample (kept resident in the scratchpad) ---------------
     tl.begin_phase("nmsort.sample");
-    let sample: PivotSample<T> = if geo.n_chunks > 1 {
-        draw_pivots(tl, &input, geo.n_pivots, cfg.seed, lanes)
+    let sample: PivotSample<T> = if n_chunks > 1 {
+        draw_pivots(tl, &input, n_pivots, cfg.seed, lanes)
     } else {
         PivotSample {
             pivots: Vec::new(),
@@ -201,38 +450,35 @@ pub fn nmsort<T: SortElem>(
     tl.end_phase();
     let after_sample = tl.ledger().snapshot();
 
-    // ---- Scratchpad allocations ---------------------------------------
-    // chunk_buf: ingest + gather space; scratch_buf: sort ping-pong + merge
-    // output; pivot_res reserves the resident sample; totals = BucketTot.
-    let mut chunk_buf = tl.near_alloc::<T>(geo.chunk)?;
-    let mut scratch_buf = tl.near_alloc::<T>(geo.chunk)?;
-    let _pivot_res = tl.near_alloc::<T>(sample.pivots.len())?;
-    let mut totals_buf = tl.near_alloc::<u64>(sample.n_buckets())?;
+    // pivot_res reserves the resident sample; totals = BucketTot.
+    let _pivot_res = near_alloc_with_retry::<T>(tl, sample.pivots.len(), &mut degradations)?;
+    let mut totals_buf = near_alloc_with_retry::<u64>(tl, sample.n_buckets(), &mut degradations)?;
 
     // ---- Phase 1 --------------------------------------------------------
     let mut sorted_chunks = tl.far_alloc::<T>(n);
-    let mut all_positions: Vec<BucketPositions> = Vec::with_capacity(geo.n_chunks);
+    let mut all_positions: Vec<BucketPositions> = Vec::with_capacity(n_chunks);
     let ext_cfg = ExtSortConfig {
         lanes,
         parallel: cfg.parallel,
         ..Default::default()
     };
-    for k in 0..geo.n_chunks {
-        let lo = k * geo.chunk;
-        let hi = ((k + 1) * geo.chunk).min(n);
+    for k in 0..n_chunks {
+        let lo = k * chunk;
+        let hi = ((k + 1) * chunk).min(n);
         let len = hi - lo;
 
         tl.begin_phase("nmsort.p1.ingest");
-        if cfg.use_dma {
+        if cfg.use_dma && dma_issue_allowed(tl, &mut degradations) {
             tl.mark_phase_overlappable();
         }
-        charged_copy(
+        staged_copy_with_retry(
             tl,
             CopyKind::FarToNear,
             &input.as_slice_uncharged()[lo..hi],
             &mut chunk_buf.as_mut_slice_uncharged()[..len],
             lanes,
             cfg.parallel,
+            &mut degradations,
         );
 
         tl.begin_phase("nmsort.p1.sort");
@@ -263,19 +509,20 @@ pub fn nmsort<T: SortElem>(
         };
 
         tl.begin_phase("nmsort.p1.writeback");
-        if cfg.use_dma {
+        if cfg.use_dma && dma_issue_allowed(tl, &mut degradations) {
             tl.mark_phase_overlappable();
         }
-        charged_copy(
+        staged_copy_with_retry(
             tl,
             CopyKind::NearToFar,
             sorted,
             &mut sorted_chunks.as_mut_slice_uncharged()[lo..hi],
             lanes,
             cfg.parallel,
+            &mut degradations,
         );
 
-        if geo.n_chunks > 1 {
+        if n_chunks > 1 {
             tl.begin_phase("nmsort.p1.bounds");
             let pos = bucket_positions(
                 tl,
@@ -305,7 +552,8 @@ pub fn nmsort<T: SortElem>(
     // ---- Phase 2 --------------------------------------------------------
     let mut batches_run = 0usize;
     let mut oversized = 0usize;
-    let output = if geo.n_chunks == 1 {
+    let elem = std::mem::size_of::<T>() as u64;
+    let output = if n_chunks == 1 {
         // The single sorted chunk already is the final list.
         sorted_chunks
     } else {
@@ -320,11 +568,11 @@ pub fn nmsort<T: SortElem>(
             (totals.len() * 8) as u64,
             lanes,
         );
-        let cap = geo.chunk as u64;
+        let cap = chunk as u64;
         let batches = plan_batches(&totals, cap);
         batches_run = batches.len();
 
-        let chunk_starts: Vec<usize> = (0..geo.n_chunks).map(|k| k * geo.chunk).collect();
+        let chunk_starts: Vec<usize> = (0..n_chunks).map(|k| k * chunk).collect();
         let mut out_off = 0usize;
         for (blo, bhi) in batches {
             let total: u64 = totals[blo..bhi].iter().sum();
@@ -332,23 +580,53 @@ pub fn nmsort<T: SortElem>(
                 continue;
             }
             if total <= cap {
-                merge_batch_via_scratchpad(
-                    tl,
-                    &sorted_chunks,
-                    &all_positions,
-                    &chunk_starts,
-                    (blo, bhi),
-                    &mut chunk_buf,
-                    &mut scratch_buf,
-                    &mut output,
-                    out_off,
-                    total as usize,
-                    lanes,
-                    cfg.parallel,
-                );
+                // Can this batch be staged into the scratchpad right now?
+                tl.begin_phase("nmsort.p2.gather");
+                let decision = tl.preflight(FaultOp::FarToNear);
+                if let FaultDecision::Delay(_) = decision {
+                    charge_copy_volume(tl, CopyKind::FarToNear, total * elem, lanes);
+                    degradations.transfer_delays += 1;
+                    tlmm_telemetry::counter!("degradation.transfer_delay").incr();
+                }
+                if let FaultDecision::Fail(_) = decision {
+                    // The gather aborted mid-flight: charge the lost staging
+                    // attempt and merge this batch straight from DRAM — the
+                    // same fallback §IV-D uses for unsplittable buckets.
+                    charge_copy_volume(tl, CopyKind::FarToNear, total * elem, lanes);
+                    degradations.batch_fallbacks += 1;
+                    tlmm_telemetry::counter!("degradation.p2_dram_direct").incr();
+                    merge_batch_from_far(
+                        tl,
+                        &sorted_chunks,
+                        &all_positions,
+                        &chunk_starts,
+                        (blo, bhi),
+                        &mut output,
+                        out_off,
+                        total as usize,
+                        lanes,
+                        cfg.parallel,
+                    );
+                } else {
+                    merge_batch_via_scratchpad(
+                        tl,
+                        &sorted_chunks,
+                        &all_positions,
+                        &chunk_starts,
+                        (blo, bhi),
+                        &mut chunk_buf,
+                        &mut scratch_buf,
+                        &mut output,
+                        out_off,
+                        total as usize,
+                        lanes,
+                        cfg.parallel,
+                    );
+                }
             } else {
                 oversized += 1;
-                merge_oversized_bucket(
+                tlmm_telemetry::counter!("nmsort.oversized_bucket").incr();
+                let direct_parts = merge_oversized_bucket(
                     tl,
                     &sorted_chunks,
                     &all_positions,
@@ -362,6 +640,7 @@ pub fn nmsort<T: SortElem>(
                     lanes,
                     cfg.parallel,
                 );
+                degradations.dram_direct_parts += direct_parts as u64;
             }
             out_off += total as usize;
         }
@@ -370,16 +649,53 @@ pub fn nmsort<T: SortElem>(
     };
 
     let after_p2 = tl.ledger().snapshot();
+    degradations.stage_restages = stage_event_count(tl) - stage_events_base;
+    if degradations.any() {
+        tlmm_telemetry::counter!("degradation.runs").incr();
+    }
     Ok(NmSortReport {
         output,
-        chunks: geo.n_chunks,
+        chunks: n_chunks,
         n_pivots: sample.pivots.len(),
         batches: batches_run,
         oversized_buckets: oversized,
+        degradations,
         sample_cost: after_sample.since(&base),
         phase1_cost: after_p1.since(&after_sample),
         phase2_cost: after_p2.since(&after_p1),
     })
+}
+
+/// Phase-2 fallback when a batch cannot be staged: merge its segments
+/// straight from DRAM into the output, never touching the scratchpad. Far
+/// traffic matches the staged path (one read + one write of the batch);
+/// what is lost is the near-memory acceleration, not correctness.
+#[allow(clippy::too_many_arguments)]
+fn merge_batch_from_far<T: SortElem>(
+    tl: &TwoLevel,
+    sorted_chunks: &FarArray<T>,
+    all_positions: &[BucketPositions],
+    chunk_starts: &[usize],
+    bucket_range: (usize, usize),
+    output: &mut FarArray<T>,
+    out_off: usize,
+    total: usize,
+    lanes: usize,
+    parallel: bool,
+) {
+    let elem = std::mem::size_of::<T>() as u64;
+    let segs = batch_segments(all_positions, chunk_starts, bucket_range);
+    tl.begin_phase("nmsort.p2.stream_far");
+    let src = sorted_chunks.as_slice_uncharged();
+    // Reading each chunk's BucketPos boundary pair from DRAM.
+    tl.charge_far_random(Dir::Read, 2 * segs.len() as u64, 16 * segs.len() as u64);
+    let seg_slices: Vec<&[T]> = segs.iter().map(|&(a, b)| &src[a..b]).collect();
+    let out = &mut output.as_mut_slice_uncharged()[out_off..out_off + total];
+    let cmps = parallel_merge(&seg_slices, out, lanes, parallel);
+    charge_io_striped(tl, RegionLevel::Far, Dir::Read, total as u64 * elem, lanes);
+    charge_io_striped(tl, RegionLevel::Far, Dir::Write, total as u64 * elem, lanes);
+    charge_compute_striped(tl, cmps, lanes);
+    tl.end_phase();
 }
 
 /// Per-chunk segment of a bucket range: `(chunk_global_lo, chunk_global_hi)`
@@ -499,7 +815,8 @@ fn merge_batch_via_scratchpad<T: SortElem>(
 /// A single bucket larger than the scratchpad: split it into
 /// scratchpad-sized parts by sampled sub-splitters and run each part as a
 /// normal batch; parts that still do not fit (too few distinct keys) are
-/// merged straight from DRAM.
+/// merged straight from DRAM. Returns how many parts took the DRAM-direct
+/// path.
 #[allow(clippy::too_many_arguments)]
 fn merge_oversized_bucket<T: SortElem>(
     tl: &TwoLevel,
@@ -514,7 +831,7 @@ fn merge_oversized_bucket<T: SortElem>(
     total: usize,
     lanes: usize,
     parallel: bool,
-) {
+) -> usize {
     let elem = std::mem::size_of::<T>() as u64;
     let cap = gather_buf.len();
     let segs = batch_segments(all_positions, chunk_starts, bucket_range);
@@ -560,6 +877,7 @@ fn merge_oversized_bucket<T: SortElem>(
     tl.end_phase();
 
     // Run each part.
+    let mut dram_direct = 0usize;
     let mut part_off = out_off;
     let mut prev: Vec<usize> = segs.iter().map(|&(lo, _)| lo).collect();
     for row in cuts {
@@ -576,6 +894,8 @@ fn merge_oversized_bucket<T: SortElem>(
             );
         } else {
             // Degenerate duplication: merge straight from DRAM.
+            dram_direct += 1;
+            tlmm_telemetry::counter!("nmsort.dram_direct_part").incr();
             tl.begin_phase("nmsort.p2.stream_far");
             let seg_slices: Vec<&[T]> = part_segs.iter().map(|&(a, b)| &src[a..b]).collect();
             let out = &mut output.as_mut_slice_uncharged()[part_off..part_off + part_total];
@@ -604,6 +924,7 @@ fn merge_oversized_bucket<T: SortElem>(
         out_off + total,
         "oversized parts must cover bucket"
     );
+    dram_direct
 }
 
 /// Gather + merge + writeout for an explicit segment list (used by the
@@ -907,6 +1228,94 @@ mod tests {
         // rho = 4 on this geometry is below Corollary 7's optimality point,
         // so quicksort should stream more near blocks.
         assert!(quick > merge, "quick {quick} vs merge {merge}");
+    }
+
+    #[test]
+    fn chunk_shrinks_on_injected_alloc_failure() {
+        let tl = tl_small();
+        // Fail the very first near allocation: the chunk-buffer ladder must
+        // halve the chunk and carry on.
+        tl.install_fault_plan(tlmm_scratchpad::FaultPlan::none(1).fail_kth(FaultOp::NearAlloc, 0));
+        let v = random_vec(300_000, 31);
+        let input = tl.far_from_vec(v.clone());
+        let clean_chunks = {
+            let tl2 = tl_small();
+            let input2 = tl2.far_from_vec(v.clone());
+            nmsort(&tl2, input2, &NmSortConfig::default())
+                .unwrap()
+                .chunks
+        };
+        let r = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+        assert_eq!(r.degradations.chunk_shrinks, 1);
+        assert!(r.chunks > clean_chunks, "{} vs {}", r.chunks, clean_chunks);
+        assert_sorted_matches(&r, v);
+    }
+
+    #[test]
+    fn batch_gather_failure_falls_back_to_dram_direct() {
+        let tl = tl_small();
+        // Phase 1 of a ~6-chunk run consumes 6 far→near preflights (ingest);
+        // fail the 7th, which is the first Phase-2 batch gather.
+        let v = random_vec(300_000, 32);
+        let probe = {
+            let tl2 = tl_small();
+            let input2 = tl2.far_from_vec(v.clone());
+            nmsort(&tl2, input2, &NmSortConfig::default())
+                .unwrap()
+                .chunks
+        };
+        tl.install_fault_plan(
+            tlmm_scratchpad::FaultPlan::none(1).fail_kth(FaultOp::FarToNear, probe as u64),
+        );
+        let input = tl.far_from_vec(v.clone());
+        let r = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+        assert_eq!(r.degradations.batch_fallbacks, 1);
+        assert_sorted_matches(&r, v);
+    }
+
+    #[test]
+    fn degrades_gracefully_and_never_cheapens_under_mixed_faults() {
+        let v = random_vec(300_000, 33);
+        let clean = {
+            let tl = tl_small();
+            let input = tl.far_from_vec(v.clone());
+            let r = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+            assert!(!r.degradations.any());
+            tl.ledger().snapshot()
+        };
+        for seed in 0..4u64 {
+            let tl = tl_small();
+            tl.install_fault_plan(tlmm_scratchpad::FaultPlan::seeded(seed));
+            let input = tl.far_from_vec(v.clone());
+            let r = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+            assert_sorted_matches(&r, v.clone());
+            let s = tl.ledger().snapshot();
+            // Honest accounting: faults can only add DRAM traffic.
+            assert!(
+                s.far_bytes >= clean.far_bytes,
+                "seed {seed}: degraded {} < clean {}",
+                s.far_bytes,
+                clean.far_bytes
+            );
+            if tl.faults_injected() > 0 {
+                assert!(r.degradations.any(), "seed {seed}: faults fired silently");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_trace_records_fault_counts() {
+        let tl = tl_small();
+        tl.install_fault_plan(
+            tlmm_scratchpad::FaultPlan::none(1)
+                .fail_kth(FaultOp::FarToNear, 0)
+                .fail_kth(FaultOp::NearToFar, 2),
+        );
+        let v = random_vec(300_000, 34);
+        let input = tl.far_from_vec(v.clone());
+        let r = nmsort(&tl, input, &NmSortConfig::default()).unwrap();
+        assert_sorted_matches(&r, v);
+        assert_eq!(tl.take_trace().faults(), 2);
     }
 
     #[test]

@@ -339,6 +339,7 @@ pub fn simulate_des(trace: &PhaseTrace, m: &MachineConfig, opt: &DesOptions) -> 
         near_accesses,
         far_bytes: t_total.far_bytes(),
         near_bytes: t_total.near_bytes(),
+        fault_events: trace.faults(),
         detail: Some(detail),
     }
 }
@@ -354,6 +355,7 @@ mod tests {
             name: name.into(),
             lanes,
             overlappable,
+            faults: 0,
         }
     }
 

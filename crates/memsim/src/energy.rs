@@ -101,6 +101,7 @@ mod tests {
                     ..Default::default()
                 }],
                 overlappable: false,
+                faults: 0,
             }],
         }
     }

@@ -120,6 +120,7 @@ pub fn simulate_flow(trace: &PhaseTrace, m: &MachineConfig) -> SimReport {
         near_accesses,
         far_bytes: t_total.far_bytes(),
         near_bytes: t_total.near_bytes(),
+        fault_events: trace.faults(),
         detail: None,
     }
 }
@@ -146,6 +147,7 @@ mod tests {
             name: name.into(),
             lanes,
             overlappable,
+            faults: 0,
         }
     }
 

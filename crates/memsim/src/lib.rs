@@ -38,6 +38,7 @@
 //!             256
 //!         ],
 //!         overlappable: false,
+//!         faults: 0,
 //!     }],
 //! };
 //! let report = simulate_flow(&trace, &machine);

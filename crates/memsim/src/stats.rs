@@ -72,6 +72,10 @@ pub struct SimReport {
     pub far_bytes: u64,
     /// Total near bytes moved.
     pub near_bytes: u64,
+    /// Injected faults recorded in the replayed trace (failures + delays).
+    /// Non-zero means this is a *degraded* run: its traffic includes
+    /// retried/retransmitted transfers charged by the fault layer.
+    pub fault_events: u64,
     /// Discrete-event-only measurements (`None` for the analytic engine).
     pub detail: Option<DesDetail>,
 }
@@ -162,6 +166,7 @@ mod tests {
                     },
                 ],
                 overlappable: false,
+                faults: 0,
             }],
         };
         let (far, near) = line_accesses(&trace, 64);
@@ -203,6 +208,7 @@ mod tests {
             near_accesses: 0,
             far_bytes: 20,
             near_bytes: 5,
+            fault_events: 0,
             detail: None,
         };
         assert_eq!(r.seconds_bound_by(Bottleneck::FarBandwidth), 1.5);

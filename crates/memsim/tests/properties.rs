@@ -21,6 +21,7 @@ fn arb_trace() -> impl Strategy<Value = PhaseTrace> {
             name: "p".into(),
             lanes,
             overlappable,
+            faults: 0,
         },
     );
     proptest::collection::vec(phase, 1..6).prop_map(|phases| PhaseTrace { phases })
@@ -85,6 +86,7 @@ proptest! {
                     lanes
                 ],
                 overlappable: false,
+                faults: 0,
             }],
         };
         let m = MachineConfig::fig4(lanes as u32, 4.0);

@@ -13,10 +13,16 @@
 
 use crate::array::{FarArray, NearArray};
 use crate::error::SpError;
+use crate::fault::{with_faults_suppressed, FaultDecision, FaultOp};
 use crate::mem::TwoLevel;
 use crate::trace::{current_lane, with_lane};
 use std::ops::Range;
 use std::thread::JoinHandle;
+
+/// Injected transfer failures are retried this many times before the engine
+/// forces the transfer through with injection suppressed. Genuine errors
+/// (range, length) are never retried.
+const DMA_MAX_RETRIES: u32 = 2;
 
 /// Issues background transfers on a [`TwoLevel`] memory.
 #[derive(Debug, Clone)]
@@ -25,21 +31,58 @@ pub struct DmaEngine {
 }
 
 /// An in-flight DMA transfer; [`wait`](Self::wait) returns the arrays.
+///
+/// When the engine aborts an issue (an injected [`FaultOp::DmaIssue`] fault),
+/// the transfer is executed synchronously on the issuing thread instead and
+/// the returned handle is already complete.
 #[must_use = "a DMA transfer must be waited on to get the arrays back"]
 pub struct DmaTransfer<S, D> {
-    handle: JoinHandle<Result<(S, D), SpError>>,
+    state: DmaState<S, D>,
+}
+
+enum DmaState<S, D> {
+    Pending(JoinHandle<Result<(S, D), SpError>>),
+    Done(Result<(S, D), SpError>),
 }
 
 impl<S, D> DmaTransfer<S, D> {
     /// Block until the transfer completes; returns the source and
     /// destination arrays (or the transfer's error).
     pub fn wait(self) -> Result<(S, D), SpError> {
-        self.handle.join().expect("DMA worker thread panicked")
+        match self.state {
+            DmaState::Pending(handle) => handle.join().expect("DMA worker thread panicked"),
+            DmaState::Done(res) => res,
+        }
     }
 
     /// Has the transfer finished (non-blocking)?
     pub fn is_done(&self) -> bool {
-        self.handle.is_finished()
+        match &self.state {
+            DmaState::Pending(handle) => handle.is_finished(),
+            DmaState::Done(_) => true,
+        }
+    }
+}
+
+/// Run a transfer with bounded retry of *injected* failures: up to
+/// [`DMA_MAX_RETRIES`] normal retries, then one forced attempt with fault
+/// injection suppressed so the engine always makes progress. Every failed
+/// attempt has already been charged in full by the runtime, so retries are
+/// honestly visible in the ledger.
+fn transfer_with_retry(f: &mut impl FnMut() -> Result<(), SpError>) -> Result<(), SpError> {
+    let mut attempt = 0;
+    loop {
+        match f() {
+            Err(e) if e.is_injected() && attempt < DMA_MAX_RETRIES => {
+                attempt += 1;
+                tlmm_telemetry::counter!("degradation.dma_retry").incr();
+            }
+            Err(e) if e.is_injected() => {
+                tlmm_telemetry::counter!("degradation.dma_forced").incr();
+                return with_faults_suppressed(&mut *f);
+            }
+            other => return other,
+        }
     }
 }
 
@@ -59,18 +102,41 @@ impl DmaEngine {
         dst_at: usize,
     ) -> DmaTransfer<FarArray<T>, NearArray<T>> {
         self.tl.mark_phase_overlappable();
-        let tl = self.tl.clone();
         let lane = current_lane();
         record_issue(
             "far_to_near",
             (src_range.len() * std::mem::size_of::<T>()) as u64,
             lane,
         );
+        if let FaultDecision::Fail(_) = self.tl.preflight(FaultOp::DmaIssue) {
+            // The engine rejected the descriptor: fall back to a synchronous
+            // transfer on the issuing thread.
+            tlmm_telemetry::counter!("degradation.dma_abort").incr();
+            tlmm_telemetry::counter!("degradation.dma_sync_fallback").incr();
+            let res = {
+                let mut op = || {
+                    self.tl
+                        .far_to_near(&src, src_range.clone(), &mut dst, dst_at)
+                };
+                transfer_with_retry(&mut op)
+            };
+            return DmaTransfer {
+                state: DmaState::Done(res.map(|()| (src, dst))),
+            };
+        }
+        let tl = self.tl.clone();
         let handle = std::thread::spawn(move || {
-            with_lane(lane, || tl.far_to_near(&src, src_range, &mut dst, dst_at))
-                .map(|()| (src, dst))
+            with_lane(lane, || {
+                let res = {
+                    let mut op = || tl.far_to_near(&src, src_range.clone(), &mut dst, dst_at);
+                    transfer_with_retry(&mut op)
+                };
+                res.map(|()| (src, dst))
+            })
         });
-        DmaTransfer { handle }
+        DmaTransfer {
+            state: DmaState::Pending(handle),
+        }
     }
 
     /// Issue a near→far transfer in the background.
@@ -82,18 +148,39 @@ impl DmaEngine {
         dst_at: usize,
     ) -> DmaTransfer<NearArray<T>, FarArray<T>> {
         self.tl.mark_phase_overlappable();
-        let tl = self.tl.clone();
         let lane = current_lane();
         record_issue(
             "near_to_far",
             (src_range.len() * std::mem::size_of::<T>()) as u64,
             lane,
         );
+        if let FaultDecision::Fail(_) = self.tl.preflight(FaultOp::DmaIssue) {
+            tlmm_telemetry::counter!("degradation.dma_abort").incr();
+            tlmm_telemetry::counter!("degradation.dma_sync_fallback").incr();
+            let res = {
+                let mut op = || {
+                    self.tl
+                        .near_to_far(&src, src_range.clone(), &mut dst, dst_at)
+                };
+                transfer_with_retry(&mut op)
+            };
+            return DmaTransfer {
+                state: DmaState::Done(res.map(|()| (src, dst))),
+            };
+        }
+        let tl = self.tl.clone();
         let handle = std::thread::spawn(move || {
-            with_lane(lane, || tl.near_to_far(&src, src_range, &mut dst, dst_at))
-                .map(|()| (src, dst))
+            with_lane(lane, || {
+                let res = {
+                    let mut op = || tl.near_to_far(&src, src_range.clone(), &mut dst, dst_at);
+                    transfer_with_retry(&mut op)
+                };
+                res.map(|()| (src, dst))
+            })
         });
-        DmaTransfer { handle }
+        DmaTransfer {
+            state: DmaState::Pending(handle),
+        }
     }
 }
 
@@ -170,6 +257,37 @@ mod tests {
         let near = tl.near_alloc::<u8>(8).unwrap();
         let t = dma.far_to_near(far, 0..16, near, 0);
         assert!(t.wait().is_err());
+    }
+
+    #[test]
+    fn dma_abort_falls_back_to_sync() {
+        let tl = tl();
+        tl.install_fault_plan(crate::fault::FaultPlan::none(7).fail_kth(FaultOp::DmaIssue, 0));
+        let dma = DmaEngine::new(&tl);
+        let far = tl.far_from_vec((0u64..256).collect::<Vec<_>>());
+        let near = tl.near_alloc::<u64>(256).unwrap();
+        let t = dma.far_to_near(far, 0..256, near, 0);
+        // The aborted issue completed synchronously on this thread.
+        assert!(t.is_done());
+        let (_far, near) = t.wait().unwrap();
+        assert_eq!(near.as_slice_uncharged()[255], 255);
+        assert_eq!(tl.faults_injected(), 1);
+    }
+
+    #[test]
+    fn dma_retries_injected_transfer_faults() {
+        let tl = tl();
+        // The first far→near transfer fails; the worker must retry and
+        // deliver anyway, with the aborted attempt charged in full.
+        tl.install_fault_plan(crate::fault::FaultPlan::none(7).fail_kth(FaultOp::FarToNear, 0));
+        let dma = DmaEngine::new(&tl);
+        let far = tl.far_from_vec((0u64..128).collect::<Vec<_>>());
+        let near = tl.near_alloc::<u64>(128).unwrap();
+        let (_far, near) = dma.far_to_near(far, 0..128, near, 0).wait().unwrap();
+        assert_eq!(near.as_slice_uncharged()[127], 127);
+        let s = tl.ledger().snapshot();
+        // 128 * 8 B = 1024 B = 16 far blocks per attempt, two attempts.
+        assert_eq!(s.far_read_blocks, 32);
     }
 
     #[test]

@@ -28,6 +28,23 @@ pub enum SpError {
         /// Destination elements.
         dst: usize,
     },
+    /// An installed [`crate::fault::FaultPlan`] failed this operation.
+    /// Injected transfer failures are charged in full (the payload moved
+    /// and was lost); callers are expected to degrade, not crash.
+    FaultInjected {
+        /// The operation class that was hit.
+        op: crate::fault::FaultOp,
+        /// 0-based index of the operation within its class.
+        index: u64,
+    },
+}
+
+impl SpError {
+    /// Is this error a deliberate injection (as opposed to a genuine
+    /// capacity or bounds violation)? Degradation ladders retry these.
+    pub fn is_injected(&self) -> bool {
+        matches!(self, SpError::FaultInjected { .. })
+    }
 }
 
 impl core::fmt::Display for SpError {
@@ -45,6 +62,9 @@ impl core::fmt::Display for SpError {
             }
             SpError::LengthMismatch { src, dst } => {
                 write!(f, "transfer length mismatch: src {src} elements, dst {dst}")
+            }
+            SpError::FaultInjected { op, index } => {
+                write!(f, "injected fault: {} op #{index}", op.name())
             }
         }
     }

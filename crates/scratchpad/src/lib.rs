@@ -44,12 +44,17 @@
 pub mod array;
 pub mod dma;
 pub mod error;
+pub mod fault;
 pub mod mem;
 pub mod stream;
 pub mod trace;
 
 pub use array::{FarArray, NearArray};
 pub use error::SpError;
+pub use fault::{
+    with_faults_suppressed, FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultOp,
+    FaultPlan, FAULT_SEED_ENV,
+};
 pub use mem::TwoLevel;
 pub use stream::{par_scan_far, scan_far, FarReader, FarWriter, NearReader};
 pub use trace::{with_lane, LaneWork, PhaseRecord, PhaseTrace};

@@ -2,9 +2,11 @@
 
 use crate::array::{FarArray, NearArray};
 use crate::error::SpError;
+use crate::fault::{self, FaultDecision, FaultInjector, FaultOp, FaultPlan};
 use crate::trace::{PhaseTrace, TraceRecorder};
+use parking_lot::Mutex;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use tlmm_model::ledger::{CostLedger, Dir, Level};
 use tlmm_model::ScratchpadParams;
@@ -16,6 +18,9 @@ pub struct TwoLevelInner {
     pub(crate) ledger: CostLedger,
     pub(crate) recorder: TraceRecorder,
     pub(crate) near_used: AtomicU64,
+    pub(crate) faults: Mutex<Option<Arc<FaultInjector>>>,
+    /// Fast-path gate so un-faulted runs never take the `faults` lock.
+    pub(crate) has_faults: AtomicBool,
 }
 
 /// Handle to a two-level main memory. Cheap to clone; clones share the
@@ -58,6 +63,8 @@ impl TwoLevel {
                 ledger: CostLedger::new(),
                 recorder: TraceRecorder::new(),
                 near_used: AtomicU64::new(0),
+                faults: Mutex::new(None),
+                has_faults: AtomicBool::new(false),
             }),
         }
     }
@@ -91,6 +98,88 @@ impl TwoLevel {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Install `plan` on this memory; every hooked operation from now on
+    /// consults the returned injector. Replaces any previous plan.
+    pub fn install_fault_plan(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        let inj = Arc::new(FaultInjector::new(plan));
+        *self.inner.faults.lock() = Some(Arc::clone(&inj));
+        self.inner.has_faults.store(true, Ordering::Release);
+        inj
+    }
+
+    /// Install the standard seeded profile from `TLMM_FAULT_SEED` if the
+    /// variable is set; returns the injector when it is.
+    pub fn install_faults_from_env(&self) -> Option<Arc<FaultInjector>> {
+        FaultPlan::from_env().map(|p| self.install_fault_plan(p))
+    }
+
+    /// Remove any installed fault plan.
+    pub fn clear_faults(&self) {
+        *self.inner.faults.lock() = None;
+        self.inner.has_faults.store(false, Ordering::Release);
+    }
+
+    /// The currently installed injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        if !self.inner.has_faults.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner.faults.lock().clone()
+    }
+
+    /// Failures injected so far (0 when no plan is installed).
+    pub fn faults_injected(&self) -> u64 {
+        self.fault_injector().map(|i| i.injected()).unwrap_or(0)
+    }
+
+    /// Run `f` with fault injection disabled on this thread — the final
+    /// rung of a degradation ladder after bounded retries.
+    pub fn with_faults_suppressed<R>(&self, f: impl FnOnce() -> R) -> R {
+        fault::with_faults_suppressed(f)
+    }
+
+    /// Consult the fault plan for one logical operation of class `op`
+    /// *without* moving any data. Algorithm kernels that charge explicitly
+    /// (rather than calling the transfer methods) gate their staging steps
+    /// on this, so injected faults reach the raw-slice hot paths too.
+    ///
+    /// A `Fail`/`Delay` decision is recorded in the open phase's fault
+    /// count and in telemetry; honest recharging is the caller's job
+    /// (the caller knows the volume it was about to move).
+    pub fn preflight(&self, op: FaultOp) -> FaultDecision {
+        if !self.inner.has_faults.load(Ordering::Acquire) || fault::faults_suppressed() {
+            return FaultDecision::Proceed;
+        }
+        let Some(inj) = self.inner.faults.lock().clone() else {
+            return FaultDecision::Proceed;
+        };
+        let d = inj.decide(op);
+        match d {
+            FaultDecision::Proceed => {}
+            FaultDecision::Fail(_) => {
+                self.inner.recorder.record_fault();
+                tlmm_telemetry::counter!("fault.injected").incr();
+                match op {
+                    FaultOp::NearAlloc => tlmm_telemetry::counter!("fault.near_alloc").incr(),
+                    FaultOp::FarToNear => tlmm_telemetry::counter!("fault.far_to_near").incr(),
+                    FaultOp::NearToFar => tlmm_telemetry::counter!("fault.near_to_far").incr(),
+                    FaultOp::FarStage => tlmm_telemetry::counter!("fault.far_stage").incr(),
+                    FaultOp::NearStage => tlmm_telemetry::counter!("fault.near_stage").incr(),
+                    FaultOp::DmaIssue => tlmm_telemetry::counter!("fault.dma_issue").incr(),
+                }
+            }
+            FaultDecision::Delay(_) => {
+                self.inner.recorder.record_fault();
+                tlmm_telemetry::counter!("fault.delayed").incr();
+            }
+        }
+        d
+    }
+
+    // ------------------------------------------------------------------
     // Allocation
     // ------------------------------------------------------------------
 
@@ -112,6 +201,12 @@ impl TwoLevel {
     /// Allocate a near (scratchpad) array, failing if capacity `M` would be
     /// exceeded — the modified `malloc` of §VI-B.2.
     pub fn near_alloc<T: Copy + Default>(&self, len: usize) -> Result<NearArray<T>, SpError> {
+        if let FaultDecision::Fail(index) = self.preflight(FaultOp::NearAlloc) {
+            return Err(SpError::FaultInjected {
+                op: FaultOp::NearAlloc,
+                index,
+            });
+        }
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         let cap = self.inner.params.scratchpad_bytes;
         // Reserve optimistically; roll back on overflow.
@@ -228,8 +323,27 @@ impl TwoLevel {
         range_check(&src_range, src.data.len())?;
         let n = src_range.len();
         range_check(&(dst_at..dst_at + n), dst.data.len())?;
-        dst.data[dst_at..dst_at + n].copy_from_slice(&src.data[src_range]);
         let bytes = (n * std::mem::size_of::<T>()) as u64;
+        match self.preflight(FaultOp::FarToNear) {
+            FaultDecision::Fail(index) => {
+                // The payload moved and was lost: charge the aborted
+                // attempt in full, deliver nothing.
+                self.charge_far(Dir::Read, bytes);
+                self.charge_near(Dir::Write, bytes);
+                return Err(SpError::FaultInjected {
+                    op: FaultOp::FarToNear,
+                    index,
+                });
+            }
+            FaultDecision::Delay(_) => {
+                // Link-level retransmission: the transfer lands, but the
+                // traffic crossed both channels twice.
+                self.charge_far(Dir::Read, bytes);
+                self.charge_near(Dir::Write, bytes);
+            }
+            FaultDecision::Proceed => {}
+        }
+        dst.data[dst_at..dst_at + n].copy_from_slice(&src.data[src_range]);
         self.charge_far(Dir::Read, bytes);
         self.charge_near(Dir::Write, bytes);
         Ok(())
@@ -247,8 +361,23 @@ impl TwoLevel {
         range_check(&src_range, src.data.len())?;
         let n = src_range.len();
         range_check(&(dst_at..dst_at + n), dst.data.len())?;
-        dst.data[dst_at..dst_at + n].copy_from_slice(&src.data[src_range]);
         let bytes = (n * std::mem::size_of::<T>()) as u64;
+        match self.preflight(FaultOp::NearToFar) {
+            FaultDecision::Fail(index) => {
+                self.charge_near(Dir::Read, bytes);
+                self.charge_far(Dir::Write, bytes);
+                return Err(SpError::FaultInjected {
+                    op: FaultOp::NearToFar,
+                    index,
+                });
+            }
+            FaultDecision::Delay(_) => {
+                self.charge_near(Dir::Read, bytes);
+                self.charge_far(Dir::Write, bytes);
+            }
+            FaultDecision::Proceed => {}
+        }
+        dst.data[dst_at..dst_at + n].copy_from_slice(&src.data[src_range]);
         self.charge_near(Dir::Read, bytes);
         self.charge_far(Dir::Write, bytes);
         Ok(())

@@ -93,6 +93,10 @@ pub struct PhaseRecord {
     /// Hint that this phase's transfers may be overlapped with the *next*
     /// phase's compute (set for DMA-issued transfers; §VII future work).
     pub overlappable: bool,
+    /// Number of injected faults (failures and delays) that fired while this
+    /// phase was open. Zero on clean runs; lets memsim replay distinguish
+    /// degraded traces.
+    pub faults: u64,
 }
 
 impl PhaseRecord {
@@ -139,6 +143,11 @@ impl PhaseTrace {
         self.phases.iter().map(|p| p.lanes.len()).max().unwrap_or(0)
     }
 
+    /// Total injected faults recorded across all phases.
+    pub fn faults(&self) -> u64 {
+        self.phases.iter().map(|p| p.faults).sum()
+    }
+
     /// Per-lane work summed across all phases (index = lane id).
     pub fn lane_totals(&self) -> Vec<LaneWork> {
         let mut totals = vec![LaneWork::default(); self.lane_count()];
@@ -176,8 +185,7 @@ impl RecorderInner {
             self.open_span = Some(tlmm_telemetry::Span::detached("anonymous"));
             PhaseRecord {
                 name: "anonymous".to_string(),
-                lanes: Vec::new(),
-                overlappable: false,
+                ..Default::default()
             }
         })
     }
@@ -204,8 +212,7 @@ impl TraceRecorder {
         g.close_open();
         g.open = Some(PhaseRecord {
             name: name.to_string(),
-            lanes: Vec::new(),
-            overlappable: false,
+            ..Default::default()
         });
         g.open_span = Some(tlmm_telemetry::Span::detached(name));
     }
@@ -214,6 +221,13 @@ impl TraceRecorder {
     pub fn mark_overlappable(&self) {
         let mut g = self.inner.lock();
         g.open_mut().overlappable = true;
+    }
+
+    /// Record that an injected fault fired inside the open phase (an
+    /// anonymous phase is opened if none is).
+    pub fn record_fault(&self) {
+        let mut g = self.inner.lock();
+        g.open_mut().faults += 1;
     }
 
     /// Close the open phase.
@@ -322,6 +336,7 @@ mod tests {
                 LaneWork::default(),
             ],
             overlappable: false,
+            faults: 0,
         };
         assert_eq!(p.total().compute_ops, 14);
         assert_eq!(p.total().far_bytes(), 10);

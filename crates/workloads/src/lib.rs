@@ -30,6 +30,10 @@ pub enum Workload {
     Zipf(f64),
     /// All elements equal (the adversarial bucket case).
     AllEqual,
+    /// Repeating ascending ramps of the given period (`i % period`) —
+    /// piecewise-sorted with periodic discontinuities, the classic
+    /// merge-adversarial "sawtooth" shape.
+    Sawtooth(u64),
 }
 
 /// Generate `n` elements of `w` with `seed`.
@@ -63,6 +67,10 @@ pub fn generate(w: Workload, n: usize, seed: u64) -> Vec<u64> {
             (0..n).map(|_| zipf.sample(&mut rng)).collect()
         }
         Workload::AllEqual => vec![0xDEAD_BEEF; n],
+        Workload::Sawtooth(period) => {
+            let period = period.max(1);
+            (0..n as u64).map(|i| i % period).collect()
+        }
     }
 }
 
@@ -185,6 +193,16 @@ mod tests {
     }
 
     #[test]
+    fn sawtooth_shape() {
+        let v = generate(Workload::Sawtooth(10), 100, 0);
+        assert_eq!(v[..10], (0..10).collect::<Vec<u64>>()[..]);
+        assert_eq!(v[10], 0);
+        assert_eq!(distinct_count(&v), 10);
+        // Degenerate period clamps to 1 (all zero), never divides by zero.
+        assert_eq!(distinct_count(&generate(Workload::Sawtooth(0), 50, 0)), 1);
+    }
+
+    #[test]
     fn lengths_match() {
         for w in [
             Workload::UniformU64,
@@ -194,6 +212,7 @@ mod tests {
             Workload::FewDistinct(3),
             Workload::Zipf(1.0),
             Workload::AllEqual,
+            Workload::Sawtooth(64),
         ] {
             assert_eq!(generate(w, 123, 9).len(), 123);
             assert_eq!(generate(w, 0, 9).len(), 0);

@@ -52,7 +52,9 @@ pub use tlmm_workloads as workloads;
 /// The names most applications need.
 pub mod prelude {
     pub use tlmm_core::baseline::{baseline_sort, BaselineConfig};
-    pub use tlmm_core::nmsort::{nmsort, ChunkSorter, NmSortConfig, NmSortReport};
+    pub use tlmm_core::nmsort::{
+        nmsort, ChunkSorter, DegradationStats, NmSortConfig, NmSortReport,
+    };
     pub use tlmm_core::parsort::{par_scratchpad_sort, ParSortConfig};
     pub use tlmm_core::select::{select_kth, SelectConfig};
     pub use tlmm_core::seqsort::{seq_scratchpad_sort, SeqSortConfig};
@@ -60,7 +62,7 @@ pub mod prelude {
     pub use tlmm_memsim::des::{simulate_des, DesOptions};
     pub use tlmm_memsim::{simulate_flow, MachineConfig, SimReport};
     pub use tlmm_model::{CostSnapshot, ScratchpadParams};
-    pub use tlmm_scratchpad::{FarArray, NearArray, TwoLevel};
+    pub use tlmm_scratchpad::{FarArray, FaultOp, FaultPlan, NearArray, TwoLevel, FAULT_SEED_ENV};
     pub use tlmm_tile::{gemm_far, gemm_near, GemmConfig, Matrix};
     pub use tlmm_workloads::{generate, Workload};
 }

@@ -16,6 +16,27 @@ fn sorted_copy(v: &[u64]) -> Vec<u64> {
     s
 }
 
+/// The differential suite's workload shapes: the paper's uniform input plus
+/// the adversarial edge cases (duplicates, periodic ramps, pre-sortedness,
+/// reversal, skew).
+fn shaped_workload() -> impl Strategy<Value = Workload> {
+    (0u8..7, 2u64..500, 0.8f64..1.6).prop_map(|(which, period, s)| match which {
+        0 => Workload::UniformU64,
+        1 => Workload::AllEqual,
+        2 => Workload::Sawtooth(period),
+        3 => Workload::Sorted,
+        4 => Workload::Reverse,
+        5 => Workload::FewDistinct(period % 19 + 1),
+        _ => Workload::Zipf(s),
+    })
+}
+
+/// `Option<u64>` fault seed: half the cases run clean, half under the
+/// standard seeded mixed fault profile.
+fn opt_fault_seed() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), any::<u64>()).prop_map(|(fire, seed)| fire.then_some(seed))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -118,6 +139,117 @@ proptest! {
             prop_assert!(s <= prev * 1.0001, "rho {} time {} prev {}", rho, s, prev);
             prev = s;
         }
+    }
+
+    // ---- Differential suite: every sort vs `slice::sort` across workload
+    // shapes, with and without a fault plan installed. A seeded plan must
+    // never change the *output* — only the cost of producing it.
+
+    #[test]
+    fn nmsort_differential_across_shapes_and_faults(
+        w in shaped_workload(),
+        n in 0usize..40_000,
+        seed in any::<u64>(),
+        lanes in 1usize..8,
+        fault_seed in opt_fault_seed(),
+    ) {
+        let v = generate(w, n, seed);
+        let expect = sorted_copy(&v);
+        let tl = TwoLevel::new(tiny_params());
+        if let Some(fs) = fault_seed {
+            tl.install_fault_plan(FaultPlan::seeded(fs));
+        }
+        let input = tl.far_from_vec(v);
+        let cfg = NmSortConfig {
+            sim_lanes: lanes,
+            chunk_elems: if n > 64 { Some((n / 3).clamp(32, 14_000)) } else { None },
+            parallel: false,
+            ..Default::default()
+        };
+        let r = nmsort(&tl, input, &cfg).unwrap();
+        prop_assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
+        // Injected faults must never pass silently: every one is either a
+        // recorded degradation or a trace fault event.
+        if tl.faults_injected() > 0 {
+            let trace_faults = tl.take_trace().faults();
+            prop_assert!(
+                r.degradations.any() || trace_faults > 0,
+                "{} faults fired with no degradation record", tl.faults_injected()
+            );
+        }
+    }
+
+    #[test]
+    fn quicksort_chunk_sorter_differential(
+        w in shaped_workload(),
+        n in 0usize..30_000,
+        seed in any::<u64>(),
+        fault_seed in opt_fault_seed(),
+    ) {
+        let v = generate(w, n, seed);
+        let expect = sorted_copy(&v);
+        let tl = TwoLevel::new(tiny_params());
+        if let Some(fs) = fault_seed {
+            tl.install_fault_plan(FaultPlan::seeded(fs));
+        }
+        let input = tl.far_from_vec(v);
+        let cfg = NmSortConfig {
+            chunk_sorter: ChunkSorter::Quicksort,
+            parallel: false,
+            ..Default::default()
+        };
+        let r = nmsort(&tl, input, &cfg).unwrap();
+        prop_assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
+    }
+
+    #[test]
+    fn extsort_differential_across_shapes_and_faults(
+        w in shaped_workload(),
+        n in 1usize..20_000,
+        seed in any::<u64>(),
+        fault_seed in opt_fault_seed(),
+    ) {
+        use two_level_mem::core::extsort::{external_sort, ExtSortConfig, RegionLevel};
+        let v = generate(w, n, seed);
+        let expect = sorted_copy(&v);
+        let tl = TwoLevel::new(tiny_params());
+        if let Some(fs) = fault_seed {
+            tl.install_fault_plan(FaultPlan::seeded(fs));
+        }
+        let mut data = tl.far_from_vec(v);
+        let mut scratch = tl.far_from_vec(vec![0u64; n]);
+        let outcome = external_sort(
+            &tl,
+            RegionLevel::Far,
+            data.as_mut_slice_uncharged(),
+            scratch.as_mut_slice_uncharged(),
+            &ExtSortConfig::default(),
+        );
+        let result = if outcome.in_scratch {
+            scratch.as_slice_uncharged()
+        } else {
+            data.as_slice_uncharged()
+        };
+        prop_assert_eq!(result, expect.as_slice());
+    }
+
+    #[test]
+    fn baseline_differential_under_faults(
+        w in shaped_workload(),
+        n in 0usize..20_000,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        let v = generate(w, n, seed);
+        let expect = sorted_copy(&v);
+        let tl = TwoLevel::new(tiny_params());
+        tl.install_fault_plan(FaultPlan::seeded(fault_seed));
+        let input = tl.far_from_vec(v);
+        let r = baseline_sort(&tl, input, &BaselineConfig {
+            parallel: false,
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
     }
 
     #[test]
