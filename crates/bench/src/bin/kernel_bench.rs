@@ -1,0 +1,369 @@
+//! **Kernel bench** — host wall-clock before→after deltas for the kernel
+//! layer (DESIGN.md §10).
+//!
+//! Four cells × four workload shapes:
+//!
+//! * `run_formation` — Phase-1 style chunk sorting: `sort_unstable` per run
+//!   (the pre-kernel reference) vs [`tlmm_core::kernels::sort_kernel`]
+//!   (MSD hybrid radix for `u64`).
+//! * `kway_merge` — k-way merge of sorted runs: the original branchy
+//!   loser tree vs the branchless rewrite.
+//! * `bucketize` — `BucketPos` extraction over sorted chunks (no
+//!   before/after pair: the kernel layer doesn't change it; the median is
+//!   recorded to catch regressions).
+//! * `nmsort_e2e` — end-to-end NMsort wall clock at 1M (and 10M in
+//!   `--full10m` mode) through the standard harness.
+//!
+//! Methodology: every measurement clones pristine input outside the timed
+//! region, runs `WARMUP` untimed iterations, then reports the **median of
+//! `MEASURE` timed iterations** — medians are robust to one-off
+//! scheduling noise without discarding real variance (see DESIGN.md §10).
+//!
+//! Output: `BENCH_kernels.json` at the working directory root (the
+//! committed before→after record) and `results/kernel_bench.{txt,json}`
+//! via the artifact plumbing.
+//!
+//! Run: `cargo run --release -p tlmm-bench --bin kernel_bench [-- --smoke | --full10m]`
+//!
+//! `--smoke` shrinks sizes for CI and additionally asserts the optimized
+//! kernels agree element-for-element with the reference implementations.
+
+use std::time::Instant;
+use tlmm_bench::{artifact, outln, run_sort, SortAlgo, SortSpec};
+use tlmm_core::kernels::reference::{form_runs_ref, merge_into_slice_ref};
+use tlmm_core::kernels::sort_kernel;
+use tlmm_core::losertree::merge_into_slice;
+use tlmm_core::{bucketize, extsort::RegionLevel};
+use tlmm_model::ScratchpadParams;
+use tlmm_scratchpad::TwoLevel;
+use tlmm_telemetry::RunReport;
+use tlmm_workloads::{generate, Workload};
+
+use serde::Serialize;
+
+/// Sorted-run length for the formation cell: the external mergesort's
+/// default at experiment scale (`Z / (2·elem·lanes)` = 4 MiB / 128).
+const RUN_ELEMS: usize = 32_768;
+/// Merge fan-in for the k-way cell (the experiments' typical fanout).
+const KWAY: usize = 16;
+
+#[derive(Serialize)]
+struct Cell {
+    kernel: String,
+    workload: String,
+    n: usize,
+    /// Median ms of the pre-kernel implementation (absent for cells with
+    /// no before/after pair).
+    baseline_ms: Option<f64>,
+    optimized_ms: f64,
+    /// `baseline_ms / optimized_ms` when a baseline exists.
+    speedup: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct BenchFile {
+    git_sha: String,
+    mode: String,
+    warmup_iters: usize,
+    measured_iters: usize,
+    cells: Vec<Cell>,
+}
+
+struct Timing {
+    warmup: usize,
+    measure: usize,
+}
+
+/// Median of `timing.measure` timed iterations after `timing.warmup`
+/// untimed ones. `prep` runs outside the timed region every iteration.
+fn median_ms<S, P: FnMut() -> S, F: FnMut(S)>(timing: &Timing, mut prep: P, mut work: F) -> f64 {
+    for _ in 0..timing.warmup {
+        work(prep());
+    }
+    let mut samples = Vec::with_capacity(timing.measure);
+    for _ in 0..timing.measure {
+        let state = prep();
+        let t0 = Instant::now();
+        work(state);
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    median(samples)
+}
+
+/// Interleaved before/after medians: each measured iteration times the
+/// baseline and the optimized kernel back to back, so slow load drift on a
+/// shared host hits both sides of the ratio equally (DESIGN.md §10).
+fn paired_medians_ms<S, P, A, B>(
+    timing: &Timing,
+    mut prep: P,
+    mut base: A,
+    mut opt: B,
+) -> (f64, f64)
+where
+    P: FnMut() -> S,
+    A: FnMut(S),
+    B: FnMut(S),
+{
+    for _ in 0..timing.warmup {
+        base(prep());
+        opt(prep());
+    }
+    let mut bs = Vec::with_capacity(timing.measure);
+    let mut os = Vec::with_capacity(timing.measure);
+    for _ in 0..timing.measure {
+        let state = prep();
+        let t0 = Instant::now();
+        base(state);
+        bs.push(t0.elapsed().as_secs_f64() * 1e3);
+        let state = prep();
+        let t0 = Instant::now();
+        opt(state);
+        os.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(bs), median(os))
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn shapes() -> [(&'static str, Workload); 4] {
+    [
+        ("uniform", Workload::UniformU64),
+        ("sawtooth", Workload::Sawtooth(8192)),
+        ("few_distinct", Workload::FewDistinct(64)),
+        ("zipf", Workload::Zipf(1.2)),
+    ]
+}
+
+/// Optimized run formation: `sort_kernel` per chunk (radix for u64).
+fn form_runs_opt(data: &mut [u64], run_elems: usize) {
+    for run in data.chunks_mut(run_elems.max(2)) {
+        sort_kernel(run);
+    }
+}
+
+fn run_formation_cells(n: usize, timing: &Timing, smoke: bool, cells: &mut Vec<Cell>) {
+    for (name, w) in shapes() {
+        let input = generate(w, n, 0xF0);
+        if smoke {
+            let mut a = input.clone();
+            let mut b = input.clone();
+            form_runs_ref(&mut a, RUN_ELEMS);
+            form_runs_opt(&mut b, RUN_ELEMS);
+            assert_eq!(a, b, "run formation kernels disagree on {name}");
+        }
+        let (base, opt) = paired_medians_ms(
+            timing,
+            || input.clone(),
+            |mut v| form_runs_ref(&mut v, RUN_ELEMS),
+            |mut v| form_runs_opt(&mut v, RUN_ELEMS),
+        );
+        cells.push(Cell {
+            kernel: "run_formation".into(),
+            workload: name.into(),
+            n,
+            baseline_ms: Some(base),
+            optimized_ms: opt,
+            speedup: Some(base / opt),
+        });
+    }
+}
+
+fn kway_merge_cells(n: usize, timing: &Timing, smoke: bool, cells: &mut Vec<Cell>) {
+    for (name, w) in shapes() {
+        let mut data = generate(w, n, 0xF1);
+        let run_len = n.div_ceil(KWAY);
+        for run in data.chunks_mut(run_len) {
+            run.sort_unstable();
+        }
+        let runs: Vec<&[u64]> = data.chunks(run_len).collect();
+        if smoke {
+            let mut a = vec![0u64; n];
+            let mut b = vec![0u64; n];
+            let ca = merge_into_slice_ref(&runs, &mut a);
+            let cb = merge_into_slice(&runs, &mut b);
+            assert_eq!(a, b, "merge kernels disagree on {name}");
+            assert_eq!(ca, cb, "merge comparison counts diverge on {name}");
+        }
+        let (base, opt) = paired_medians_ms(
+            timing,
+            || vec![0u64; n],
+            |mut out| {
+                merge_into_slice_ref(&runs, &mut out);
+            },
+            |mut out| {
+                merge_into_slice(&runs, &mut out);
+            },
+        );
+        cells.push(Cell {
+            kernel: "kway_merge".into(),
+            workload: name.into(),
+            n,
+            baseline_ms: Some(base),
+            optimized_ms: opt,
+            speedup: Some(base / opt),
+        });
+    }
+}
+
+fn bucketize_cells(n: usize, timing: &Timing, cells: &mut Vec<Cell>) {
+    let tl = TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 22, 1 << 16).unwrap());
+    for (name, w) in shapes() {
+        let mut sorted = generate(w, n, 0xF2);
+        sorted.sort_unstable();
+        // 63 pivots ≈ the experiments' bucket counts; dedup for the
+        // duplicate-heavy shapes (pivots must be strictly increasing).
+        let mut pivots: Vec<u64> = (1..64u64)
+            .map(|i| sorted[(i as usize * n / 64).min(n - 1)])
+            .collect();
+        pivots.dedup();
+        let opt = median_ms(
+            timing,
+            || (),
+            |()| {
+                bucketize::bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, 8, false);
+            },
+        );
+        cells.push(Cell {
+            kernel: "bucketize".into(),
+            workload: name.into(),
+            n,
+            baseline_ms: None,
+            optimized_ms: opt,
+            speedup: None,
+        });
+    }
+}
+
+fn nmsort_cells(sizes: &[usize], timing: &Timing, cells: &mut Vec<Cell>) {
+    for &n in sizes {
+        for (name, _) in shapes().into_iter().take(1) {
+            // End-to-end is dominated by the uniform case the paper
+            // evaluates; one shape keeps full runs under a minute.
+            let opt = median_ms(
+                timing,
+                || (),
+                |()| {
+                    run_sort(&SortSpec {
+                        algo: SortAlgo::NmSort,
+                        n,
+                        lanes: 8,
+                        chunk_elems: None,
+                        seed: 0xF3,
+                        fault_seed: None,
+                    })
+                    .expect("nmsort e2e cell failed");
+                },
+            );
+            cells.push(Cell {
+                kernel: "nmsort_e2e".into(),
+                workload: name.into(),
+                n,
+                baseline_ms: None,
+                optimized_ms: opt,
+                speedup: None,
+            });
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let full10m = args.iter().any(|a| a == "--full10m");
+    let mode = if smoke { "smoke" } else { "full" };
+
+    let (n, nmsort_sizes, timing) = if smoke {
+        (
+            20_000,
+            vec![100_000],
+            Timing {
+                warmup: 1,
+                measure: 3,
+            },
+        )
+    } else {
+        let mut sizes = vec![1_000_000];
+        if full10m {
+            sizes.push(10_000_000);
+        }
+        (
+            1_000_000,
+            sizes,
+            Timing {
+                warmup: 2,
+                measure: 7,
+            },
+        )
+    };
+
+    eprintln!(
+        "[kernel_bench] mode={mode}, n={n}, median of {}",
+        timing.measure
+    );
+    tlmm_telemetry::reset();
+
+    let mut cells = Vec::new();
+    run_formation_cells(n, &timing, smoke, &mut cells);
+    kway_merge_cells(n, &timing, smoke, &mut cells);
+    bucketize_cells(n, &timing, &mut cells);
+    nmsort_cells(&nmsort_sizes, &timing, &mut cells);
+
+    // Rendered table.
+    let mut text = String::new();
+    outln!(
+        text,
+        "Kernel wall-clock bench ({mode}): median of {} after {} warmup",
+        timing.measure,
+        timing.warmup
+    );
+    outln!(
+        text,
+        "{:<14} {:<13} {:>10} {:>12} {:>12} {:>8}",
+        "kernel",
+        "workload",
+        "n",
+        "baseline ms",
+        "optimized ms",
+        "speedup"
+    );
+    for c in &cells {
+        outln!(
+            text,
+            "{:<14} {:<13} {:>10} {:>12} {:>12.3} {:>8}",
+            c.kernel,
+            c.workload,
+            c.n,
+            c.baseline_ms.map_or("-".into(), |b| format!("{b:.3}")),
+            c.optimized_ms,
+            c.speedup.map_or("-".into(), |s| format!("{s:.2}x"))
+        );
+    }
+    if smoke {
+        outln!(
+            text,
+            "smoke agreement checks: OK (kernels match references)"
+        );
+    }
+
+    let file = BenchFile {
+        git_sha: artifact::git_sha(),
+        mode: mode.into(),
+        warmup_iters: timing.warmup,
+        measured_iters: timing.measure,
+        cells,
+    };
+    std::fs::write(
+        "BENCH_kernels.json",
+        serde::json::to_string_pretty(&file)? + "\n",
+    )?;
+    outln!(text, "wrote BENCH_kernels.json");
+
+    let report = RunReport::collect("kernel_bench")
+        .meta("mode", mode)
+        .meta("n", n.to_string());
+    artifact::emit("kernel_bench", &text, report)?;
+    Ok(())
+}

@@ -103,7 +103,7 @@ pub fn baseline_sort<T: SortElem>(
                 tl.charge_far_io(Dir::Read, bytes);
                 tl.charge_far_io(Dir::Write, bytes);
             }
-            run.sort_unstable();
+            crate::kernels::sort_kernel(run);
             tl.charge_compute(run.len() as u64 * ceil_lg(run.len()));
         })
     };

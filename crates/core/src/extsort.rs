@@ -156,7 +156,9 @@ pub fn external_sort<T: SortElem>(
                 FaultDecision::Proceed => {}
             }
             charge_io::<T>(tl, level, Dir::Read, run.len());
-            run.sort_unstable();
+            // Host kernel choice (radix vs comparison) never changes the
+            // simulated charge below — see kernels module docs.
+            crate::kernels::sort_kernel(run);
             let cmps = run.len() as u64 * ceil_lg(run.len());
             tl.charge_compute(cmps);
             charge_io::<T>(tl, level, Dir::Write, run.len());
@@ -308,7 +310,7 @@ pub fn cache_sort<T: SortElem>(tl: &TwoLevel, level: RegionLevel, data: &mut [T]
         return 0;
     }
     charge_io::<T>(tl, level, Dir::Read, data.len());
-    data.sort_unstable();
+    crate::kernels::sort_kernel(data);
     let cmps = data.len() as u64 * ceil_lg(data.len());
     tl.charge_compute(cmps);
     charge_io::<T>(tl, level, Dir::Write, data.len());

@@ -1,0 +1,257 @@
+//! MSD hybrid radix sort over order-preserving integer key transforms.
+//!
+//! Run formation is the compute-heaviest part of every sorter here: Phase 1
+//! of NMsort alone sorts the entire input in scratchpad-sized pieces. A
+//! comparison sort pays `Θ(n lg n)` branchy comparisons; this kernel pays
+//! one branch-free counting scatter plus small cache-resident finishing
+//! sorts — without touching the I/O-level analysis, which still charges the
+//! comparison model's costs (see `kernels` module docs).
+//!
+//! Shape, chosen by microbenchmark on the dev host (DESIGN.md §10 records
+//! the measurements and the variants that lost):
+//!
+//! * a **min/max pre-pass** finds the common high-bit prefix of the
+//!   transformed keys, so low-entropy inputs (small ranges, few distinct
+//!   values, sign-skewed `i64`) spend their digit budget only on bits that
+//!   actually differ — and all-equal inputs return after one read pass;
+//! * **one wide MSD scatter** (digit width picked from `n` so buckets
+//!   average ~32 elements, capped at [`MAX_DIGIT_BITS`] to keep the
+//!   histogram + offset tables L1/L2-resident) moves every element to its
+//!   bucket in a single counting pass;
+//! * each bucket is then finished **in cache**: insertion sort up to
+//!   [`INSERTION_MAX`] elements, `slice::sort_unstable` above that, and
+//!   nothing at all when the scatter already consumed every differing key
+//!   bit (equal keys ⇒ identical elements for the primitive key types).
+//!
+//! Earlier LSD (8-bit ping-pong passes) and recursive-MSD variants measured
+//! *slower* than `sort_unstable` on uniform `u64` on this host — multiple
+//! full-array scatter passes are memory-bound here, so the design spends
+//! exactly one.
+
+/// An element with a fixed-width integer sort key whose order is preserved
+/// by mapping into `u64` space.
+///
+/// Implementations must guarantee `a <= b ⇔ a.radix_key() <= b.radix_key()`
+/// and that only the low [`KEY_BITS`](RadixKey::KEY_BITS) bits of the key
+/// are ever set. The provided implementations are injective (equal keys ⇒
+/// identical elements), which the bucket-finishing step relies on.
+pub trait RadixKey: Copy + Ord {
+    /// Significant bits in the transformed key.
+    const KEY_BITS: u32;
+    /// Order-preserving map into unsigned key space.
+    fn radix_key(self) -> u64;
+}
+
+impl RadixKey for u64 {
+    const KEY_BITS: u32 = 64;
+    #[inline(always)]
+    fn radix_key(self) -> u64 {
+        self
+    }
+}
+
+impl RadixKey for u32 {
+    const KEY_BITS: u32 = 32;
+    #[inline(always)]
+    fn radix_key(self) -> u64 {
+        self as u64
+    }
+}
+
+impl RadixKey for i64 {
+    const KEY_BITS: u32 = 64;
+    /// Flip the sign bit: maps `i64::MIN..=i64::MAX` monotonically onto
+    /// `0..=u64::MAX`.
+    #[inline(always)]
+    fn radix_key(self) -> u64 {
+        (self as u64) ^ (1u64 << 63)
+    }
+}
+
+/// Buckets at or below this length finish with insertion sort; above it,
+/// `sort_unstable`. Crossover measured on the dev host.
+const INSERTION_MAX: usize = 24;
+/// Cap on the scatter's digit width: 2^12 buckets keep the histogram and
+/// offset tables (2 × 16 KiB of `u32`) cache-resident during the scatter.
+const MAX_DIGIT_BITS: u32 = 12;
+/// Digit width targets buckets of ~2^5 elements: small enough to finish in
+/// L1, large enough that per-bucket fixed costs amortize.
+const TARGET_LG_BUCKET: u32 = 5;
+/// Below this the setup passes can't pay for themselves.
+const MSD_MIN_LEN: usize = 64;
+/// Buckets at or above this recurse instead of `sort_unstable`: only
+/// genuinely skewed inputs (zipf, clustered) produce them, and the
+/// recursion's min/max pre-pass re-narrows the key range so the next
+/// scatter spreads them. Uniform inputs never hit this path.
+const RECURSE_MIN: usize = 1 << 12;
+
+/// Sort `data` in place with one wide MSD counting scatter on
+/// [`RadixKey::radix_key`] plus cache-resident bucket finishing.
+pub fn radix_sort<T: RadixKey>(data: &mut [T]) {
+    let n = data.len();
+    if n < MSD_MIN_LEN {
+        data.sort_unstable();
+        return;
+    }
+
+    // Min/max of the transformed keys: the XOR's leading zeros are the
+    // shared prefix no digit needs to inspect.
+    let (mut lo, mut hi) = (u64::MAX, 0u64);
+    for &x in data.iter() {
+        let k = x.radix_key();
+        lo = lo.min(k);
+        hi = hi.max(k);
+    }
+    if lo == hi {
+        return; // one distinct key ⇒ identical elements
+    }
+    let bits = 64 - (lo ^ hi).leading_zeros();
+    let lg_n = usize::BITS - (n - 1).leading_zeros();
+    let width = lg_n
+        .saturating_sub(TARGET_LG_BUCKET)
+        .clamp(6, MAX_DIGIT_BITS)
+        .min(bits);
+    let shift = bits - width;
+    let buckets = 1usize << width;
+    let mask = (buckets - 1) as u64;
+
+    let mut hist = vec![0u32; buckets];
+    for &x in data.iter() {
+        hist[((x.radix_key() >> shift) & mask) as usize] += 1;
+    }
+    // Exclusive prefix sums -> per-bucket write cursors.
+    let mut cursors = vec![0u32; buckets];
+    let mut sum = 0u32;
+    for (c, &h) in cursors.iter_mut().zip(hist.iter()) {
+        *c = sum;
+        sum += h;
+    }
+    let mut scratch: Vec<T> = Vec::with_capacity(n);
+    scratch.extend_from_slice(data);
+    for &x in data.iter() {
+        let b = ((x.radix_key() >> shift) & mask) as usize;
+        scratch[cursors[b] as usize] = x;
+        cursors[b] += 1;
+    }
+
+    // Finish each bucket while it is cache-hot; `cursors[b]` is now the end
+    // of bucket `b`.
+    let mut start = 0usize;
+    for &end in cursors.iter() {
+        let end = end as usize;
+        let bucket = &mut scratch[start..end];
+        // shift == 0 means the scatter consumed every differing key bit:
+        // the bucket holds one distinct key and is already in order.
+        if bucket.len() > 1 && shift > 0 {
+            if bucket.len() <= INSERTION_MAX {
+                insertion_sort(bucket);
+            } else if bucket.len() >= RECURSE_MIN {
+                // Skew: one bucket swallowed a large share of the input.
+                // Recurse — the nested min/max pre-pass confines the next
+                // scatter to the bits this level left (`< shift` of them),
+                // so depth is bounded by KEY_BITS / 6.
+                radix_sort(bucket);
+            } else {
+                bucket.sort_unstable();
+            }
+        }
+        start = end;
+    }
+    data.copy_from_slice(&scratch);
+}
+
+/// Plain insertion sort: optimal below ~24 elements where `sort_unstable`'s
+/// per-call dispatch dominates.
+fn insertion_sort<T: Copy + Ord>(v: &mut [T]) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let mut j = i;
+        while j > 0 && v[j - 1] > x {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check<T: RadixKey + std::fmt::Debug>(mut v: Vec<T>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_u64_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        check((0..10_000).map(|_| rng.gen::<u64>()).collect());
+        check((0..5_000u64).collect());
+        check((0..5_000u64).rev().collect());
+        check(vec![42u64; 3_000]); // all-equal: min/max pre-pass early out
+        check((0..5_000).map(|i| (i % 7) as u64).collect());
+        check(vec![u64::MAX, 0, u64::MAX, 1, u64::MAX - 1]);
+        check(Vec::<u64>::new());
+        check(vec![9u64]);
+    }
+
+    #[test]
+    fn sorts_u32() {
+        let mut rng = StdRng::seed_from_u64(2);
+        check((0..10_000).map(|_| rng.gen::<u32>()).collect());
+        check(vec![u32::MAX, 0, 1, u32::MAX - 1]);
+    }
+
+    #[test]
+    fn sorts_i64_with_negatives() {
+        let mut rng = StdRng::seed_from_u64(3);
+        check((0..10_000).map(|_| rng.gen::<i64>()).collect());
+        check(vec![i64::MIN, i64::MAX, 0, -1, 1, i64::MIN + 1]);
+        check((-5_000..5_000).rev().collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn key_transforms_preserve_order() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let (a, b) = (rng.gen::<i64>(), rng.gen::<i64>());
+            assert_eq!(a <= b, a.radix_key() <= b.radix_key(), "{a} vs {b}");
+        }
+        for _ in 0..1_000 {
+            let (a, b) = (rng.gen::<u32>(), rng.gen::<u32>());
+            assert_eq!(a <= b, a.radix_key() <= b.radix_key());
+        }
+    }
+
+    #[test]
+    fn low_entropy_inputs_narrow_the_digit_and_stay_correct() {
+        // Keys confined to one byte: the min/max pre-pass narrows the
+        // scatter to the 8 differing bits.
+        let mut rng = StdRng::seed_from_u64(5);
+        check((0..20_000).map(|_| rng.gen_range(0u64..256)).collect());
+        // Two distinct keys an enormous distance apart: width clamps to
+        // the differing-bit count.
+        check(
+            (0..10_000)
+                .map(|i| if i % 3 == 0 { u64::MAX } else { 1 })
+                .collect(),
+        );
+    }
+
+    #[test]
+    fn clustered_ranges_exercise_every_bucket_path() {
+        // Tight cluster + outliers: most buckets tiny (insertion path),
+        // one giant (sort_unstable path), many empty.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<u64> = (0..30_000)
+            .map(|_| 1_000_000 + rng.gen_range(0u64..64))
+            .collect();
+        v.extend((0..100).map(|_| rng.gen::<u64>()));
+        check(v);
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`extsort`] — the external multiway mergesort engine both sorts build
 //!   on (run formation + loser-tree merge passes with exact transfer
 //!   accounting), usable against either memory level.
-//! * [`losertree`] — tournament-tree k-way merging.
+//! * [`losertree`] — tournament-tree k-way merging (branchless kernel).
+//! * [`kernels`] — the host wall-clock kernel layer: MSD hybrid radix run
+//!   formation for [`kernels::RadixKey`] types and the pre-kernel reference
+//!   implementations used as differential oracles and bench baselines.
 //! * [`sample`] — random pivot sampling (§III-A).
 //! * [`bucketize`] — bucket-boundary extraction in sorted chunks (the
 //!   multithreaded `BucketPos` computation of §IV-D).
@@ -42,6 +45,7 @@
 pub mod baseline;
 pub mod bucketize;
 pub mod extsort;
+pub mod kernels;
 pub mod losertree;
 pub mod nmsort;
 pub mod par;
@@ -53,6 +57,7 @@ pub mod select;
 pub mod seqsort;
 
 pub use baseline::{baseline_sort, BaselineConfig};
+pub use kernels::{radix_sort, sort_kernel, RadixKey};
 pub use nmsort::{nmsort, ChunkSorter, DegradationStats, NmSortConfig, NmSortReport};
 pub use parsort::{par_scratchpad_sort, ParSortConfig};
 pub use select::{select_kth, SelectConfig};

@@ -851,7 +851,7 @@ fn merge_oversized_bucket<T: SortElem>(
         sample.extend(src[lo..hi].iter().step_by(step).copied());
     }
     tl.charge_far_random(Dir::Read, sample.len() as u64, sample.len() as u64 * elem);
-    sample.sort_unstable();
+    crate::kernels::sort_kernel(&mut sample);
     tl.charge_compute(sample.len() as u64 * crate::ceil_lg(sample.len()));
     sample.dedup();
     let mut splitters: Vec<T> = (1..n_parts)

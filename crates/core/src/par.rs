@@ -24,7 +24,7 @@ use tlmm_scratchpad::{Dir, TwoLevel};
 /// assigned lane.
 pub fn charge_io_striped(tl: &TwoLevel, level: RegionLevel, dir: Dir, bytes: u64, lanes: usize) {
     let base = current_lane();
-    for (i, r) in striped_ranges(bytes as usize, lanes).iter().enumerate() {
+    for (i, r) in striped_ranges(bytes as usize, lanes).enumerate() {
         with_lane(base + i, || match level {
             RegionLevel::Near => tl.charge_near_io(dir, r.len() as u64),
             RegionLevel::Far => tl.charge_far_io(dir, r.len() as u64),
@@ -36,7 +36,7 @@ pub fn charge_io_striped(tl: &TwoLevel, level: RegionLevel, dir: Dir, bytes: u64
 /// [`charge_io_striped`]).
 pub fn charge_compute_striped(tl: &TwoLevel, ops: u64, lanes: usize) {
     let base = current_lane();
-    for (i, r) in striped_ranges(ops as usize, lanes).iter().enumerate() {
+    for (i, r) in striped_ranges(ops as usize, lanes).enumerate() {
         with_lane(base + i, || tl.charge_compute(r.len() as u64));
     }
 }
@@ -55,15 +55,22 @@ pub enum CopyKind {
 }
 
 /// Split `0..len` into at most `lanes` contiguous near-equal stripes.
-pub fn striped_ranges(len: usize, lanes: usize) -> Vec<Range<usize>> {
+///
+/// Returns a lazy iterator so per-charge callers ([`charge_io_striped`],
+/// [`charge_compute_striped`]) stay allocation-free on the hot path — these
+/// run once per transfer in every merge round and used to collect a `Vec`
+/// each time. The iterator is `Clone + ExactSizeIterator`, so callers that
+/// genuinely need a materialized list (e.g. rayon fan-out) can collect it
+/// themselves.
+pub fn striped_ranges(
+    len: usize,
+    lanes: usize,
+) -> impl ExactSizeIterator<Item = Range<usize>> + Clone {
     let lanes = lanes.max(1);
-    if len == 0 {
-        return Vec::new();
-    }
-    let per = len.div_ceil(lanes);
-    (0..len.div_ceil(per))
-        .map(|i| i * per..((i + 1) * per).min(len))
-        .collect()
+    // `per` for the empty case is arbitrary; `count` is 0 so nothing yields.
+    let per = if len == 0 { 1 } else { len.div_ceil(lanes) };
+    let count = len.div_ceil(per);
+    (0..count).map(move |i| i * per..((i + 1) * per).min(len))
 }
 
 fn charge_stripe<T>(tl: &TwoLevel, kind: CopyKind, elems: usize) {
@@ -102,30 +109,38 @@ pub fn charged_copy<T: SortElem>(
     if src.is_empty() {
         return;
     }
-    let ranges = striped_ranges(src.len(), lanes);
-    // Carve dst into the same stripes.
-    let mut dst_slices: Vec<&mut [T]> = Vec::with_capacity(ranges.len());
-    let mut rest = dst;
-    for r in &ranges {
-        let (a, b) = rest.split_at_mut(r.len());
-        dst_slices.push(a);
-        rest = b;
-    }
     let base = current_lane();
-    let work = |(i, (r, d)): (usize, (&Range<usize>, &mut [T]))| {
+    let work = |(i, (r, d)): (usize, (Range<usize>, &mut [T]))| {
         with_lane(base + i, || {
             d.copy_from_slice(&src[r.clone()]);
             charge_stripe::<T>(tl, kind, r.len());
         })
     };
     if parallel {
+        // Rayon needs materialized stripes to fan out; this path is the
+        // thread-spawning one, so a couple of small Vecs are in the noise.
+        let ranges: Vec<Range<usize>> = striped_ranges(src.len(), lanes).collect();
+        let mut dst_slices: Vec<&mut [T]> = Vec::with_capacity(ranges.len());
+        let mut rest = dst;
+        for r in &ranges {
+            let (a, b) = rest.split_at_mut(r.len());
+            dst_slices.push(a);
+            rest = b;
+        }
         ranges
-            .par_iter()
+            .into_par_iter()
             .zip(dst_slices.into_par_iter())
             .enumerate()
             .for_each(work);
     } else {
-        ranges.iter().zip(dst_slices).enumerate().for_each(work);
+        // Sequential path: walk the stripe iterator and carve `dst` as we
+        // go — no allocation at all.
+        let mut rest = dst;
+        for (i, r) in striped_ranges(src.len(), lanes).enumerate() {
+            let (d, b) = rest.split_at_mut(r.len());
+            rest = b;
+            work((i, (r, d)));
+        }
     }
 }
 
@@ -141,7 +156,8 @@ mod tests {
     #[test]
     fn striped_ranges_cover_exactly() {
         for (len, lanes) in [(0, 4), (1, 4), (10, 3), (100, 7), (4096, 16), (5, 100)] {
-            let rs = striped_ranges(len, lanes);
+            let rs: Vec<_> = striped_ranges(len, lanes).collect();
+            assert_eq!(striped_ranges(len, lanes).len(), rs.len());
             assert!(rs.len() <= lanes.max(1));
             let mut cursor = 0;
             for r in &rs {

@@ -98,7 +98,7 @@ pub fn external_quicksort<T: SortElem>(
             if n <= cache_elems || depth_guard > 96 {
                 // Base case: one pass in, in-cache sort, one pass out.
                 base_bytes += n as u64 * elem;
-                seg.sort_unstable();
+                crate::kernels::sort_kernel(seg);
                 level_cmps += n as u64 * ceil_lg(n);
                 continue;
             }

@@ -1,0 +1,69 @@
+//! Regression test: striped charging must be allocation-free on the hot
+//! path. `charge_io_striped` / `charge_compute_striped` run once per
+//! transfer inside every merge round; they used to collect a `Vec` of
+//! stripe ranges per call.
+//!
+//! The counting allocator wraps `System` and counts every `alloc` call.
+//! Lazily-initialized state (telemetry counter registry entries, phase
+//! trace lane vectors, thread-locals) is warmed up by running the exact
+//! same call pattern first, then the measured window must allocate zero
+//! times.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tlmm_core::extsort::RegionLevel;
+use tlmm_core::par::{charge_compute_striped, charge_io_striped};
+use tlmm_model::ScratchpadParams;
+use tlmm_scratchpad::{Dir, TwoLevel};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed atomic
+// side effect with no influence on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn charge_round(tl: &TwoLevel, lanes: usize) {
+    charge_io_striped(tl, RegionLevel::Far, Dir::Read, 1 << 16, lanes);
+    charge_io_striped(tl, RegionLevel::Near, Dir::Write, 1 << 16, lanes);
+    charge_io_striped(tl, RegionLevel::Far, Dir::Write, 12_345, lanes);
+    charge_compute_striped(tl, 100_000, lanes);
+}
+
+#[test]
+fn striped_charging_is_alloc_free() {
+    let tl = TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap());
+    tl.begin_phase("alloc_free_probe");
+
+    // Warm up every lazy registration the charge path touches.
+    for _ in 0..4 {
+        charge_round(&tl, 8);
+    }
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    for _ in 0..256 {
+        charge_round(&tl, 8);
+    }
+    let after = ALLOC_CALLS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "striped charging allocated {} times across 256 warm rounds",
+        after - before
+    );
+    tl.end_phase();
+}

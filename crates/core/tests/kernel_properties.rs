@@ -1,0 +1,111 @@
+//! Differential property tests for the kernel layer.
+//!
+//! Two oracles, two directions:
+//! * `radix_sort` / `sort_kernel` must agree with `slice::sort_unstable`
+//!   on every workload shape the experiments use — uniform, sorted,
+//!   reverse, nearly-sorted, few-distinct, Zipf, all-equal, sawtooth —
+//!   and for every [`RadixKey`] type (`u64`, `u32`, `i64` with negatives).
+//! * The branchless [`LoserTree`] must be observationally identical to the
+//!   pre-rewrite [`ReferenceLoserTree`]: same emitted sequence *and* same
+//!   comparison count, on randomized run sets including empty runs.
+
+use proptest::prelude::*;
+use tlmm_core::kernels::reference::{merge_into_slice_ref, ReferenceLoserTree};
+use tlmm_core::kernels::{radix_sort, sort_kernel, RadixKey};
+use tlmm_core::losertree::{merge_into_slice, LoserTree};
+use tlmm_workloads::{generate, Workload};
+
+/// All workload shapes the experiment harnesses use.
+const SHAPES: [Workload; 8] = [
+    Workload::UniformU64,
+    Workload::Sorted,
+    Workload::Reverse,
+    Workload::NearlySorted(0.1),
+    Workload::FewDistinct(7),
+    Workload::Zipf(1.1),
+    Workload::AllEqual,
+    Workload::Sawtooth(257),
+];
+
+fn check_radix<T: RadixKey + std::fmt::Debug>(mut v: Vec<T>) {
+    let mut expect = v.clone();
+    expect.sort_unstable();
+    radix_sort(&mut v);
+    assert_eq!(v, expect);
+}
+
+fn arb_runs() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u64..500, 0..300).prop_map(|mut v| {
+            v.sort_unstable();
+            v
+        }),
+        0..14,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn radix_matches_std_on_all_workload_shapes(
+        shape_idx in 0usize..SHAPES.len(),
+        n in 0usize..6_000,
+        seed in any::<u64>(),
+    ) {
+        let v = generate(SHAPES[shape_idx], n, seed);
+        check_radix(v);
+    }
+
+    #[test]
+    fn radix_matches_std_for_all_key_types(
+        v in proptest::collection::vec(any::<u64>(), 0..4_000),
+    ) {
+        // Reinterpret the same bits as each key type; i64 halves are
+        // negative, exercising the sign-flip transform.
+        check_radix(v.clone());
+        check_radix(v.iter().map(|&x| x as u32).collect::<Vec<u32>>());
+        check_radix(v.iter().map(|&x| x as i64).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn sort_kernel_matches_std_across_threshold(
+        v in proptest::collection::vec(any::<u64>(), 0..2_000),
+    ) {
+        // Sizes straddle RADIX_MIN_LEN, so both dispatch arms are hit.
+        let mut a = v.clone();
+        let mut expect = v;
+        expect.sort_unstable();
+        sort_kernel(&mut a);
+        prop_assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn loser_tree_matches_reference_sequence_and_comparisons(
+        runs in arb_runs(),
+    ) {
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let mut new_lt = LoserTree::new(refs.clone());
+        let mut old_lt = ReferenceLoserTree::new(refs);
+        loop {
+            let (a, b) = (new_lt.next_element(), old_lt.next_element());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(new_lt.comparisons(), old_lt.comparisons());
+    }
+
+    #[test]
+    fn merge_into_slice_matches_reference(runs in arb_runs()) {
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        let mut a = vec![0u64; total];
+        let cmps_new = merge_into_slice(&refs, &mut a);
+        let mut b = vec![0u64; total];
+        let cmps_old = merge_into_slice_ref(&refs, &mut b);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(cmps_new, cmps_old);
+    }
+}

@@ -165,6 +165,43 @@ fn ledger_floor_holds_clean_and_degraded() {
     }
 }
 
+/// Sweep cell with the radix kernel verifiably engaged: the sweep geometry
+/// (64 KiB scratchpad, 8 lanes) forms runs of ≥256 `u64`s, which is the
+/// kernel layer's radix threshold, so faulted Phase-1 chunk sorts run on
+/// the radix path. The kernels must not change fault semantics: output
+/// still sorted (differential-checked inside `run_once`), degraded far
+/// traffic still ≥ clean.
+#[test]
+fn fault_sweep_with_radix_kernels_engaged() {
+    let radix_sorts = || {
+        tlmm_telemetry::registry()
+            .counter("core.kernels.radix_sorts")
+            .get()
+    };
+    let n = 200_000;
+    let chunk = n / 6;
+    let before = radix_sorts();
+    let clean = run_once(generate(Workload::UniformU64, n, 42), chunk, None);
+    assert!(
+        radix_sorts() > before,
+        "sweep geometry must engage the radix kernel (runs ≥ RADIX_MIN_LEN)"
+    );
+    for seed in 0..4 {
+        let mid = radix_sorts();
+        let run = run_once(generate(Workload::UniformU64, n, 42), chunk, Some(seed));
+        assert!(
+            radix_sorts() > mid,
+            "seed {seed}: faulted run must still take the radix kernel path"
+        );
+        assert!(
+            run.far_bytes >= clean.far_bytes,
+            "seed {seed}: degraded far bytes {} below clean {} with kernels on",
+            run.far_bytes,
+            clean.far_bytes
+        );
+    }
+}
+
 /// A plan with explicit `fail_nth` triggers is fully deterministic: two
 /// identical runs degrade identically, byte for byte.
 #[test]
