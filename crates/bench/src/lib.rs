@@ -14,7 +14,7 @@ use tlmm_core::baseline::{baseline_sort, BaselineConfig};
 use tlmm_core::nmsort::{nmsort, DegradationStats, NmSortConfig};
 use tlmm_core::SortError;
 use tlmm_model::{CostSnapshot, ScratchpadParams};
-use tlmm_scratchpad::{FaultPlan, PhaseTrace, TwoLevel};
+use tlmm_scratchpad::{ExecConfig, ExecMode, ExecReport, FaultPlan, PhaseTrace, TwoLevel};
 use tlmm_workloads::{generate, Workload};
 
 pub mod artifact;
@@ -117,6 +117,9 @@ pub struct SortRun {
     pub n: usize,
     /// Fault/degradation summary (all-zero for clean runs).
     pub degradations: RunDegradations,
+    /// Transfer-slot arbitration report when an executor was installed
+    /// (explicitly or via `TLMM_EXEC_SEED`); `None` otherwise.
+    pub exec: Option<ExecReport>,
 }
 
 /// Errors surfaced by the harness runners.
@@ -209,11 +212,47 @@ pub fn run_sort(spec: &SortSpec) -> Result<SortRun, HarnessError> {
 /// standard seeded profile — the `fault_matrix` binary sweeps targeted
 /// profiles (alloc-only, transfer-only, DMA-only, …) through this.
 /// `spec.fault_seed` is ignored; the plan's own seed is recorded.
+///
+/// `TLMM_EXEC_SEED` (+ `TLMM_EXEC_WORKERS`/`TLMM_EXEC_SLOTS`) turns the run
+/// into a deterministic-executor run, exactly as the fault-seed variable
+/// turns it into a degraded one.
 pub fn run_sort_with_plan(
     spec: &SortSpec,
     plan: Option<FaultPlan>,
 ) -> Result<SortRun, HarnessError> {
+    run_sort_full(spec, plan, ExecConfig::from_env())
+}
+
+/// Like [`run_sort`] but under an explicit executor configuration — the
+/// `fig_corescale` contention sweep drives `p × p′` cells through this.
+pub fn run_sort_with_exec(
+    spec: &SortSpec,
+    exec: Option<ExecConfig>,
+) -> Result<SortRun, HarnessError> {
+    let plan = spec
+        .fault_seed
+        .map(FaultPlan::seeded)
+        .or_else(FaultPlan::from_env);
+    run_sort_full(spec, plan, exec)
+}
+
+fn run_sort_full(
+    spec: &SortSpec,
+    plan: Option<FaultPlan>,
+    exec: Option<ExecConfig>,
+) -> Result<SortRun, HarnessError> {
     let tl = TwoLevel::new(experiment_params(4.0));
+    // A deterministic executor owns the schedule: host threads racing the
+    // virtual arbiter would make the recorded waits order-dependent, so
+    // rayon is switched off and stage parallelism is the executor's.
+    let deterministic_exec = exec
+        .as_ref()
+        .map(|c| c.mode == ExecMode::Deterministic)
+        .unwrap_or(false);
+    let executor = exec.map(|cfg| {
+        tl.install_executor(cfg)
+            .expect("harness executor config must validate")
+    });
     let fault_seed = plan.as_ref().map(|p| p.seed).unwrap_or(0);
     if let Some(plan) = plan {
         tl.install_fault_plan(plan);
@@ -224,7 +263,7 @@ pub fn run_sort_with_plan(
             let cfg = NmSortConfig {
                 sim_lanes: spec.lanes,
                 chunk_elems: spec.chunk_elems,
-                parallel: true,
+                parallel: !deterministic_exec,
                 use_dma: spec.algo == SortAlgo::NmSortDma,
                 ..Default::default()
             };
@@ -234,7 +273,7 @@ pub fn run_sort_with_plan(
         SortAlgo::Baseline => {
             let cfg = BaselineConfig {
                 sim_lanes: spec.lanes,
-                parallel: true,
+                parallel: !deterministic_exec,
                 ..Default::default()
             };
             // The baseline has no degradation ladder of its own; injector
@@ -253,6 +292,7 @@ pub fn run_sort_with_plan(
         ledger: tl.ledger().snapshot(),
         n: spec.n,
         degradations,
+        exec: executor.map(|ex| ex.report()),
     })
 }
 
@@ -343,6 +383,32 @@ mod tests {
     fn dma_spec_routes_through_same_runner() {
         let dma = run_nmsort_dma(50_000, 8, 10_000, 2).expect("dma run");
         assert!(dma.trace.phases.iter().any(|p| p.overlappable));
+    }
+
+    #[test]
+    fn exec_spec_arbitrates_without_changing_charges() {
+        let spec = SortSpec {
+            algo: SortAlgo::NmSort,
+            n: 60_000,
+            lanes: 8,
+            chunk_elems: Some(15_000),
+            seed: 5,
+            fault_seed: None,
+        };
+        let free =
+            run_sort_with_exec(&spec, Some(ExecConfig::deterministic(8, 8, 3))).expect("p'=p run");
+        let starved =
+            run_sort_with_exec(&spec, Some(ExecConfig::deterministic(8, 1, 3))).expect("p'=1 run");
+        let free_r = free.exec.as_ref().expect("executor report");
+        let starved_r = starved.exec.as_ref().expect("executor report");
+        // Private slots never wait; one slot under eight lanes must.
+        assert_eq!(free_r.total_wait_units, 0);
+        assert!(starved_r.total_wait_units > 0);
+        // Same demand either way, and arbitration never changes the ledger.
+        assert_eq!(free_r.total_bytes, starved_r.total_bytes);
+        assert_eq!(free.ledger, starved.ledger);
+        // Serialized transfers cannot beat the per-slot rate.
+        assert!(starved_r.throughput_units() <= 1.0 + 1e-9);
     }
 
     #[test]

@@ -80,6 +80,13 @@ pub enum SortError {
         /// Scratchpad bytes available.
         available: u64,
     },
+    /// A caller-supplied configuration value is invalid (e.g.
+    /// `ParSortConfig::lanes == 0`). Rejected at the API edge rather than
+    /// silently clamped, so misconfigurations fail loudly.
+    BadConfig {
+        /// What was wrong with the configuration.
+        reason: &'static str,
+    },
 }
 
 impl From<tlmm_scratchpad::SpError> for SortError {
@@ -96,6 +103,7 @@ impl core::fmt::Display for SortError {
                 f,
                 "scratchpad too small: need {needed} B, have {available} B"
             ),
+            SortError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
         }
     }
 }

@@ -754,7 +754,22 @@ fn merge_batch_via_scratchpad<T: SortElem>(
                 }
             })
         };
-        if parallel {
+        if let Some(ex) = tl.executor() {
+            // The installed executor owns the gather schedule: seeded
+            // permutation in deterministic mode, its worker pool in host
+            // mode. Lane attribution stays positional (k % lanes), so the
+            // trace is invariant under the permutation.
+            let copy_one = &copy_one;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = segs
+                .iter()
+                .zip(dsts)
+                .enumerate()
+                .map(|(k, (seg, dst))| {
+                    Box::new(move || copy_one((k, (seg, dst)))) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            ex.run_tasks(tasks);
+        } else if parallel {
             segs.par_iter()
                 .zip(dsts.into_par_iter())
                 .enumerate()

@@ -22,18 +22,38 @@ use tlmm_scratchpad::{Dir, TwoLevel};
 /// lane 5 with `lanes = 1` charges lane 5, not lane 0, so nested
 /// single-lane work (e.g. one bucket of a parallel recursion) stays on its
 /// assigned lane.
+///
+/// Under an installed deterministic executor the stripes are *issued in a
+/// seeded-permutation order* (schedule fuzzing): each stripe keeps its lane
+/// (attribution is positional, not temporal), so per-lane trace volumes and
+/// the ledger are invariant under the permutation — only the arbitration
+/// timeline (slot waits) moves.
 pub fn charge_io_striped(tl: &TwoLevel, level: RegionLevel, dir: Dir, bytes: u64, lanes: usize) {
     let base = current_lane();
-    for (i, r) in striped_ranges(bytes as usize, lanes).enumerate() {
+    let charge_one = |i: usize, r: &Range<usize>| {
         with_lane(base + i, || match level {
             RegionLevel::Near => tl.charge_near_io(dir, r.len() as u64),
             RegionLevel::Far => tl.charge_far_io(dir, r.len() as u64),
-        });
+        })
+    };
+    match tl.executor().filter(|e| e.is_deterministic()) {
+        Some(ex) => {
+            let rs: Vec<Range<usize>> = striped_ranges(bytes as usize, lanes).collect();
+            for i in ex.permutation(rs.len()) {
+                charge_one(i, &rs[i]);
+            }
+        }
+        None => {
+            for (i, r) in striped_ranges(bytes as usize, lanes).enumerate() {
+                charge_one(i, &r);
+            }
+        }
     }
 }
 
 /// Charge compute split evenly across lanes (ambient-lane offset like
-/// [`charge_io_striped`]).
+/// [`charge_io_striped`]). Compute never touches transfer slots, so there
+/// is nothing to arbitrate or permute.
 pub fn charge_compute_striped(tl: &TwoLevel, ops: u64, lanes: usize) {
     let base = current_lane();
     for (i, r) in striped_ranges(ops as usize, lanes).enumerate() {
@@ -116,6 +136,30 @@ pub fn charged_copy<T: SortElem>(
             charge_stripe::<T>(tl, kind, r.len());
         })
     };
+    if let Some(ex) = tl.executor() {
+        // An installed executor owns the stage schedule: deterministic mode
+        // runs the stripes sequentially in a seeded-permutation order, host
+        // mode fans them out to its worker pool (contending for transfer
+        // slots either way). Lane attribution stays positional (base + i),
+        // so the trace is permutation-invariant.
+        let ranges: Vec<Range<usize>> = striped_ranges(src.len(), lanes).collect();
+        let mut dst_slices: Vec<&mut [T]> = Vec::with_capacity(ranges.len());
+        let mut rest = dst;
+        for r in &ranges {
+            let (a, b) = rest.split_at_mut(r.len());
+            dst_slices.push(a);
+            rest = b;
+        }
+        let work = &work;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .into_iter()
+            .zip(dst_slices)
+            .enumerate()
+            .map(|(i, (r, d))| Box::new(move || work((i, (r, d)))) as Box<dyn FnOnce() + Send>)
+            .collect();
+        ex.run_tasks(tasks);
+        return;
+    }
     if parallel {
         // Rayon needs materialized stripes to fan out; this path is the
         // thread-spawning one, so a couple of small Vecs are in the noise.

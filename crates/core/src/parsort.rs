@@ -49,6 +49,11 @@ pub fn par_scratchpad_sort<T: SortElem>(
     input: FarArray<T>,
     cfg: &ParSortConfig,
 ) -> Result<(FarArray<T>, SeqSortReport), SortError> {
+    if cfg.lanes == 0 {
+        return Err(SortError::BadConfig {
+            reason: "ParSortConfig::lanes must be >= 1 (p' = 0 lanes cannot transfer)",
+        });
+    }
     let _run_span = tlmm_telemetry::span!("par_scratchpad_sort");
     seq_scratchpad_sort(
         tl,
@@ -57,7 +62,7 @@ pub fn par_scratchpad_sort<T: SortElem>(
             seed: cfg.seed,
             max_depth: 64,
             n_pivots: cfg.n_pivots,
-            lanes: cfg.lanes.max(1),
+            lanes: cfg.lanes,
             parallel: cfg.parallel,
         },
     )
@@ -78,6 +83,25 @@ mod tests {
     fn random_vec(n: usize, seed: u64) -> Vec<u64> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn zero_lanes_is_rejected_at_the_api_edge() {
+        let tl = tl();
+        let v = random_vec(1000, 9);
+        let err = par_scratchpad_sort(
+            &tl,
+            tl.far_from_vec(v),
+            &ParSortConfig {
+                lanes: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::SortError::BadConfig { .. }));
+        assert!(err.to_string().contains("lanes"));
+        // Rejected before any work: nothing charged.
+        assert_eq!(tl.ledger().snapshot().total_blocks(), 0);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Schedule-fuzzing differential tests for the executor (Theorem 10 `p′`).
+//!
+//! The deterministic executor permutes stage schedules by seed while
+//! arbitrating every charged transfer over `p′` slots. Two laws must hold
+//! on every (scheduler seed, worker count, slot count, workload, fault
+//! plan) combination:
+//!
+//! 1. **Output correctness** — the sorted output equals `slice::sort`.
+//! 2. **Ledger invariance** — the charge ledger is byte-identical to the
+//!    executor-free sequential oracle: arbitration reorders and delays
+//!    transfers but never changes what is charged.
+
+use proptest::prelude::*;
+use tlmm_core::nmsort::{nmsort, NmSortConfig};
+use tlmm_core::parsort::{par_scratchpad_sort, ParSortConfig};
+use tlmm_model::{CostSnapshot, ScratchpadParams};
+use tlmm_scratchpad::{ExecConfig, FaultPlan, TwoLevel};
+use tlmm_workloads::{generate, Workload};
+
+fn tl() -> TwoLevel {
+    TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
+}
+
+/// The seven workload shapes of the fuzz matrix.
+const SHAPES: [Workload; 7] = [
+    Workload::UniformU64,
+    Workload::Sorted,
+    Workload::Reverse,
+    Workload::NearlySorted(0.1),
+    Workload::FewDistinct(16),
+    Workload::Zipf(1.2),
+    Workload::Sawtooth(1000),
+];
+
+/// Lane counts exercised by the fuzz matrix.
+const LANES: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn nmsort_snapshot(
+    input: &[u64],
+    lanes: usize,
+    exec: Option<ExecConfig>,
+    fault_seed: Option<u64>,
+) -> (Vec<u64>, CostSnapshot) {
+    let tl = tl();
+    if let Some(cfg) = exec {
+        tl.install_executor(cfg).unwrap();
+    }
+    if let Some(fs) = fault_seed {
+        tl.install_fault_plan(FaultPlan::seeded(fs));
+    }
+    let r = nmsort(
+        &tl,
+        tl.far_from_vec(input.to_vec()),
+        &NmSortConfig {
+            sim_lanes: lanes,
+            parallel: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (
+        r.output.as_slice_uncharged().to_vec(),
+        tl.ledger().snapshot(),
+    )
+}
+
+fn parsort_snapshot(
+    input: &[u64],
+    lanes: usize,
+    exec: Option<ExecConfig>,
+    fault_seed: Option<u64>,
+) -> (Vec<u64>, CostSnapshot) {
+    let tl = tl();
+    if let Some(cfg) = exec {
+        tl.install_executor(cfg).unwrap();
+    }
+    if let Some(fs) = fault_seed {
+        tl.install_fault_plan(FaultPlan::seeded(fs));
+    }
+    let (out, _) = par_scratchpad_sort(
+        &tl,
+        tl.far_from_vec(input.to_vec()),
+        &ParSortConfig {
+            lanes,
+            parallel: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (out.as_slice_uncharged().to_vec(), tl.ledger().snapshot())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn nmsort_ledger_invariant_under_schedule_fuzzing(
+        shape_ix in 0usize..SHAPES.len(),
+        lanes_ix in 0usize..LANES.len(),
+        n in 0usize..12_000,
+        data_seed in any::<u64>(),
+        exec_seed in any::<u64>(),
+        workers in 1usize..16,
+        with_faults in any::<bool>(),
+    ) {
+        let input = generate(SHAPES[shape_ix], n, data_seed);
+        let lanes = LANES[lanes_ix];
+        let slots = 1 + exec_seed as usize % workers;
+        let fault_seed = with_faults.then_some(data_seed ^ 0xFA17);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+
+        let (oracle_out, oracle_snap) = nmsort_snapshot(&input, lanes, None, fault_seed);
+        let exec = ExecConfig::deterministic(workers, slots, exec_seed);
+        let (out, snap) = nmsort_snapshot(&input, lanes, Some(exec), fault_seed);
+
+        prop_assert_eq!(&oracle_out, &expect);
+        prop_assert_eq!(&out, &expect);
+        prop_assert_eq!(snap, oracle_snap);
+    }
+
+    #[test]
+    fn parsort_ledger_invariant_under_schedule_fuzzing(
+        shape_ix in 0usize..SHAPES.len(),
+        lanes_ix in 0usize..LANES.len(),
+        n in 0usize..12_000,
+        data_seed in any::<u64>(),
+        exec_seed in any::<u64>(),
+        workers in 1usize..16,
+        with_faults in any::<bool>(),
+    ) {
+        let input = generate(SHAPES[shape_ix], n, data_seed);
+        let lanes = LANES[lanes_ix];
+        let slots = 1 + exec_seed as usize % workers;
+        let fault_seed = with_faults.then_some(data_seed ^ 0x5EED);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+
+        let (oracle_out, oracle_snap) = parsort_snapshot(&input, lanes, None, fault_seed);
+        let exec = ExecConfig::deterministic(workers, slots, exec_seed);
+        let (out, snap) = parsort_snapshot(&input, lanes, Some(exec), fault_seed);
+
+        prop_assert_eq!(&oracle_out, &expect);
+        prop_assert_eq!(&out, &expect);
+        prop_assert_eq!(snap, oracle_snap);
+    }
+
+    #[test]
+    fn exec_report_is_replayable_and_conserved(
+        exec_seed in any::<u64>(),
+        workers in 1usize..12,
+        n in 1000usize..8000,
+    ) {
+        // Same (seed, p, p') over the same run: the full report — makespan,
+        // per-slot busy, per-worker waits — replays bit-for-bit.
+        let slots = 1 + exec_seed as usize % workers;
+        let input = generate(Workload::UniformU64, n, 42);
+        let run = || {
+            let tl = tl();
+            let ex = tl
+                .install_executor(ExecConfig::deterministic(workers, slots, exec_seed))
+                .unwrap();
+            nmsort(
+                &tl,
+                tl.far_from_vec(input.clone()),
+                &NmSortConfig { sim_lanes: 8, parallel: false, ..Default::default() },
+            )
+            .unwrap();
+            ex.report()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        // Conservation: every arbitrated byte is booked on exactly one slot.
+        prop_assert_eq!(a.per_slot_busy_units.iter().sum::<u64>(), a.total_bytes);
+        // Worker clocks decompose into service + wait.
+        for w in &a.per_worker {
+            prop_assert_eq!(w.clock_units, w.bytes + w.wait_units);
+        }
+    }
+}
+
+#[test]
+fn ledger_identical_across_seeds_workers_and_slots() {
+    // The acceptance-criteria matrix in one deterministic test: for a fixed
+    // sort config, every (p, p', exec seed) — including p' = 1, the
+    // fully-serialized arbiter — yields the identical ledger, equal to the
+    // executor-free oracle.
+    let input = generate(Workload::UniformU64, 40_000, 7);
+    let (oracle_out, oracle_snap) = nmsort_snapshot(&input, 8, None, None);
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    assert_eq!(oracle_out, expect);
+    for (workers, slots) in [(1, 1), (2, 1), (2, 2), (8, 1), (8, 4), (16, 16)] {
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let exec = ExecConfig::deterministic(workers, slots, seed);
+            let (out, snap) = nmsort_snapshot(&input, 8, Some(exec), None);
+            assert_eq!(out, expect, "p={workers} p'={slots} seed={seed}");
+            assert_eq!(snap, oracle_snap, "p={workers} p'={slots} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn contention_surfaces_in_trace_only_when_slots_are_scarce() {
+    let input = generate(Workload::UniformU64, 40_000, 11);
+    let wait_of = |workers: usize, slots: usize| -> u64 {
+        let tl = tl();
+        tl.install_executor(ExecConfig::deterministic(workers, slots, 3))
+            .unwrap();
+        nmsort(
+            &tl,
+            tl.far_from_vec(input.clone()),
+            &NmSortConfig {
+                sim_lanes: 8,
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        tl.take_trace().total().slot_wait_units
+    };
+    // Eight lanes over eight workers and one slot: heavy contention.
+    let starved = wait_of(8, 1);
+    assert!(starved > 0, "p'=1 under 8 lanes must record slot waits");
+    // One worker cannot contend with itself.
+    assert_eq!(wait_of(1, 1), 0);
+}

@@ -26,12 +26,14 @@ pub fn phase_time(p: &PhaseRecord, m: &MachineConfig) -> (f64, Bottleneck) {
     // Fold lanes onto cores.
     let mut core_ops = vec![0u64; cores.min(p.lanes.len().max(1))];
     let mut core_bytes = vec![0u64; core_ops.len()];
+    let mut core_wait = vec![0u64; core_ops.len()];
     let mut far_bytes = 0u64;
     let mut near_bytes = 0u64;
     for (i, l) in p.lanes.iter().enumerate() {
         let c = i % core_ops.len().max(1);
         core_ops[c] += l.compute_ops;
         core_bytes[c] += l.noc_bytes();
+        core_wait[c] += l.slot_wait_units;
         far_bytes += l.far_bytes();
         near_bytes += l.near_bytes();
     }
@@ -41,6 +43,21 @@ pub fn phase_time(p: &PhaseRecord, m: &MachineConfig) -> (f64, Bottleneck) {
     let compute_t = core_ops.iter().copied().max().unwrap_or(0) as f64 / m.core_rate();
     let issue_t =
         core_bytes.iter().copied().max().unwrap_or(0) as f64 / m.per_core_stream_bytes_per_sec;
+    // Executor slot waits are byte-equivalent stalls on the issue path: a
+    // core that waited W units behaves as if it streamed W extra bytes.
+    // Candidate only when waits were recorded, so contention-free traces
+    // can never be labeled SlotWait.
+    let wait_t = if core_wait.iter().any(|&w| w > 0) {
+        core_bytes
+            .iter()
+            .zip(&core_wait)
+            .map(|(&b, &w)| b + w)
+            .max()
+            .unwrap_or(0) as f64
+            / m.per_core_stream_bytes_per_sec
+    } else {
+        0.0
+    };
 
     let candidates = [
         (far_t, Bottleneck::FarBandwidth),
@@ -48,6 +65,7 @@ pub fn phase_time(p: &PhaseRecord, m: &MachineConfig) -> (f64, Bottleneck) {
         (noc_t, Bottleneck::Noc),
         (compute_t, Bottleneck::Compute),
         (issue_t, Bottleneck::CoreIssue),
+        (wait_t, Bottleneck::SlotWait),
         (m.phase_overhead_s, Bottleneck::Overhead),
     ];
     let (t, b) = candidates
@@ -191,6 +209,38 @@ mod tests {
         let (t, b) = phase_time(&p, &m);
         assert_eq!(b, Bottleneck::CoreIssue);
         assert!(t > 0.9 && t < 1.2, "t={t}");
+    }
+
+    #[test]
+    fn slot_waits_lengthen_issue_path_and_label_bottleneck() {
+        let m = MachineConfig::fig4(256, 8.0);
+        // One lane moving 4 GB that also waited 4 G byte-units for a
+        // transfer slot: the issue path doubles and is labeled SlotWait.
+        let stalled = PhaseRecord {
+            name: "stalled".into(),
+            lanes: vec![LaneWork {
+                far_read_bytes: 4e9 as u64,
+                slot_wait_units: 4e9 as u64,
+                ..Default::default()
+            }],
+            overlappable: false,
+            faults: 0,
+        };
+        let free = PhaseRecord {
+            name: "free".into(),
+            lanes: vec![LaneWork {
+                far_read_bytes: 4e9 as u64,
+                ..Default::default()
+            }],
+            overlappable: false,
+            faults: 0,
+        };
+        let (t_stalled, b_stalled) = phase_time(&stalled, &m);
+        let (t_free, b_free) = phase_time(&free, &m);
+        assert_eq!(b_stalled, Bottleneck::SlotWait);
+        assert_ne!(b_free, Bottleneck::SlotWait);
+        let ratio = t_stalled / t_free;
+        assert!(ratio > 1.8 && ratio < 2.2, "ratio={ratio}");
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub enum Bottleneck {
     Noc,
     /// A single core's issue bandwidth (under-parallelized phase).
     CoreIssue,
+    /// Transfer-slot arbitration: a core's issue path was dominated by
+    /// waiting for one of the executor's `p′` transfer slots (Theorem 10
+    /// contention recorded as `slot_wait_units` in the trace).
+    SlotWait,
     /// The fixed phase overhead dominated (tiny phase).
     Overhead,
 }

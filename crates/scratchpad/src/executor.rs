@@ -1,0 +1,710 @@
+//! Deterministic multi-worker transfer executor (Theorem 10's `p′`).
+//!
+//! The paper's parallel result (§IV-C, Theorem 10) assumes `p′` processors
+//! can make *simultaneous block transfers*; bandwidth limits may force
+//! `p′ < p`. The rest of the runtime only *attributes* transfer volume to
+//! virtual lanes — this module makes the contention real: an [`Executor`]
+//! installed on a [`crate::TwoLevel`] arbitrates every charged transfer over
+//! a bounded pool of `p′` **transfer slots**, and (optionally) executes
+//! stage fan-outs on its own worker pool.
+//!
+//! Two modes:
+//!
+//! * [`ExecMode::Deterministic`] — a virtual-time scheduler. Stage tasks run
+//!   sequentially on the calling thread in a seeded permutation ("schedule
+//!   fuzzing"); each transfer request is granted the best transfer slot in
+//!   virtual time (1 unit = 1 byte through one slot), with seeded
+//!   tie-breaks. Every statistic — per-worker wait, per-slot busy time, the
+//!   makespan — is replayable **bit-for-bit** from `(seed, p, p′)`. The
+//!   charge ledger is *never* touched by arbitration, so it is invariant
+//!   across seeds and worker counts and identical to an executor-free run.
+//! * [`ExecMode::Host`] — a real worker pool (`p` OS threads pulling from a
+//!   shared queue) contending on a real counting semaphore of `p′` permits.
+//!   Wall-clock waits land in telemetry; the virtual-time fields stay zero
+//!   so traces remain deterministic.
+//!
+//! The arbitration granularity is one **charge call**: every far- or
+//! near-memory charge of `b` bytes occupies one slot for `b` virtual units
+//! (both channel crossings of a far↔near copy are charged separately, so
+//! both occupy the shared transfer machinery — the NoC view of §V).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Condvar;
+
+/// Environment variable holding the deterministic scheduler seed.
+/// When set, [`ExecConfig::from_env`] yields a deterministic executor.
+pub const EXEC_SEED_ENV: &str = "TLMM_EXEC_SEED";
+/// Environment variable overriding the worker count `p` (default 8).
+pub const EXEC_WORKERS_ENV: &str = "TLMM_EXEC_WORKERS";
+/// Environment variable overriding the transfer-slot count `p′`
+/// (default = workers).
+pub const EXEC_SLOTS_ENV: &str = "TLMM_EXEC_SLOTS";
+
+/// How the executor schedules stage tasks and measures slot waits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Virtual-time round-robin with seeded tie-breaks; single host thread;
+    /// bit-for-bit replayable from `(seed, p, p′)`.
+    Deterministic,
+    /// Real worker threads contending on a real semaphore; waits measured in
+    /// wall-clock nanoseconds (telemetry only).
+    Host,
+}
+
+/// Configuration of an [`Executor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Workers `p` executing stage tasks (and owning virtual clocks).
+    pub workers: usize,
+    /// Simultaneous transfer slots `p′` (the bandwidth bound of Theorem 10).
+    pub transfer_slots: usize,
+    /// Seed for the schedule permutation and arbitration tie-breaks.
+    pub seed: u64,
+    /// Scheduling mode.
+    pub mode: ExecMode,
+}
+
+impl ExecConfig {
+    /// A deterministic (virtual-time) configuration.
+    pub fn deterministic(workers: usize, transfer_slots: usize, seed: u64) -> Self {
+        Self {
+            workers,
+            transfer_slots,
+            seed,
+            mode: ExecMode::Deterministic,
+        }
+    }
+
+    /// A host-threaded configuration (waits measured in wall time).
+    pub fn host(workers: usize, transfer_slots: usize) -> Self {
+        Self {
+            workers,
+            transfer_slots,
+            seed: 0,
+            mode: ExecMode::Host,
+        }
+    }
+
+    /// Validate the configuration: both pools must be non-empty, and
+    /// `p′ ≤ p` (a slot no worker can drive would be meaningless).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.workers == 0 {
+            return Err("executor workers (p) must be >= 1");
+        }
+        if self.transfer_slots == 0 {
+            return Err("transfer slots (p') must be >= 1");
+        }
+        if self.transfer_slots > self.workers {
+            return Err("transfer slots (p') must not exceed workers (p)");
+        }
+        Ok(())
+    }
+
+    /// Build a deterministic config from `TLMM_EXEC_SEED` (+ optional
+    /// `TLMM_EXEC_WORKERS` / `TLMM_EXEC_SLOTS`); `None` when the seed
+    /// variable is unset or unparsable.
+    pub fn from_env() -> Option<Self> {
+        let seed: u64 = std::env::var(EXEC_SEED_ENV).ok()?.trim().parse().ok()?;
+        let workers: usize = std::env::var(EXEC_WORKERS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(8)
+            .max(1);
+        let slots: usize = std::env::var(EXEC_SLOTS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(workers)
+            .clamp(1, workers);
+        Some(Self::deterministic(workers, slots, seed))
+    }
+}
+
+/// SplitMix64: the same cheap seeded hash the fault injector uses; here it
+/// drives schedule permutations and arbitration tie-breaks.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Virtual-time arbiter state (deterministic mode).
+#[derive(Debug)]
+struct VirtualState {
+    /// Virtual time at which each transfer slot becomes free.
+    slot_free: Vec<u64>,
+    /// Cumulative busy units per slot (occupancy numerator).
+    slot_busy: Vec<u64>,
+    /// Each worker's virtual clock.
+    worker_clock: Vec<u64>,
+    /// Monotone request counter (tie-break salt).
+    seq: u64,
+}
+
+/// Per-worker statistics, updated lock-free (host mode charges concurrently).
+#[derive(Debug, Default)]
+struct WorkerCell {
+    transfers: AtomicU64,
+    bytes: AtomicU64,
+    wait_units: AtomicU64,
+    host_wait_ns: AtomicU64,
+}
+
+/// Counting semaphore for host mode (`p′` permits).
+#[derive(Debug)]
+struct Slots {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Slots {
+    fn acquire(&self) {
+        let mut g = self.permits.lock();
+        while *g == 0 {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        *g -= 1;
+    }
+
+    fn release(&self) {
+        let mut g = self.permits.lock();
+        *g += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// Per-worker row of an [`ExecReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerReport {
+    /// Arbitrated transfers issued by this worker.
+    pub transfers: u64,
+    /// Bytes moved through the arbiter by this worker.
+    pub bytes: u64,
+    /// Virtual units spent waiting for a slot (deterministic mode).
+    pub wait_units: u64,
+    /// Wall nanoseconds spent waiting for a permit (host mode).
+    pub host_wait_ns: u64,
+    /// Final virtual clock (deterministic mode; 0 in host mode).
+    pub clock_units: u64,
+}
+
+/// Snapshot of an executor's arbitration statistics — serializable so bench
+/// artifacts can record contention next to the trace they replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Workers `p`.
+    pub workers: usize,
+    /// Transfer slots `p′`.
+    pub transfer_slots: usize,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Was the run virtual-time deterministic?
+    pub deterministic: bool,
+    /// Max worker virtual clock — the simulated makespan in byte-units
+    /// (deterministic mode; 0 in host mode).
+    pub makespan_units: u64,
+    /// Total virtual wait across workers.
+    pub total_wait_units: u64,
+    /// Total wall nanoseconds waited (host mode).
+    pub total_host_wait_ns: u64,
+    /// Total bytes arbitrated.
+    pub total_bytes: u64,
+    /// Total arbitrated transfers.
+    pub transfers: u64,
+    /// Cumulative busy units per transfer slot (deterministic mode); the
+    /// occupancy of slot `i` is `per_slot_busy_units[i] / makespan_units`.
+    pub per_slot_busy_units: Vec<u64>,
+    /// Per-worker breakdown, index = worker id.
+    pub per_worker: Vec<WorkerReport>,
+}
+
+impl ExecReport {
+    /// Arbitrated throughput in bytes per virtual unit: `p′` when the run
+    /// is bandwidth-saturated, up to `p` when it is not (deterministic
+    /// mode only; 0 without a makespan).
+    pub fn throughput_units(&self) -> f64 {
+        if self.makespan_units == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.makespan_units as f64
+        }
+    }
+}
+
+/// RAII grant of one arbitrated transfer. In host mode, dropping releases
+/// the slot permit; in deterministic mode the grant is inert (the virtual
+/// occupancy is already booked).
+#[derive(Debug)]
+pub struct TransferGrant {
+    ex: Option<std::sync::Arc<Executor>>,
+    /// Virtual byte-units waited to acquire the slot (deterministic mode).
+    pub wait_units: u64,
+}
+
+impl Drop for TransferGrant {
+    fn drop(&mut self) {
+        if let Some(ex) = self.ex.take() {
+            ex.slots.release();
+        }
+    }
+}
+
+/// The executor: a transfer-slot arbiter plus a stage worker pool. Install
+/// on a [`crate::TwoLevel`] with [`crate::TwoLevel::install_executor`];
+/// every charged transfer is then arbitrated here.
+#[derive(Debug)]
+pub struct Executor {
+    cfg: ExecConfig,
+    vstate: Mutex<VirtualState>,
+    slots: Slots,
+    cells: Vec<WorkerCell>,
+    /// Per-call-site stage counter salting the schedule permutation, so
+    /// successive stages of one run get distinct (but replayable) orders.
+    stage_seq: AtomicU64,
+}
+
+impl Executor {
+    /// Build an executor; panics on an invalid config (validate with
+    /// [`ExecConfig::validate`] first at API edges).
+    pub fn new(cfg: ExecConfig) -> Self {
+        cfg.validate().expect("invalid executor config");
+        Self {
+            vstate: Mutex::new(VirtualState {
+                slot_free: vec![0; cfg.transfer_slots],
+                slot_busy: vec![0; cfg.transfer_slots],
+                worker_clock: vec![0; cfg.workers],
+                seq: 0,
+            }),
+            slots: Slots {
+                permits: Mutex::new(cfg.transfer_slots),
+                cv: Condvar::new(),
+            },
+            cells: (0..cfg.workers).map(|_| WorkerCell::default()).collect(),
+            stage_seq: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    /// The configuration this executor was built with.
+    pub fn config(&self) -> &ExecConfig {
+        &self.cfg
+    }
+
+    /// Is this executor in virtual-time deterministic mode?
+    pub fn is_deterministic(&self) -> bool {
+        self.cfg.mode == ExecMode::Deterministic
+    }
+
+    /// Which worker owns virtual lane `lane` (lanes fold onto workers
+    /// round-robin, mirroring how memsim folds lanes onto cores).
+    #[inline]
+    pub fn worker_of(&self, lane: usize) -> usize {
+        lane % self.cfg.workers
+    }
+
+    /// Acquire a transfer slot for `bytes` from `lane`, recording stats.
+    /// In host mode the permit is LEFT HELD — callers release it (or hand
+    /// it to a [`TransferGrant`]). Returns the virtual wait in byte-units
+    /// (0 in host mode, where the wait is wall time in telemetry instead).
+    fn issue(&self, lane: usize, bytes: u64) -> u64 {
+        let w = self.worker_of(lane);
+        let cell = &self.cells[w];
+        cell.transfers.fetch_add(1, Ordering::Relaxed);
+        cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+        tlmm_telemetry::counter!("executor.transfers").incr();
+        match self.cfg.mode {
+            ExecMode::Deterministic => {
+                let wait = self.acquire_virtual(w, bytes);
+                if wait > 0 {
+                    cell.wait_units.fetch_add(wait, Ordering::Relaxed);
+                    tlmm_telemetry::counter!("executor.slot_wait_units").add(wait);
+                    tlmm_telemetry::histogram!("executor.wait_per_transfer").record(wait);
+                }
+                wait
+            }
+            ExecMode::Host => {
+                let t0 = std::time::Instant::now();
+                self.slots.acquire();
+                let ns = t0.elapsed().as_nanos() as u64;
+                if ns > 0 {
+                    cell.host_wait_ns.fetch_add(ns, Ordering::Relaxed);
+                    tlmm_telemetry::counter!("executor.host_wait_ns").add(ns);
+                }
+                0
+            }
+        }
+    }
+
+    /// Arbitrate one transfer of `bytes` issued from `lane`, releasing the
+    /// slot immediately. Returns the virtual wait in byte-units. Never
+    /// touches the charge ledger.
+    pub fn transfer(&self, lane: usize, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let wait = self.issue(lane, bytes);
+        if self.cfg.mode == ExecMode::Host {
+            self.slots.release();
+        }
+        wait
+    }
+
+    /// Arbitrate one transfer and return a grant that — in host mode —
+    /// holds the slot permit until dropped, so `p′` genuinely bounds how
+    /// many charged operations run concurrently. Deterministic mode
+    /// resolves the wait immediately (virtual occupancy is already booked
+    /// on the slot timeline) and the grant is inert.
+    pub fn begin_transfer(self: &std::sync::Arc<Self>, lane: usize, bytes: u64) -> TransferGrant {
+        if bytes == 0 {
+            return TransferGrant {
+                ex: None,
+                wait_units: 0,
+            };
+        }
+        let wait_units = self.issue(lane, bytes);
+        TransferGrant {
+            ex: (self.cfg.mode == ExecMode::Host).then(|| std::sync::Arc::clone(self)),
+            wait_units,
+        }
+    }
+
+    /// Virtual-time slot grant: reuse a slot that is already free at the
+    /// worker's clock when one exists (latest-free first — a worker
+    /// streaming back-to-back stays on one slot, leaving the others open);
+    /// otherwise wait for the earliest-free slot. Ties break by a seeded
+    /// hash of `(seed, request, slot)`, so the whole schedule is a pure
+    /// function of `(seed, p, p′)` and the request order.
+    fn acquire_virtual(&self, worker: usize, bytes: u64) -> u64 {
+        let mut st = self.vstate.lock();
+        let now = st.worker_clock[worker];
+        let salt = splitmix64(self.cfg.seed ^ st.seq);
+        st.seq += 1;
+        let tie = |slot: usize| splitmix64(salt ^ slot as u64);
+        let slot = {
+            let free_now = st
+                .slot_free
+                .iter()
+                .enumerate()
+                .filter(|&(_, &f)| f <= now)
+                .max_by_key(|&(i, &f)| (f, tie(i)));
+            match free_now {
+                Some((i, _)) => i,
+                None => st
+                    .slot_free
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &f)| (f, tie(i)))
+                    .map(|(i, _)| i)
+                    .expect("p' >= 1"),
+            }
+        };
+        let grant = now.max(st.slot_free[slot]);
+        let fin = grant + bytes;
+        st.slot_free[slot] = fin;
+        st.slot_busy[slot] += bytes;
+        st.worker_clock[worker] = fin;
+        grant - now
+    }
+
+    /// A seeded permutation of `0..n` — the schedule-fuzzing order for one
+    /// stage. Each call advances the stage counter, so successive stages
+    /// get different (but replay-stable) orders.
+    pub fn permutation(&self, n: usize) -> Vec<usize> {
+        let salt = splitmix64(self.cfg.seed ^ self.stage_seq.fetch_add(1, Ordering::Relaxed));
+        let mut order: Vec<usize> = (0..n).collect();
+        // Seeded Fisher–Yates.
+        for i in (1..n).rev() {
+            let j = (splitmix64(salt ^ i as u64) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        order
+    }
+
+    /// Execute one stage of tasks on the executor's workers.
+    ///
+    /// Deterministic mode runs the tasks sequentially on the calling thread
+    /// in a seeded permutation (the schedule fuzz); host mode fans them out
+    /// to `min(p, tasks)` OS threads pulling from a shared queue. Tasks are
+    /// responsible for their own lane attribution ([`crate::with_lane`]);
+    /// the charges they make are arbitrated like any other.
+    pub fn run_tasks<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let n = tasks.len();
+        if n == 0 {
+            return;
+        }
+        tlmm_telemetry::counter!("executor.stages").incr();
+        match self.cfg.mode {
+            ExecMode::Deterministic => {
+                let mut cells: Vec<Option<Box<dyn FnOnce() + Send + 'env>>> =
+                    tasks.into_iter().map(Some).collect();
+                for i in self.permutation(n) {
+                    (cells[i].take().expect("permutation visits each task once"))();
+                }
+            }
+            ExecMode::Host => {
+                let threads = self.cfg.workers.min(n);
+                if threads <= 1 {
+                    for t in tasks {
+                        t();
+                    }
+                    return;
+                }
+                let queue: Mutex<VecDeque<Box<dyn FnOnce() + Send + 'env>>> =
+                    Mutex::new(tasks.into());
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(|| loop {
+                            let task = queue.lock().pop_front();
+                            match task {
+                                Some(t) => t(),
+                                None => break,
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+
+    /// Snapshot the arbitration statistics.
+    pub fn report(&self) -> ExecReport {
+        let st = self.vstate.lock();
+        let per_worker: Vec<WorkerReport> = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(w, c)| WorkerReport {
+                transfers: c.transfers.load(Ordering::Relaxed),
+                bytes: c.bytes.load(Ordering::Relaxed),
+                wait_units: c.wait_units.load(Ordering::Relaxed),
+                host_wait_ns: c.host_wait_ns.load(Ordering::Relaxed),
+                clock_units: st.worker_clock[w],
+            })
+            .collect();
+        ExecReport {
+            workers: self.cfg.workers,
+            transfer_slots: self.cfg.transfer_slots,
+            seed: self.cfg.seed,
+            deterministic: self.is_deterministic(),
+            makespan_units: st.worker_clock.iter().copied().max().unwrap_or(0),
+            total_wait_units: per_worker.iter().map(|w| w.wait_units).sum(),
+            total_host_wait_ns: per_worker.iter().map(|w| w.host_wait_ns).sum(),
+            total_bytes: per_worker.iter().map(|w| w.bytes).sum(),
+            transfers: per_worker.iter().map(|w| w.transfers).sum(),
+            per_slot_busy_units: st.slot_busy.clone(),
+            per_worker,
+        }
+    }
+
+    /// Reset all arbitration state and statistics (between measured runs on
+    /// one memory; the ledger has its own reset).
+    pub fn reset(&self) {
+        let mut st = self.vstate.lock();
+        st.slot_free.iter_mut().for_each(|f| *f = 0);
+        st.slot_busy.iter_mut().for_each(|b| *b = 0);
+        st.worker_clock.iter_mut().for_each(|c| *c = 0);
+        st.seq = 0;
+        drop(st);
+        for c in &self.cells {
+            c.transfers.store(0, Ordering::Relaxed);
+            c.bytes.store(0, Ordering::Relaxed);
+            c.wait_units.store(0, Ordering::Relaxed);
+            c.host_wait_ns.store(0, Ordering::Relaxed);
+        }
+        self.stage_seq.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(p: usize, slots: usize, seed: u64) -> Executor {
+        Executor::new(ExecConfig::deterministic(p, slots, seed))
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_pools() {
+        assert!(ExecConfig::deterministic(0, 1, 0).validate().is_err());
+        assert!(ExecConfig::deterministic(1, 0, 0).validate().is_err());
+        assert!(ExecConfig::deterministic(2, 4, 0).validate().is_err());
+        assert!(ExecConfig::deterministic(4, 4, 0).validate().is_ok());
+        assert!(ExecConfig::host(8, 2).validate().is_ok());
+    }
+
+    #[test]
+    fn no_contention_when_slots_match_workers() {
+        let ex = det(4, 4, 7);
+        for round in 0..8 {
+            for w in 0..4 {
+                assert_eq!(ex.transfer(w, 1000), 0, "round {round} worker {w}");
+            }
+        }
+        let r = ex.report();
+        assert_eq!(r.total_wait_units, 0);
+        assert_eq!(r.makespan_units, 8 * 1000);
+        assert_eq!(r.total_bytes, 32 * 1000);
+    }
+
+    #[test]
+    fn contention_appears_once_workers_exceed_slots() {
+        // 4 workers, 1 slot: total demand serializes; makespan = total bytes.
+        let ex = det(4, 1, 7);
+        let mut waited = 0;
+        for w in 0..4 {
+            for _ in 0..4 {
+                waited += ex.transfer(w, 500);
+            }
+        }
+        let r = ex.report();
+        assert_eq!(r.makespan_units, 16 * 500);
+        assert!(waited > 0, "one slot must force waits");
+        assert_eq!(r.total_wait_units, waited);
+        assert_eq!(r.per_slot_busy_units, vec![16 * 500]);
+    }
+
+    #[test]
+    fn throughput_saturates_at_slot_count() {
+        // Fixed per-worker demand; the makespan knee sits at p = p'.
+        let makespan = |p: usize, slots: usize| {
+            let ex = det(p, slots, 3);
+            for w in 0..p {
+                for _ in 0..8 {
+                    ex.transfer(w, 1 << 10);
+                }
+            }
+            ex.report().makespan_units
+        };
+        // p <= p': each worker streams on its own slot, makespan flat.
+        assert_eq!(makespan(1, 1), 8 << 10);
+        assert_eq!(makespan(2, 2), 8 << 10);
+        assert_eq!(makespan(4, 4), 8 << 10);
+        // p > p': bandwidth-bound, makespan grows with p/p'.
+        assert_eq!(makespan(4, 2), 16 << 10);
+        assert_eq!(makespan(8, 2), 32 << 10);
+    }
+
+    #[test]
+    fn replay_is_bit_identical_for_fixed_seed() {
+        let run = |seed: u64| {
+            let ex = det(5, 2, seed);
+            for i in 0..40 {
+                ex.transfer(i % 5, 100 + (i as u64 * 37) % 900);
+            }
+            ex.report()
+        };
+        assert_eq!(run(11), run(11));
+        assert_eq!(run(99), run(99));
+        // Different seeds may legitimately produce different schedules, but
+        // conserved quantities stay fixed.
+        let (a, b) = (run(11), run(99));
+        assert_eq!(a.total_bytes, b.total_bytes);
+        assert_eq!(a.transfers, b.transfers);
+    }
+
+    #[test]
+    fn busy_units_are_conserved() {
+        let ex = det(6, 3, 42);
+        let mut total = 0u64;
+        for i in 0..60 {
+            let b = 64 * (1 + (i as u64 % 7));
+            total += b;
+            ex.transfer(i % 6, b);
+        }
+        let r = ex.report();
+        assert_eq!(r.per_slot_busy_units.iter().sum::<u64>(), total);
+        assert_eq!(r.total_bytes, total);
+        assert!(r.makespan_units >= total / 3);
+        assert!(r.makespan_units <= total);
+    }
+
+    #[test]
+    fn permutations_are_replayable_and_cover() {
+        let a = det(4, 2, 5);
+        let b = det(4, 2, 5);
+        for n in [0usize, 1, 2, 7, 32] {
+            let pa = a.permutation(n);
+            let pb = b.permutation(n);
+            assert_eq!(pa, pb);
+            let mut sorted = pa.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        }
+        // Stage counter advanced in lockstep; next stage differs from the
+        // first at this size (overwhelmingly likely, fixed seed = fixed
+        // outcome, so this is a deterministic assertion).
+        assert_ne!(a.permutation(32), a.permutation(32));
+    }
+
+    #[test]
+    fn run_tasks_executes_everything_in_both_modes() {
+        for cfg in [ExecConfig::deterministic(4, 2, 9), ExecConfig::host(4, 2)] {
+            let ex = Executor::new(cfg);
+            let hits = std::sync::atomic::AtomicU64::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..37)
+                .map(|_| {
+                    let hits = &hits;
+                    Box::new(move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            ex.run_tasks(tasks);
+            assert_eq!(hits.load(Ordering::Relaxed), 37);
+        }
+    }
+
+    #[test]
+    fn host_mode_semaphore_survives_concurrent_hammering() {
+        let ex = std::sync::Arc::new(Executor::new(ExecConfig::host(8, 2)));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let ex = std::sync::Arc::clone(&ex);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        ex.transfer(t, 64 + i % 128);
+                    }
+                });
+            }
+        });
+        let r = ex.report();
+        assert_eq!(r.transfers, 8 * 500);
+        assert_eq!(r.makespan_units, 0, "host mode has no virtual clock");
+    }
+
+    #[test]
+    fn reset_clears_all_state() {
+        let ex = det(3, 2, 1);
+        for w in 0..3 {
+            ex.transfer(w, 4096);
+        }
+        ex.permutation(8);
+        ex.reset();
+        let r = ex.report();
+        assert_eq!(r.total_bytes, 0);
+        assert_eq!(r.makespan_units, 0);
+        assert_eq!(r.transfers, 0);
+        assert_eq!(r.per_slot_busy_units, vec![0, 0]);
+    }
+
+    #[test]
+    fn from_env_parses_knobs() {
+        // Serialize env access: tests in this module run in one process.
+        std::env::set_var(EXEC_SEED_ENV, "1234");
+        std::env::set_var(EXEC_WORKERS_ENV, "16");
+        std::env::set_var(EXEC_SLOTS_ENV, "4");
+        let cfg = ExecConfig::from_env().expect("seed set");
+        assert_eq!(cfg.seed, 1234);
+        assert_eq!(cfg.workers, 16);
+        assert_eq!(cfg.transfer_slots, 4);
+        assert_eq!(cfg.mode, ExecMode::Deterministic);
+        std::env::remove_var(EXEC_SLOTS_ENV);
+        std::env::remove_var(EXEC_WORKERS_ENV);
+        std::env::remove_var(EXEC_SEED_ENV);
+        assert!(ExecConfig::from_env().is_none());
+    }
+}

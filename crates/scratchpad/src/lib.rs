@@ -20,6 +20,10 @@
 //!   [`TwoLevel::load_near`], …): algorithms *choreograph* data movement
 //!   explicitly, which is the whole point of a user-controlled hierarchy.
 //! * [`dma::DmaEngine`] — background-thread transfers (§VII future work).
+//! * [`executor::Executor`] — a worker-pool runtime arbitrating every
+//!   charged transfer over a bounded pool of `p′` transfer slots
+//!   (Theorem 10), with a seeded deterministic scheduler mode replayable
+//!   bit-for-bit from `(seed, p, p′)`.
 //! * [`trace`] — virtual-lane phase traces. Simulated parallelism (e.g. the
 //!   256 cores of the paper's Fig. 4 machine) is expressed by charging work
 //!   to *virtual lanes* via [`trace::with_lane`], independent of how many
@@ -44,6 +48,7 @@
 pub mod array;
 pub mod dma;
 pub mod error;
+pub mod executor;
 pub mod fault;
 pub mod mem;
 pub mod stream;
@@ -51,6 +56,10 @@ pub mod trace;
 
 pub use array::{FarArray, NearArray};
 pub use error::SpError;
+pub use executor::{
+    ExecConfig, ExecMode, ExecReport, Executor, TransferGrant, WorkerReport, EXEC_SEED_ENV,
+    EXEC_SLOTS_ENV, EXEC_WORKERS_ENV,
+};
 pub use fault::{
     with_faults_suppressed, FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultOp,
     FaultPlan, FAULT_SEED_ENV,

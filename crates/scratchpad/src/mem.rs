@@ -2,6 +2,7 @@
 
 use crate::array::{FarArray, NearArray};
 use crate::error::SpError;
+use crate::executor::{ExecConfig, Executor};
 use crate::fault::{self, FaultDecision, FaultInjector, FaultOp, FaultPlan};
 use crate::trace::{PhaseTrace, TraceRecorder};
 use parking_lot::Mutex;
@@ -21,6 +22,9 @@ pub struct TwoLevelInner {
     pub(crate) faults: Mutex<Option<Arc<FaultInjector>>>,
     /// Fast-path gate so un-faulted runs never take the `faults` lock.
     pub(crate) has_faults: AtomicBool,
+    pub(crate) executor: Mutex<Option<Arc<Executor>>>,
+    /// Fast-path gate so executor-free runs never take the `executor` lock.
+    pub(crate) has_executor: AtomicBool,
 }
 
 /// Handle to a two-level main memory. Cheap to clone; clones share the
@@ -65,6 +69,8 @@ impl TwoLevel {
                 near_used: AtomicU64::new(0),
                 faults: Mutex::new(None),
                 has_faults: AtomicBool::new(false),
+                executor: Mutex::new(None),
+                has_executor: AtomicBool::new(false),
             }),
         }
     }
@@ -180,6 +186,79 @@ impl TwoLevel {
     }
 
     // ------------------------------------------------------------------
+    // Executor (Theorem 10 `p′` transfer arbitration)
+    // ------------------------------------------------------------------
+
+    /// Install an executor on this memory; from now on every charged
+    /// transfer contends for its `p′` transfer slots and stage fan-outs
+    /// routed through [`Self::run_stage`] execute on its workers. Replaces
+    /// any previous executor. Arbitration never touches the charge ledger —
+    /// only waits (trace `slot_wait_units` + telemetry) are added — so the
+    /// ledger stays byte-identical to an executor-free run.
+    pub fn install_executor(&self, cfg: ExecConfig) -> Result<Arc<Executor>, &'static str> {
+        cfg.validate()?;
+        let ex = Arc::new(Executor::new(cfg));
+        *self.inner.executor.lock() = Some(Arc::clone(&ex));
+        self.inner.has_executor.store(true, Ordering::Release);
+        Ok(ex)
+    }
+
+    /// Install a deterministic executor from `TLMM_EXEC_SEED` (plus
+    /// `TLMM_EXEC_WORKERS` / `TLMM_EXEC_SLOTS`) if set; returns the
+    /// executor when one was installed.
+    pub fn install_executor_from_env(&self) -> Option<Arc<Executor>> {
+        ExecConfig::from_env().and_then(|cfg| self.install_executor(cfg).ok())
+    }
+
+    /// Remove any installed executor.
+    pub fn clear_executor(&self) {
+        *self.inner.executor.lock() = None;
+        self.inner.has_executor.store(false, Ordering::Release);
+    }
+
+    /// The currently installed executor, if any.
+    pub fn executor(&self) -> Option<Arc<Executor>> {
+        if !self.inner.has_executor.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner.executor.lock().clone()
+    }
+
+    /// Execute one stage of tasks: on the installed executor's worker pool
+    /// (seeded-permutation sequential in deterministic mode, OS threads in
+    /// host mode) when one is installed, otherwise sequentially in the
+    /// given order. Tasks handle their own lane attribution.
+    pub fn run_stage<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        match self.executor() {
+            Some(ex) => ex.run_tasks(tasks),
+            None => {
+                for t in tasks {
+                    t();
+                }
+            }
+        }
+    }
+
+    /// Arbitrate one charged transfer of `bytes` over the executor's
+    /// transfer slots (no-op without an executor). Virtual waits are
+    /// recorded against the current lane in the open phase. The returned
+    /// grant is held across the charge so that in host mode `p′` genuinely
+    /// bounds concurrent charged operations.
+    #[inline]
+    fn arbitrate(&self, bytes: u64) -> Option<crate::executor::TransferGrant> {
+        if !self.inner.has_executor.load(Ordering::Acquire) {
+            return None;
+        }
+        let ex = self.inner.executor.lock().clone()?;
+        let grant = ex.begin_transfer(crate::trace::current_lane(), bytes);
+        if grant.wait_units > 0 {
+            let wait = grant.wait_units;
+            self.inner.recorder.charge(|w| w.slot_wait_units += wait);
+        }
+        Some(grant)
+    }
+
+    // ------------------------------------------------------------------
     // Allocation
     // ------------------------------------------------------------------
 
@@ -230,6 +309,7 @@ impl TwoLevel {
     // ------------------------------------------------------------------
 
     fn charge_far(&self, dir: Dir, bytes: u64) {
+        let _slot = self.arbitrate(bytes);
         let blocks = self.inner.params.far_blocks_for(bytes);
         self.inner.ledger.charge(Level::Far, dir, blocks, bytes);
         self.inner.recorder.charge(|w| match dir {
@@ -244,6 +324,7 @@ impl TwoLevel {
     }
 
     fn charge_near(&self, dir: Dir, bytes: u64) {
+        let _slot = self.arbitrate(bytes);
         let blocks = self.inner.params.near_blocks_for(bytes);
         self.inner.ledger.charge(Level::Near, dir, blocks, bytes);
         self.inner.recorder.charge(|w| match dir {
@@ -288,6 +369,9 @@ impl TwoLevel {
     /// in total: each random access costs a full block regardless of how few
     /// bytes it uses (e.g. gathering a random sample, §III-A).
     pub fn charge_far_random(&self, dir: Dir, accesses: u64, bytes: u64) {
+        // Random accesses occupy the transfer machinery for their full
+        // block volume, matching what the trace records below.
+        let _slot = self.arbitrate(accesses * self.inner.params.block_bytes);
         self.inner.ledger.charge(Level::Far, dir, accesses, bytes);
         self.inner.recorder.charge(|w| match dir {
             Dir::Read => w.far_read_bytes += accesses * self.inner.params.block_bytes,
@@ -298,8 +382,9 @@ impl TwoLevel {
 
     /// Charge `accesses` random near-memory accesses moving `bytes` bytes.
     pub fn charge_near_random(&self, dir: Dir, accesses: u64, bytes: u64) {
-        self.inner.ledger.charge(Level::Near, dir, accesses, bytes);
         let blk = self.inner.params.near_block_bytes();
+        let _slot = self.arbitrate(accesses * blk);
+        self.inner.ledger.charge(Level::Near, dir, accesses, bytes);
         self.inner.recorder.charge(|w| match dir {
             Dir::Read => w.near_read_bytes += accesses * blk,
             Dir::Write => w.near_write_bytes += accesses * blk,

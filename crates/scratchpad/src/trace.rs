@@ -47,6 +47,11 @@ pub struct LaneWork {
     pub near_write_bytes: u64,
     /// RAM-model operations (comparisons, arithmetic) executed.
     pub compute_ops: u64,
+    /// Virtual byte-units this lane's worker spent waiting for a transfer
+    /// slot under an installed deterministic [`crate::executor::Executor`]
+    /// (Theorem 10's `p′` arbitration). Zero when no executor is installed,
+    /// in host mode, and whenever `p ≤ p′` demand never collides.
+    pub slot_wait_units: u64,
 }
 
 impl LaneWork {
@@ -78,6 +83,7 @@ impl LaneWork {
             near_read_bytes: self.near_read_bytes + o.near_read_bytes,
             near_write_bytes: self.near_write_bytes + o.near_write_bytes,
             compute_ops: self.compute_ops + o.compute_ops,
+            slot_wait_units: self.slot_wait_units + o.slot_wait_units,
         }
     }
 }

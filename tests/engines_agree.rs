@@ -20,6 +20,94 @@ fn nmsort_trace(n: usize) -> tlmm_scratchpad::PhaseTrace {
     tl.take_trace()
 }
 
+fn nmsort_trace_with_exec(
+    n: usize,
+    exec: Option<tlmm_scratchpad::ExecConfig>,
+) -> tlmm_scratchpad::PhaseTrace {
+    let params = ScratchpadParams::new(64, 4.0, 2 << 20, 128 << 10).unwrap();
+    let tl = TwoLevel::new(params);
+    if let Some(cfg) = exec {
+        tl.install_executor(cfg).unwrap();
+    }
+    let input = tl.far_from_vec(generate(Workload::UniformU64, n, 17));
+    nmsort(
+        &tl,
+        input,
+        &NmSortConfig {
+            sim_lanes: 32,
+            parallel: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    tl.take_trace()
+}
+
+#[test]
+fn executor_and_charged_lanes_produce_the_same_flow_trace() {
+    // The executor arbitrates and permutes real execution, but lane
+    // attribution is positional: the flow simulator must see the identical
+    // parallel transfer trace either way. With p' = p = 32 every worker
+    // owns a private slot, so no waits are added and even the simulated
+    // seconds agree exactly.
+    let plain = nmsort_trace_with_exec(120_000, None);
+    let exec = nmsort_trace_with_exec(
+        120_000,
+        Some(tlmm_scratchpad::ExecConfig::deterministic(32, 32, 99)),
+    );
+    assert_eq!(plain.phases.len(), exec.phases.len());
+    for (p, q) in plain.phases.iter().zip(&exec.phases) {
+        assert_eq!(p.name, q.name);
+        assert_eq!(p.lanes.len(), q.lanes.len(), "phase {}", p.name);
+        for (i, (a, b)) in p.lanes.iter().zip(&q.lanes).enumerate() {
+            // Byte-for-byte identical lane volumes; the executor only adds
+            // (here: zero) slot waits.
+            assert_eq!(a.far_read_bytes, b.far_read_bytes, "{} lane {i}", p.name);
+            assert_eq!(a.far_write_bytes, b.far_write_bytes, "{} lane {i}", p.name);
+            assert_eq!(a.near_read_bytes, b.near_read_bytes, "{} lane {i}", p.name);
+            assert_eq!(
+                a.near_write_bytes, b.near_write_bytes,
+                "{} lane {i}",
+                p.name
+            );
+            assert_eq!(a.compute_ops, b.compute_ops, "{} lane {i}", p.name);
+            assert_eq!(
+                b.slot_wait_units, 0,
+                "p'=p must not wait: {} lane {i}",
+                p.name
+            );
+        }
+    }
+    let m = MachineConfig::fig4(32, 4.0);
+    let a = simulate_flow(&plain, &m);
+    let b = simulate_flow(&exec, &m);
+    assert_eq!(
+        a.seconds, b.seconds,
+        "flow must replay both traces identically"
+    );
+    assert_eq!(a.far_accesses, b.far_accesses);
+    assert_eq!(a.near_accesses, b.near_accesses);
+}
+
+#[test]
+fn slot_starved_executor_trace_slows_the_flow_replay() {
+    // p' = 1 under 32 demand lanes: waits land in the trace and the flow
+    // simulator charges them on the issue path — simulated time grows.
+    let plain = nmsort_trace_with_exec(120_000, None);
+    let starved = nmsort_trace_with_exec(
+        120_000,
+        Some(tlmm_scratchpad::ExecConfig::deterministic(32, 1, 99)),
+    );
+    assert!(starved.total().slot_wait_units > 0);
+    let m = MachineConfig::fig4(32, 4.0);
+    let t_plain = simulate_flow(&plain, &m).seconds;
+    let t_starved = simulate_flow(&starved, &m).seconds;
+    assert!(
+        t_starved > t_plain,
+        "contention must cost simulated time: {t_starved} vs {t_plain}"
+    );
+}
+
 #[test]
 fn flow_and_des_agree_on_nmsort_trace() {
     let trace = nmsort_trace(200_000);

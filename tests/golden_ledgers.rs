@@ -1,0 +1,159 @@
+//! Golden charge-ledger snapshots: nondeterminism regressions fail loudly.
+//!
+//! For each of the four sorters, a canonical small-N run's `CostSnapshot`
+//! is committed under `tests/golden/`. Every test run re-executes the
+//! sorter and asserts byte-identical serialization against the golden —
+//! first with no executor (the sequential oracle), then under the
+//! deterministic executor across `p ∈ {1, 2, 8}` workers and two scheduler
+//! seeds. Arbitration may reorder and delay transfers but must never
+//! change a single charged byte.
+//!
+//! Regenerate after an *intentional* accounting change with:
+//! `TLMM_BLESS=1 cargo test --test golden_ledgers`
+
+use two_level_mem::prelude::*;
+
+const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+const N: usize = 30_000;
+const DATA_SEED: u64 = 0xC0FFEE;
+
+fn tl() -> TwoLevel {
+    TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
+}
+
+fn input() -> Vec<u64> {
+    generate(Workload::UniformU64, N, DATA_SEED)
+}
+
+/// Run one canonical sorter configuration, optionally under an executor.
+fn run_sorter(name: &str, exec: Option<tlmm_scratchpad::ExecConfig>) -> CostSnapshot {
+    let tl = tl();
+    if let Some(cfg) = exec {
+        tl.install_executor(cfg).unwrap();
+    }
+    let far = tl.far_from_vec(input());
+    match name {
+        "nmsort" => {
+            let r = two_level_mem::core::nmsort::nmsort(
+                &tl,
+                far,
+                &NmSortConfig {
+                    sim_lanes: 8,
+                    parallel: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_sorted(r.output.as_slice_uncharged());
+        }
+        "seqsort" => {
+            let (out, _) = seq_scratchpad_sort(
+                &tl,
+                far,
+                &SeqSortConfig {
+                    lanes: 4,
+                    parallel: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_sorted(out.as_slice_uncharged());
+        }
+        "parsort" => {
+            let (out, _) = par_scratchpad_sort(
+                &tl,
+                far,
+                &ParSortConfig {
+                    lanes: 8,
+                    parallel: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_sorted(out.as_slice_uncharged());
+        }
+        "baseline" => {
+            let r = baseline_sort(
+                &tl,
+                far,
+                &BaselineConfig {
+                    sim_lanes: 4,
+                    parallel: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_sorted(r.output.as_slice_uncharged());
+        }
+        other => panic!("unknown sorter {other}"),
+    }
+    tl.ledger().snapshot()
+}
+
+fn assert_sorted(v: &[u64]) {
+    assert!(v.windows(2).all(|w| w[0] <= w[1]), "output must be sorted");
+    assert_eq!(v.len(), N);
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(GOLDEN_DIR).join(format!("{name}.json"))
+}
+
+/// Assert `snap` serializes byte-identically to the committed golden
+/// (or bless it when `TLMM_BLESS` is set).
+fn check_against_golden(name: &str, snap: &CostSnapshot, context: &str) {
+    let rendered = serde::json::to_string_pretty(snap).expect("snapshot serializes");
+    let path = golden_path(name);
+    if std::env::var_os("TLMM_BLESS").is_some() {
+        std::fs::create_dir_all(GOLDEN_DIR).unwrap();
+        std::fs::write(&path, format!("{rendered}\n")).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {path:?} ({e}); run with TLMM_BLESS=1 to create it")
+    });
+    assert_eq!(
+        committed.trim_end(),
+        rendered,
+        "{name} ledger diverged from golden ({context})"
+    );
+    // The golden also round-trips: parse + compare as a typed value, so a
+    // formatting-only change can't mask a semantic one.
+    let parsed: CostSnapshot = serde::json::from_str(committed.trim_end()).unwrap();
+    assert_eq!(&parsed, snap, "{name} golden round-trip ({context})");
+}
+
+const SORTERS: [&str; 4] = ["nmsort", "seqsort", "parsort", "baseline"];
+
+#[test]
+fn all_four_sorters_match_their_golden_ledgers() {
+    for name in SORTERS {
+        let snap = run_sorter(name, None);
+        check_against_golden(name, &snap, "no executor");
+    }
+}
+
+#[test]
+fn golden_ledgers_replay_across_workers_and_seeds() {
+    for name in SORTERS {
+        for p in [1usize, 2, 8] {
+            for seed in [1u64, 42] {
+                let slots = p.min(2);
+                let exec = tlmm_scratchpad::ExecConfig::deterministic(p, slots, seed);
+                let snap = run_sorter(name, Some(exec));
+                check_against_golden(name, &snap, &format!("p={p} p'={slots} seed={seed}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_ledgers_replay_under_fully_serialized_arbiter() {
+    // p' = 1: every transfer in the whole sort funnels through a single
+    // slot — the sequential-engine equivalence of the acceptance criteria.
+    for name in SORTERS {
+        let exec = tlmm_scratchpad::ExecConfig::deterministic(8, 1, 7);
+        let snap = run_sorter(name, Some(exec));
+        check_against_golden(name, &snap, "p=8 p'=1");
+    }
+}
