@@ -25,6 +25,7 @@ const BINS: &[&str] = &[
     "fig_gemm",
     "ablation",
     "telemetry_overhead",
+    "tlmm_profile",
 ];
 
 #[derive(Serialize)]
@@ -35,12 +36,23 @@ struct ManifestEntry {
     files: Vec<String>,
 }
 
+/// A Perfetto trace artifact: unlike the txt/json pairs these are loaded
+/// into external tooling, so each records the binary that produced it and
+/// the commit it was produced at (schema v2).
+#[derive(Serialize)]
+struct TraceArtifact {
+    file: String,
+    produced_by: String,
+    git_sha: String,
+}
+
 #[derive(Serialize)]
 struct Manifest {
     schema_version: u32,
     git_sha: String,
     out_dir: String,
     entries: Vec<ManifestEntry>,
+    traces: Vec<TraceArtifact>,
 }
 
 fn main() {
@@ -54,7 +66,9 @@ fn main() {
         .expect("exe dir")
         .to_path_buf();
 
+    let git_sha = artifact::git_sha();
     let mut entries = Vec::new();
+    let mut traces = Vec::new();
     let mut failures = 0;
     for bin in BINS {
         let path = exe_dir.join(bin);
@@ -85,11 +99,18 @@ fn main() {
             }
         };
         // Record whichever artifact files the child actually produced.
-        let files: Vec<String> = ["txt", "json", "jsonl"]
+        let files: Vec<String> = ["txt", "json", "jsonl", "trace.json"]
             .iter()
             .map(|ext| format!("{bin}.{ext}"))
             .filter(|f| std::path::Path::new(&out_dir).join(f).exists())
             .collect();
+        for f in files.iter().filter(|f| f.ends_with(".trace.json")) {
+            traces.push(TraceArtifact {
+                file: f.clone(),
+                produced_by: bin.to_string(),
+                git_sha: git_sha.clone(),
+            });
+        }
         entries.push(ManifestEntry {
             artifact: bin.to_string(),
             ok,
@@ -99,10 +120,11 @@ fn main() {
     }
 
     let manifest = Manifest {
-        schema_version: 1,
-        git_sha: artifact::git_sha(),
+        schema_version: 2,
+        git_sha,
         out_dir: out_dir.clone(),
         entries,
+        traces,
     };
     let manifest_path = format!("{out_dir}/manifest.json");
     let json = serde::json::to_string_pretty(&manifest).expect("serialize manifest");

@@ -93,12 +93,19 @@ fn median_ms<S, P: FnMut() -> S, F: FnMut(S)>(timing: &Timing, mut prep: P, mut 
 /// Interleaved before/after medians: each measured iteration times the
 /// baseline and the optimized kernel back to back, so slow load drift on a
 /// shared host hits both sides of the ratio equally (DESIGN.md §10).
+///
+/// Returns `(median_base_ms, median_opt_ms, median_speedup)`. The speedup
+/// is the **median of the per-iteration ratios**, not the ratio of the
+/// medians: a transient stall (frequency throttle, scheduler migration)
+/// lands inside one iteration and skews both of that iteration's timings
+/// together, so its ratio stays sane while the ratio-of-medians can pair a
+/// stalled sample with a clean one. The perf gate compares these ratios.
 fn paired_medians_ms<S, P, A, B>(
     timing: &Timing,
     mut prep: P,
     mut base: A,
     mut opt: B,
-) -> (f64, f64)
+) -> (f64, f64, f64)
 where
     P: FnMut() -> S,
     A: FnMut(S),
@@ -110,17 +117,21 @@ where
     }
     let mut bs = Vec::with_capacity(timing.measure);
     let mut os = Vec::with_capacity(timing.measure);
+    let mut ratios = Vec::with_capacity(timing.measure);
     for _ in 0..timing.measure {
         let state = prep();
         let t0 = Instant::now();
         base(state);
-        bs.push(t0.elapsed().as_secs_f64() * 1e3);
+        let b = t0.elapsed().as_secs_f64() * 1e3;
         let state = prep();
         let t0 = Instant::now();
         opt(state);
-        os.push(t0.elapsed().as_secs_f64() * 1e3);
+        let o = t0.elapsed().as_secs_f64() * 1e3;
+        bs.push(b);
+        os.push(o);
+        ratios.push(b / o);
     }
-    (median(bs), median(os))
+    (median(bs), median(os), median(ratios))
 }
 
 fn median(mut samples: Vec<f64>) -> f64 {
@@ -154,7 +165,7 @@ fn run_formation_cells(n: usize, timing: &Timing, smoke: bool, cells: &mut Vec<C
             form_runs_opt(&mut b, RUN_ELEMS);
             assert_eq!(a, b, "run formation kernels disagree on {name}");
         }
-        let (base, opt) = paired_medians_ms(
+        let (base, opt, speedup) = paired_medians_ms(
             timing,
             || input.clone(),
             |mut v| form_runs_ref(&mut v, RUN_ELEMS),
@@ -166,7 +177,7 @@ fn run_formation_cells(n: usize, timing: &Timing, smoke: bool, cells: &mut Vec<C
             n,
             baseline_ms: Some(base),
             optimized_ms: opt,
-            speedup: Some(base / opt),
+            speedup: Some(speedup),
         });
     }
 }
@@ -187,7 +198,7 @@ fn kway_merge_cells(n: usize, timing: &Timing, smoke: bool, cells: &mut Vec<Cell
             assert_eq!(a, b, "merge kernels disagree on {name}");
             assert_eq!(ca, cb, "merge comparison counts diverge on {name}");
         }
-        let (base, opt) = paired_medians_ms(
+        let (base, opt, speedup) = paired_medians_ms(
             timing,
             || vec![0u64; n],
             |mut out| {
@@ -203,7 +214,7 @@ fn kway_merge_cells(n: usize, timing: &Timing, smoke: bool, cells: &mut Vec<Cell
             n,
             baseline_ms: Some(base),
             optimized_ms: opt,
-            speedup: Some(base / opt),
+            speedup: Some(speedup),
         });
     }
 }
@@ -276,12 +287,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mode = if smoke { "smoke" } else { "full" };
 
     let (n, nmsort_sizes, timing) = if smoke {
+        // 100k keeps a smoke run in CI seconds while giving each paired
+        // cell multiple full runs/chunks to time — at 20k the speedup
+        // ratios were too noisy for a ±15% gate.
         (
-            20_000,
+            100_000,
             vec![100_000],
             Timing {
                 warmup: 1,
-                measure: 3,
+                measure: 9,
             },
         )
     } else {
@@ -355,11 +369,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         measured_iters: timing.measure,
         cells,
     };
-    std::fs::write(
-        "BENCH_kernels.json",
-        serde::json::to_string_pretty(&file)? + "\n",
-    )?;
-    outln!(text, "wrote BENCH_kernels.json");
+    // Full mode refreshes the committed trajectory file; smoke mode writes
+    // its (smaller-n) cells next to the other CI artifacts so the perf
+    // gate can diff them against the committed smoke baseline without
+    // ever clobbering the full-mode record.
+    let bench_path = if smoke {
+        let dir = artifact::results_dir();
+        std::fs::create_dir_all(&dir)?;
+        dir.join("BENCH_kernels_smoke.json")
+    } else {
+        std::path::PathBuf::from("BENCH_kernels.json")
+    };
+    std::fs::write(&bench_path, serde::json::to_string_pretty(&file)? + "\n")?;
+    outln!(text, "wrote {}", bench_path.display());
 
     let report = RunReport::collect("kernel_bench")
         .meta("mode", mode)

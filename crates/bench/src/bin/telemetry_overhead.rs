@@ -135,6 +135,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.lines().count())
         .unwrap_or(0);
 
+    // Flight-recorder-on comparison: same workload with the wall-clock
+    // tracing recorder installed in this process (the recorder is
+    // installed/uninstalled around the measurement, so the earlier numbers
+    // are untouched). Every transfer charge, phase boundary, kernel span
+    // and fault then pays the ring-buffer push on top of the always-on
+    // machinery — the cost the ISSUE's 5% budget must also cover.
+    eprintln!("[telemetry_overhead] re-running with flight recorder on...");
+    // Interleave off/on reps so host load drift between the two
+    // measurements cancels instead of masquerading as overhead.
+    let mut tracing_base = f64::INFINITY;
+    let mut tracing_wall = f64::INFINITY;
+    let mut flight_trace = None;
+    for _ in 0..5 {
+        tracing_base = tracing_base.min(time_workload(2));
+        tlmm_telemetry::flight::install(
+            tlmm_telemetry::flight::FlightConfig::wall(LANES as u32, LANES as u32)
+                .with_capacity(1 << 16),
+        );
+        // First run after install faults in the freshly allocated rings —
+        // one-time session setup, not per-event cost; warm, then measure.
+        let _ = time_workload(1);
+        tracing_wall = tracing_wall.min(time_workload(2));
+        flight_trace = Some(tlmm_telemetry::flight::uninstall().expect("recorder installed"));
+    }
+    let flight_trace = flight_trace.expect("tracing reps ran");
+    // The wall delta is informational only: the workload's runtime is
+    // multi-modal under rayon scheduling, so a 1%-scale effect cannot be
+    // resolved from ~60 ms wall clocks. The budget gate instead bounds
+    // the recorder from the inside, like the always-on estimate above:
+    // microbenchmark one event push, multiply by the volume a run emits.
+    let tracing_wall_pct = (tracing_wall / tracing_base - 1.0) * 100.0;
+    tlmm_telemetry::flight::install(
+        tlmm_telemetry::flight::FlightConfig::wall(1, 1).with_capacity(1 << 22),
+    );
+    let flight_push_ns = ns_per_op(2_000_000, |i| {
+        tlmm_telemetry::flight::compute_event(black_box(i + 1));
+    });
+    let _ = tlmm_telemetry::flight::uninstall();
+    // Each install window saw 3 workload runs (1 warm + best-of-2 timed).
+    let events_per_run = flight_trace
+        .lanes
+        .iter()
+        .map(|l| l.events.len())
+        .sum::<usize>()
+        / 3;
+    let tracing_pct = events_per_run as f64 * flight_push_ns / 1e9 / tracing_base * 100.0;
+    let flight_events: usize = flight_trace.lanes.iter().map(|l| l.events.len()).sum();
+
     let mut out = String::new();
     outln!(
         out,
@@ -170,6 +218,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     outln!(
         out,
+        "flight recorder enabled: {tracing_wall:.4} s vs {tracing_base:.4} s interleaved \
+         ({tracing_wall_pct:+.1}% wall, informational; {flight_events} events recorded, {} dropped)",
+        flight_trace.dropped(),
+    );
+    outln!(
+        out,
+        "estimated flight-recorder time: {events_per_run} events/run x {flight_push_ns:.1} ns \
+         = {tracing_pct:.3}% of wall clock ({})",
+        if tracing_pct < 5.0 {
+            "PASS < 5%"
+        } else {
+            "FAIL >= 5%"
+        }
+    );
+    outln!(
+        out,
         "note: hot paths batch counter flushes (loser trees, caches flush \
          once on drop), so the always-on share stays far under the 5% budget."
     );
@@ -184,11 +248,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .meta("lanes", LANES)
         .section("wall_seconds_sink_off", &wall)
         .section("estimated_always_on_pct", &always_on_pct)
-        .section("sink_on_wall_seconds", &sink_wall_for_report);
+        .section("sink_on_wall_seconds", &sink_wall_for_report)
+        .section("tracing_on_wall_seconds", &tracing_wall)
+        .section("tracing_on_pct", &tracing_pct);
     artifact::emit("telemetry_overhead", &out, report)?;
 
     if always_on_pct >= 5.0 {
         eprintln!("[telemetry_overhead] overhead budget exceeded");
+        std::process::exit(1);
+    }
+    if tracing_pct >= 5.0 {
+        eprintln!("[telemetry_overhead] flight-recorder overhead budget exceeded");
         std::process::exit(1);
     }
     Ok(())

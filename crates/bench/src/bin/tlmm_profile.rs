@@ -1,0 +1,218 @@
+//! `tlmm_profile` — run one sort under the flight recorder and emit a
+//! Perfetto-loadable trace plus a critical-path attribution summary.
+//!
+//! This is the observability companion to the experiment binaries: where
+//! `table1` asks *how much* a run costs, this asks *where the time went* —
+//! which worker lane carried the makespan, how much of it was far/near
+//! occupancy vs. waiting on a p′ transfer slot, and whether that verdict
+//! agrees with the flow engine's analytic [`Bottleneck`] labels.
+//!
+//! Run (defaults to a contended deterministic run, p=8 workers over p′=2
+//! transfer slots, so `slot_wait` shows up on the path):
+//!
+//! ```text
+//! cargo run --release -p tlmm-bench --bin tlmm_profile -- \
+//!     [--algo nmsort|dma|baseline] [--n N] [--lanes L] [--chunk C]
+//!     [--seed S] [--workers P] [--slots P'] [--exec-seed E]
+//!     [--fault-seed F] [--name NAME]
+//! ```
+//!
+//! Outputs under `results/` (or `$TLMM_RESULTS_DIR`):
+//! `<name>.trace.json` (Chrome/Perfetto trace), `<name>.txt` and
+//! `<name>.json` (critical-path summary + cross-check). In deterministic
+//! mode the binary *asserts* the trace's internal invariants: validation
+//! passes, the critical-path length equals the executor's charged makespan,
+//! and traced transfer bytes equal the cost ledger byte-for-byte.
+//!
+//! [`Bottleneck`]: tlmm_memsim::stats::Bottleneck
+
+use tlmm_bench::{artifact, outln, run_sort_with_exec, SortAlgo, SortSpec};
+use tlmm_memsim::crosscheck::cross_check;
+use tlmm_memsim::{simulate_flow, MachineConfig};
+use tlmm_scratchpad::ExecConfig;
+use tlmm_telemetry::critical::critical_path;
+use tlmm_telemetry::flight::{self, FlightConfig};
+use tlmm_telemetry::{perfetto, RunReport};
+
+struct Args {
+    algo: SortAlgo,
+    n: usize,
+    lanes: usize,
+    chunk: Option<usize>,
+    seed: u64,
+    workers: usize,
+    slots: usize,
+    exec_seed: u64,
+    fault_seed: Option<u64>,
+    name: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            algo: SortAlgo::NmSort,
+            n: 200_000,
+            lanes: 8,
+            chunk: Some(40_000),
+            seed: 42,
+            workers: 8,
+            slots: 2,
+            exec_seed: 7,
+            fault_seed: None,
+            name: "tlmm_profile".to_string(),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let val = argv.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        });
+        match flag {
+            "--algo" => {
+                a.algo = match val.as_str() {
+                    "nmsort" => SortAlgo::NmSort,
+                    "dma" => SortAlgo::NmSortDma,
+                    "baseline" => SortAlgo::Baseline,
+                    other => {
+                        eprintln!("unknown algo {other:?} (nmsort|dma|baseline)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--n" => a.n = val.parse().expect("--n"),
+            "--lanes" => a.lanes = val.parse().expect("--lanes"),
+            "--chunk" => a.chunk = Some(val.parse().expect("--chunk")),
+            "--seed" => a.seed = val.parse().expect("--seed"),
+            "--workers" => a.workers = val.parse().expect("--workers"),
+            "--slots" => a.slots = val.parse().expect("--slots"),
+            "--exec-seed" => a.exec_seed = val.parse().expect("--exec-seed"),
+            "--fault-seed" => a.fault_seed = Some(val.parse().expect("--fault-seed")),
+            "--name" => a.name = val.clone(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = SortSpec {
+        algo: args.algo,
+        n: args.n,
+        lanes: args.lanes,
+        chunk_elems: if args.algo == SortAlgo::Baseline {
+            None
+        } else {
+            args.chunk
+        },
+        seed: args.seed,
+        fault_seed: args.fault_seed,
+    };
+    let exec = ExecConfig::deterministic(args.workers, args.slots, args.exec_seed);
+
+    // The recorder mirrors the executor's (p, p′, seed) so the trace is a
+    // self-describing replay key. Capacity is sized generously: a dropped
+    // event would make the byte cross-check report a false mismatch.
+    flight::install(
+        FlightConfig::virtual_time(args.workers as u32, args.slots as u32, args.exec_seed)
+            .with_capacity(1 << 20),
+    );
+    let run = run_sort_with_exec(&spec, Some(exec)).unwrap_or_else(|e| {
+        flight::uninstall();
+        eprintln!("[{}] run failed: {e}", args.name);
+        std::process::exit(1);
+    });
+    let trace = flight::uninstall().expect("recorder was installed");
+
+    // --- Invariant gates (deterministic mode makes these exact). ---
+    if let Err(errors) = trace.validate() {
+        eprintln!("[{}] trace validation FAILED:", args.name);
+        for e in &errors {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    let cp = critical_path(&trace);
+    let exec_report = run.exec.as_ref().expect("executor report");
+    assert_eq!(
+        cp.makespan, exec_report.makespan_units,
+        "critical-path length must equal the executor's charged makespan"
+    );
+    if trace.dropped() == 0 {
+        let traced_far = trace.transfer_bytes(|t| t.far());
+        let traced_near = trace.transfer_bytes(|t| !t.far());
+        assert_eq!(
+            traced_far, run.ledger.far_bytes,
+            "traced far bytes must equal the cost ledger"
+        );
+        assert_eq!(
+            traced_near, run.ledger.near_bytes,
+            "traced near bytes must equal the cost ledger"
+        );
+    }
+
+    // --- Cross-check against the flow engine's analytic labels. ---
+    let sim = simulate_flow(&run.trace, &MachineConfig::fig4(args.lanes as u32, 4.0));
+    let xc = cross_check(&cp, &sim);
+
+    // --- Perfetto trace artifact. ---
+    let chrome = perfetto::to_chrome_json(&trace);
+    let dir = artifact::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let trace_path = dir.join(format!("{}.trace.json", args.name));
+    std::fs::write(&trace_path, &chrome).expect("write trace.json");
+
+    // --- Human summary. ---
+    let mut text = String::new();
+    outln!(
+        text,
+        "tlmm_profile: {:?} n={} lanes={}",
+        args.algo,
+        args.n,
+        args.lanes
+    );
+    outln!(
+        text,
+        "executor: p={} workers, p'={} slots, seed={} (deterministic)",
+        args.workers,
+        args.slots,
+        args.exec_seed
+    );
+    outln!(
+        text,
+        "trace: {} events across {} lanes ({} dropped), {} transfers",
+        trace.lanes.iter().map(|l| l.events.len()).sum::<usize>(),
+        trace.lanes.len(),
+        trace.dropped(),
+        trace.transfers().len()
+    );
+    outln!(text);
+    outln!(text, "{}", cp.summary_table());
+    outln!(text, "cross-check: {}", xc.render());
+    outln!(text, "perfetto trace: {}", trace_path.display());
+
+    let report = RunReport::collect(&args.name)
+        .meta("algo", format!("{:?}", args.algo))
+        .meta("n", args.n)
+        .meta("lanes", args.lanes)
+        .meta("workers", args.workers)
+        .meta("slots", args.slots)
+        .meta("exec_seed", args.exec_seed)
+        .meta("trace_file", trace_path.display())
+        .section("critical_path", &cp)
+        .section("cross_check", &xc)
+        .section("ledger", &run.ledger)
+        .section("degradations", &run.degradations);
+    artifact::emit(&args.name, &text, report).expect("emit artifacts");
+}

@@ -66,14 +66,27 @@ pub fn radix_kernel<T: SortElem>() -> Option<fn(&mut [T])> {
 /// the comparison-model compute cost themselves (see the module docs).
 #[inline]
 pub fn sort_kernel<T: SortElem>(data: &mut [T]) {
+    let flight = tlmm_telemetry::flight::enabled();
     if data.len() >= RADIX_MIN_LEN {
         if let Some(f) = radix_kernel::<T>() {
+            if flight {
+                tlmm_telemetry::flight::span_event(true, "kernel.radix_sort");
+            }
             f(data);
             tlmm_telemetry::counter!("core.kernels.radix_sorts").incr();
+            if flight {
+                tlmm_telemetry::flight::span_event(false, "kernel.radix_sort");
+            }
             return;
         }
     }
+    if flight {
+        tlmm_telemetry::flight::span_event(true, "kernel.sort_unstable");
+    }
     data.sort_unstable();
+    if flight {
+        tlmm_telemetry::flight::span_event(false, "kernel.sort_unstable");
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,13 @@
 //!   transformed keys, so low-entropy inputs (small ranges, few distinct
 //!   values, sign-skewed `i64`) spend their digit budget only on bits that
 //!   actually differ — and all-equal inputs return after one read pass;
+//! * a **counting fast path** when the pre-pass shows the key range is
+//!   comparable to `n` (zipf ranks, sawtooth, few-distinct, permutations):
+//!   count every exact key, then *reconstruct* the sorted output as
+//!   run-length-encoded values — keys are bijective, so no element needs
+//!   to move at all. This is what fixed the zipf run-formation regression:
+//!   a scatter digit cannot separate a head-heavy distribution (the top
+//!   ranks share one bucket), but a per-value count is indifferent to skew;
 //! * **one wide MSD scatter** (digit width picked from `n` so buckets
 //!   average ~32 elements, capped at [`MAX_DIGIT_BITS`] to keep the
 //!   histogram + offset tables L1/L2-resident) moves every element to its
@@ -31,15 +38,20 @@
 /// An element with a fixed-width integer sort key whose order is preserved
 /// by mapping into `u64` space.
 ///
-/// Implementations must guarantee `a <= b ⇔ a.radix_key() <= b.radix_key()`
-/// and that only the low [`KEY_BITS`](RadixKey::KEY_BITS) bits of the key
-/// are ever set. The provided implementations are injective (equal keys ⇒
-/// identical elements), which the bucket-finishing step relies on.
+/// Implementations must guarantee `a <= b ⇔ a.radix_key() <= b.radix_key()`,
+/// that only the low [`KEY_BITS`](RadixKey::KEY_BITS) bits of the key are
+/// ever set, and that the map is a *bijection* inverted by
+/// [`from_radix_key`](RadixKey::from_radix_key) — equal keys mean identical
+/// elements, which both the bucket-finishing step and the counting
+/// fast path (which *reconstructs* elements from key counts) rely on.
 pub trait RadixKey: Copy + Ord {
     /// Significant bits in the transformed key.
     const KEY_BITS: u32;
     /// Order-preserving map into unsigned key space.
     fn radix_key(self) -> u64;
+    /// Inverse of [`radix_key`](RadixKey::radix_key):
+    /// `from_radix_key(x.radix_key()) == x` for every element.
+    fn from_radix_key(key: u64) -> Self;
 }
 
 impl RadixKey for u64 {
@@ -48,6 +60,10 @@ impl RadixKey for u64 {
     fn radix_key(self) -> u64 {
         self
     }
+    #[inline(always)]
+    fn from_radix_key(key: u64) -> Self {
+        key
+    }
 }
 
 impl RadixKey for u32 {
@@ -55,6 +71,10 @@ impl RadixKey for u32 {
     #[inline(always)]
     fn radix_key(self) -> u64 {
         self as u64
+    }
+    #[inline(always)]
+    fn from_radix_key(key: u64) -> Self {
+        key as u32
     }
 }
 
@@ -65,6 +85,10 @@ impl RadixKey for i64 {
     #[inline(always)]
     fn radix_key(self) -> u64 {
         (self as u64) ^ (1u64 << 63)
+    }
+    #[inline(always)]
+    fn from_radix_key(key: u64) -> Self {
+        (key ^ (1u64 << 63)) as i64
     }
 }
 
@@ -84,6 +108,16 @@ const MSD_MIN_LEN: usize = 64;
 /// recursion's min/max pre-pass re-narrows the key range so the next
 /// scatter spreads them. Uniform inputs never hit this path.
 const RECURSE_MIN: usize = 1 << 12;
+/// Cap on the counting fast path's table: 2^22 `u32` counters (16 MiB)
+/// scan in well under a millisecond; anything larger would dominate the
+/// work it replaces.
+const COUNTING_MAX_KEYS: u64 = 1 << 22;
+/// Key span of the dense-head split's exact-count table: 4096 `u32`
+/// counters stay L1-resident while the single partition pass streams.
+const HEAD_SPAN: u64 = 1 << 12;
+/// Keys sampled (evenly strided) to estimate how much mass sits within
+/// [`HEAD_SPAN`] of the minimum.
+const HEAD_SAMPLES: usize = 32;
 
 /// Sort `data` in place with one wide MSD counting scatter on
 /// [`RadixKey::radix_key`] plus cache-resident bucket finishing.
@@ -104,6 +138,40 @@ pub fn radix_sort<T: RadixKey>(data: &mut [T]) {
     }
     if lo == hi {
         return; // one distinct key ⇒ identical elements
+    }
+    // Counting fast path: when the key *range* is comparable to `n` (zipf
+    // ranks, sawtooth periods, few-distinct pools, near-permutations), a
+    // per-value count plus run-length reconstruction replaces the scatter,
+    // the finishing sorts and the copy-back with one L1-friendly counting
+    // pass and one sequential write — and skew is free, since a hot key is
+    // just a large count. The bijective key contract makes reconstruction
+    // exact.
+    let range = hi - lo;
+    if range < COUNTING_MAX_KEYS && range / 4 < n as u64 {
+        counting_sort_span(data, lo, range as usize + 1);
+        return;
+    }
+    // Dense-head split: a wide range can still hide a head-heavy
+    // distribution whose mode sits at the minimum (zipf ranks sorted in
+    // scratchpad-sized chunks: each chunk spans ~n keys but most elements
+    // are tiny). A strided sample estimates the mass within HEAD_SPAN of
+    // `lo`; when at least half the input lives there, one partition pass
+    // exact-counts the head and a comparison sort finishes the sparse
+    // spill — two passes instead of scatter + skewed-bucket finishing.
+    if range >= HEAD_SPAN {
+        let step = (n / HEAD_SAMPLES).max(1);
+        let mut taken = 0usize;
+        let mut within = 0usize;
+        for x in data.iter().step_by(step) {
+            taken += 1;
+            if x.radix_key() - lo < HEAD_SPAN {
+                within += 1;
+            }
+        }
+        if within * 2 >= taken {
+            dense_head_split(data, lo);
+            return;
+        }
     }
     let bits = 64 - (lo ^ hi).leading_zeros();
     let lg_n = usize::BITS - (n - 1).leading_zeros();
@@ -145,11 +213,22 @@ pub fn radix_sort<T: RadixKey>(data: &mut [T]) {
         if bucket.len() > 1 && shift > 0 {
             if bucket.len() <= INSERTION_MAX {
                 insertion_sort(bucket);
+            } else if shift < 22 && (1usize << shift) / 4 <= bucket.len() {
+                // Adaptive skew handling: the scatter left only `shift`
+                // low bits unresolved, so every element here shares the
+                // key prefix above them. When that residual span is small
+                // relative to the bucket's occupancy, count-and-
+                // reconstruct directly — a skewed (zipf head) bucket that
+                // would previously re-pay min/max + histogram + scatter in
+                // a recursive call finishes in two cheap passes instead.
+                let base = (bucket[0].radix_key() >> shift) << shift;
+                counting_sort_span(bucket, base, 1usize << shift);
             } else if bucket.len() >= RECURSE_MIN {
-                // Skew: one bucket swallowed a large share of the input.
-                // Recurse — the nested min/max pre-pass confines the next
-                // scatter to the bits this level left (`< shift` of them),
-                // so depth is bounded by KEY_BITS / 6.
+                // Skew with a wide residual span: recurse — the nested
+                // min/max pre-pass confines the next scatter to the bits
+                // this level left (`< shift` of them), so depth is bounded
+                // by KEY_BITS / 6, and the recursion's own counting fast
+                // path catches clustered values once the range narrows.
                 radix_sort(bucket);
             } else {
                 bucket.sort_unstable();
@@ -158,6 +237,56 @@ pub fn radix_sort<T: RadixKey>(data: &mut [T]) {
         start = end;
     }
     data.copy_from_slice(&scratch);
+}
+
+/// Counting sort by exact key over `span` consecutive key values starting
+/// at `base`: one counting pass, then the output is *reconstructed* as
+/// run-length-encoded values via [`RadixKey::from_radix_key`] — no element
+/// is moved, so no scratch buffer and no scatter. Correct because the key
+/// map is bijective (equal keys ⇒ identical elements).
+fn counting_sort_span<T: RadixKey>(data: &mut [T], base: u64, span: usize) {
+    let mut counts = vec![0u32; span];
+    for &x in data.iter() {
+        counts[(x.radix_key() - base) as usize] += 1;
+    }
+    let mut i = 0usize;
+    for (k, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let v = T::from_radix_key(base + k as u64);
+        data[i..i + c as usize].fill(v);
+        i += c as usize;
+    }
+}
+
+/// Partition the input into a dense head (keys within [`HEAD_SPAN`] of
+/// `lo`, exact-counted in an L1-resident table) and a sparse spill (all
+/// larger keys, comparison-sorted). Every head key precedes every spill
+/// key, so the output is the reconstructed head runs followed by the
+/// sorted spill.
+fn dense_head_split<T: RadixKey>(data: &mut [T], lo: u64) {
+    let mut counts = vec![0u32; HEAD_SPAN as usize];
+    let mut spill: Vec<T> = Vec::new();
+    for &x in data.iter() {
+        let k = x.radix_key() - lo;
+        if k < HEAD_SPAN {
+            counts[k as usize] += 1;
+        } else {
+            spill.push(x);
+        }
+    }
+    spill.sort_unstable();
+    let mut i = 0usize;
+    for (k, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let v = T::from_radix_key(lo + k as u64);
+        data[i..i + c as usize].fill(v);
+        i += c as usize;
+    }
+    data[i..].copy_from_slice(&spill);
 }
 
 /// Plain insertion sort: optimal below ~24 elements where `sort_unstable`'s
@@ -241,6 +370,79 @@ mod tests {
                 .map(|i| if i % 3 == 0 { u64::MAX } else { 1 })
                 .collect(),
         );
+    }
+
+    #[test]
+    fn counting_path_handles_skew_and_permutations() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // Zipf-ish head-heavy ranks in 1..=n: range ≈ n triggers the
+        // counting path; the head value's huge count must reconstruct.
+        check(
+            (0..50_000)
+                .map(|_| {
+                    let r: f64 = rng.gen();
+                    (1.0 / (1.0 - r).powf(0.8)).min(50_000.0) as u64
+                })
+                .collect(),
+        );
+        // Permutations and reversed ranges: range == n - 1.
+        check((0..50_000u64).rev().collect());
+        // Signed keys through the bijection's inverse.
+        check((-25_000..25_000).rev().collect::<Vec<i64>>());
+        check((0..50_000).map(|_| rng.gen_range(-64i64..64)).collect());
+        // u32 through the widening inverse.
+        check((0..50_000).map(|_| rng.gen_range(0u32..4096)).collect());
+    }
+
+    #[test]
+    fn dense_head_split_handles_wide_range_head_heavy_chunks() {
+        // Run-formation shape: zipf-ish ranks whose range spans the full
+        // array but whose mass sits at the minimum — plus far outliers so
+        // the range stays far too wide for the counting fast path.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u64> = (0..30_000)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                (1.0 / (1.0 - r).powf(1.5)) as u64
+            })
+            .collect();
+        v.extend((0..300).map(|_| rng.gen::<u64>()));
+        check(v);
+        // Head exactly at a nonzero minimum.
+        check(
+            (0..30_000)
+                .map(|i| {
+                    if i % 10 == 0 {
+                        1_000_000 + rng.gen_range(0u64..100_000_000)
+                    } else {
+                        1_000_000 + rng.gen_range(0u64..100)
+                    }
+                })
+                .collect(),
+        );
+    }
+
+    #[test]
+    fn counting_span_reconstructs_exactly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u64> = (0..10_000).map(|_| rng.gen_range(100u64..612)).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        counting_sort_span(&mut v, 100, 512);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn wide_range_with_giant_residual_bucket_still_sorts() {
+        // Range too wide for the top-level counting path (two far-apart
+        // clusters), but each cluster lands in one giant bucket whose
+        // residual span the adaptive finishing resolves by counting.
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut v: Vec<u64> = (0..40_000)
+            .map(|_| (1u64 << 40) + rng.gen_range(0u64..128))
+            .collect();
+        v.extend((0..40_000).map(|_| rng.gen_range(0u64..128)));
+        check(v);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 pub mod address;
 pub mod cache;
 pub mod config;
+pub mod crosscheck;
 pub mod des;
 pub mod dram;
 pub mod energy;

@@ -243,6 +243,10 @@ pub struct TransferGrant {
     ex: Option<std::sync::Arc<Executor>>,
     /// Virtual byte-units waited to acquire the slot (deterministic mode).
     pub wait_units: u64,
+    /// The arbiter's issue/grant/retire stamps for the flight recorder:
+    /// virtual byte-units + slot id in deterministic mode, telemetry-epoch
+    /// wall nanoseconds (no slot) in host mode. `None` for 0-byte grants.
+    pub timing: Option<tlmm_telemetry::flight::TransferTiming>,
 }
 
 impl Drop for TransferGrant {
@@ -309,8 +313,9 @@ impl Executor {
     /// Acquire a transfer slot for `bytes` from `lane`, recording stats.
     /// In host mode the permit is LEFT HELD — callers release it (or hand
     /// it to a [`TransferGrant`]). Returns the virtual wait in byte-units
-    /// (0 in host mode, where the wait is wall time in telemetry instead).
-    fn issue(&self, lane: usize, bytes: u64) -> u64 {
+    /// (0 in host mode, where the wait is wall time in telemetry instead)
+    /// plus the arbiter's stamps for the flight recorder.
+    fn issue(&self, lane: usize, bytes: u64) -> (u64, tlmm_telemetry::flight::TransferTiming) {
         let w = self.worker_of(lane);
         let cell = &self.cells[w];
         cell.transfers.fetch_add(1, Ordering::Relaxed);
@@ -318,23 +323,33 @@ impl Executor {
         tlmm_telemetry::counter!("executor.transfers").incr();
         match self.cfg.mode {
             ExecMode::Deterministic => {
-                let wait = self.acquire_virtual(w, bytes);
+                let timing = self.acquire_virtual(w, bytes);
+                let wait = timing.grant - timing.issue;
                 if wait > 0 {
                     cell.wait_units.fetch_add(wait, Ordering::Relaxed);
                     tlmm_telemetry::counter!("executor.slot_wait_units").add(wait);
                     tlmm_telemetry::histogram!("executor.wait_per_transfer").record(wait);
                 }
-                wait
+                (wait, timing)
             }
             ExecMode::Host => {
-                let t0 = std::time::Instant::now();
+                let t0 = tlmm_telemetry::now_ns();
                 self.slots.acquire();
-                let ns = t0.elapsed().as_nanos() as u64;
+                let granted = tlmm_telemetry::now_ns();
+                let ns = granted.saturating_sub(t0);
                 if ns > 0 {
                     cell.host_wait_ns.fetch_add(ns, Ordering::Relaxed);
                     tlmm_telemetry::counter!("executor.host_wait_ns").add(ns);
                 }
-                0
+                (
+                    0,
+                    tlmm_telemetry::flight::TransferTiming {
+                        slot: tlmm_telemetry::flight::NO_SLOT,
+                        issue: t0,
+                        grant: granted,
+                        retire: granted,
+                    },
+                )
             }
         }
     }
@@ -346,7 +361,7 @@ impl Executor {
         if bytes == 0 {
             return 0;
         }
-        let wait = self.issue(lane, bytes);
+        let (wait, _) = self.issue(lane, bytes);
         if self.cfg.mode == ExecMode::Host {
             self.slots.release();
         }
@@ -363,12 +378,14 @@ impl Executor {
             return TransferGrant {
                 ex: None,
                 wait_units: 0,
+                timing: None,
             };
         }
-        let wait_units = self.issue(lane, bytes);
+        let (wait_units, timing) = self.issue(lane, bytes);
         TransferGrant {
             ex: (self.cfg.mode == ExecMode::Host).then(|| std::sync::Arc::clone(self)),
             wait_units,
+            timing: Some(timing),
         }
     }
 
@@ -377,8 +394,9 @@ impl Executor {
     /// streaming back-to-back stays on one slot, leaving the others open);
     /// otherwise wait for the earliest-free slot. Ties break by a seeded
     /// hash of `(seed, request, slot)`, so the whole schedule is a pure
-    /// function of `(seed, p, p′)` and the request order.
-    fn acquire_virtual(&self, worker: usize, bytes: u64) -> u64 {
+    /// function of `(seed, p, p′)` and the request order. Returns the full
+    /// issue/grant/retire stamps (`grant - issue` is the slot wait).
+    fn acquire_virtual(&self, worker: usize, bytes: u64) -> tlmm_telemetry::flight::TransferTiming {
         let mut st = self.vstate.lock();
         let now = st.worker_clock[worker];
         let salt = splitmix64(self.cfg.seed ^ st.seq);
@@ -407,7 +425,12 @@ impl Executor {
         st.slot_free[slot] = fin;
         st.slot_busy[slot] += bytes;
         st.worker_clock[worker] = fin;
-        grant - now
+        tlmm_telemetry::flight::TransferTiming {
+            slot: slot as u32,
+            issue: now,
+            grant,
+            retire: fin,
+        }
     }
 
     /// A seeded permutation of `0..n` — the schedule-fuzzing order for one

@@ -168,6 +168,9 @@ impl TwoLevel {
             FaultDecision::Fail(_) => {
                 self.inner.recorder.record_fault();
                 tlmm_telemetry::counter!("fault.injected").incr();
+                if tlmm_telemetry::flight::enabled() {
+                    tlmm_telemetry::flight::fault_event(&format!("{op:?}.fail"));
+                }
                 match op {
                     FaultOp::NearAlloc => tlmm_telemetry::counter!("fault.near_alloc").incr(),
                     FaultOp::FarToNear => tlmm_telemetry::counter!("fault.far_to_near").incr(),
@@ -180,6 +183,9 @@ impl TwoLevel {
             FaultDecision::Delay(_) => {
                 self.inner.recorder.record_fault();
                 tlmm_telemetry::counter!("fault.delayed").incr();
+                if tlmm_telemetry::flight::enabled() {
+                    tlmm_telemetry::flight::fault_event(&format!("{op:?}.delay"));
+                }
             }
         }
         d
@@ -308,8 +314,32 @@ impl TwoLevel {
     // Charging primitives
     // ------------------------------------------------------------------
 
+    /// Mirror one charged transfer into the flight recorder (no-op when
+    /// no recorder is installed). `ledger_bytes` is the byte volume the
+    /// cost ledger booked — the flight trace is cross-checkable against
+    /// `CostSnapshot` byte-for-byte — while the grant's timing reflects
+    /// the *arbitrated* occupancy (they differ for random access).
+    #[inline]
+    fn flight_transfer(
+        &self,
+        dir: Dir,
+        ledger_bytes: u64,
+        extra_flags: u32,
+        grant: &Option<crate::executor::TransferGrant>,
+    ) {
+        if !tlmm_telemetry::flight::enabled() {
+            return;
+        }
+        let mut flags = extra_flags;
+        if matches!(dir, Dir::Write) {
+            flags |= tlmm_telemetry::flight::FLAG_WRITE;
+        }
+        let timing = grant.as_ref().and_then(|g| g.timing);
+        tlmm_telemetry::flight::transfer_event(ledger_bytes, flags, timing);
+    }
+
     fn charge_far(&self, dir: Dir, bytes: u64) {
-        let _slot = self.arbitrate(bytes);
+        let grant = self.arbitrate(bytes);
         let blocks = self.inner.params.far_blocks_for(bytes);
         self.inner.ledger.charge(Level::Far, dir, blocks, bytes);
         self.inner.recorder.charge(|w| match dir {
@@ -321,10 +351,11 @@ impl TwoLevel {
             Dir::Write => tlmm_telemetry::counter!("scratchpad.far.write_bytes").add(bytes),
         }
         tlmm_telemetry::histogram!("scratchpad.far.transfer_bytes").record(bytes);
+        self.flight_transfer(dir, bytes, tlmm_telemetry::flight::FLAG_FAR, &grant);
     }
 
     fn charge_near(&self, dir: Dir, bytes: u64) {
-        let _slot = self.arbitrate(bytes);
+        let grant = self.arbitrate(bytes);
         let blocks = self.inner.params.near_blocks_for(bytes);
         self.inner.ledger.charge(Level::Near, dir, blocks, bytes);
         self.inner.recorder.charge(|w| match dir {
@@ -336,6 +367,7 @@ impl TwoLevel {
             Dir::Write => tlmm_telemetry::counter!("scratchpad.near.write_bytes").add(bytes),
         }
         tlmm_telemetry::histogram!("scratchpad.near.transfer_bytes").record(bytes);
+        self.flight_transfer(dir, bytes, 0, &grant);
     }
 
     /// Record `n` RAM-model operations (comparisons, arithmetic).
@@ -343,6 +375,9 @@ impl TwoLevel {
         self.inner.ledger.charge_compute(n);
         self.inner.recorder.charge(|w| w.compute_ops += n);
         tlmm_telemetry::counter!("scratchpad.compute_ops").add(n);
+        if tlmm_telemetry::flight::enabled() {
+            tlmm_telemetry::flight::compute_event(n);
+        }
     }
 
     // Low-level charging API.
@@ -371,25 +406,30 @@ impl TwoLevel {
     pub fn charge_far_random(&self, dir: Dir, accesses: u64, bytes: u64) {
         // Random accesses occupy the transfer machinery for their full
         // block volume, matching what the trace records below.
-        let _slot = self.arbitrate(accesses * self.inner.params.block_bytes);
+        let grant = self.arbitrate(accesses * self.inner.params.block_bytes);
         self.inner.ledger.charge(Level::Far, dir, accesses, bytes);
         self.inner.recorder.charge(|w| match dir {
             Dir::Read => w.far_read_bytes += accesses * self.inner.params.block_bytes,
             Dir::Write => w.far_write_bytes += accesses * self.inner.params.block_bytes,
         });
-        let _ = bytes;
+        self.flight_transfer(
+            dir,
+            bytes,
+            tlmm_telemetry::flight::FLAG_FAR | tlmm_telemetry::flight::FLAG_RANDOM,
+            &grant,
+        );
     }
 
     /// Charge `accesses` random near-memory accesses moving `bytes` bytes.
     pub fn charge_near_random(&self, dir: Dir, accesses: u64, bytes: u64) {
         let blk = self.inner.params.near_block_bytes();
-        let _slot = self.arbitrate(accesses * blk);
+        let grant = self.arbitrate(accesses * blk);
         self.inner.ledger.charge(Level::Near, dir, accesses, bytes);
         self.inner.recorder.charge(|w| match dir {
             Dir::Read => w.near_read_bytes += accesses * blk,
             Dir::Write => w.near_write_bytes += accesses * blk,
         });
-        let _ = bytes;
+        self.flight_transfer(dir, bytes, tlmm_telemetry::flight::FLAG_RANDOM, &grant);
     }
 
     // ------------------------------------------------------------------
@@ -413,8 +453,10 @@ impl TwoLevel {
             FaultDecision::Fail(index) => {
                 // The payload moved and was lost: charge the aborted
                 // attempt in full, deliver nothing.
-                self.charge_far(Dir::Read, bytes);
-                self.charge_near(Dir::Write, bytes);
+                tlmm_telemetry::flight::with_fault_retry(|| {
+                    self.charge_far(Dir::Read, bytes);
+                    self.charge_near(Dir::Write, bytes);
+                });
                 return Err(SpError::FaultInjected {
                     op: FaultOp::FarToNear,
                     index,
@@ -423,8 +465,10 @@ impl TwoLevel {
             FaultDecision::Delay(_) => {
                 // Link-level retransmission: the transfer lands, but the
                 // traffic crossed both channels twice.
-                self.charge_far(Dir::Read, bytes);
-                self.charge_near(Dir::Write, bytes);
+                tlmm_telemetry::flight::with_fault_retry(|| {
+                    self.charge_far(Dir::Read, bytes);
+                    self.charge_near(Dir::Write, bytes);
+                });
             }
             FaultDecision::Proceed => {}
         }
@@ -449,16 +493,20 @@ impl TwoLevel {
         let bytes = (n * std::mem::size_of::<T>()) as u64;
         match self.preflight(FaultOp::NearToFar) {
             FaultDecision::Fail(index) => {
-                self.charge_near(Dir::Read, bytes);
-                self.charge_far(Dir::Write, bytes);
+                tlmm_telemetry::flight::with_fault_retry(|| {
+                    self.charge_near(Dir::Read, bytes);
+                    self.charge_far(Dir::Write, bytes);
+                });
                 return Err(SpError::FaultInjected {
                     op: FaultOp::NearToFar,
                     index,
                 });
             }
             FaultDecision::Delay(_) => {
-                self.charge_near(Dir::Read, bytes);
-                self.charge_far(Dir::Write, bytes);
+                tlmm_telemetry::flight::with_fault_retry(|| {
+                    self.charge_near(Dir::Read, bytes);
+                    self.charge_far(Dir::Write, bytes);
+                });
             }
             FaultDecision::Proceed => {}
         }

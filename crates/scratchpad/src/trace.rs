@@ -189,6 +189,7 @@ impl RecorderInner {
     fn open_mut(&mut self) -> &mut PhaseRecord {
         self.open.get_or_insert_with(|| {
             self.open_span = Some(tlmm_telemetry::Span::detached("anonymous"));
+            tlmm_telemetry::flight::phase_event(true, "anonymous");
             PhaseRecord {
                 name: "anonymous".to_string(),
                 ..Default::default()
@@ -198,6 +199,7 @@ impl RecorderInner {
 
     fn close_open(&mut self) {
         if let Some(p) = self.open.take() {
+            tlmm_telemetry::flight::phase_event(false, &p.name);
             self.finished.push(p);
         }
         if let Some(span) = self.open_span.take() {
@@ -216,6 +218,7 @@ impl TraceRecorder {
     pub fn begin_phase(&self, name: &str) {
         let mut g = self.inner.lock();
         g.close_open();
+        tlmm_telemetry::flight::phase_event(true, name);
         g.open = Some(PhaseRecord {
             name: name.to_string(),
             ..Default::default()
@@ -277,7 +280,11 @@ impl TraceRecorder {
     pub fn reset(&self) {
         let mut g = self.inner.lock();
         g.finished.clear();
-        g.open = None;
+        if let Some(p) = g.open.take() {
+            // Keep the flight recorder's phase events balanced even when
+            // the phase record itself is discarded.
+            tlmm_telemetry::flight::phase_event(false, &p.name);
+        }
         if let Some(span) = g.open_span.take() {
             span.finish();
         }

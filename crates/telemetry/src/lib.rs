@@ -54,6 +54,9 @@ mod metrics;
 mod report;
 mod span;
 
+pub mod critical;
+pub mod flight;
+pub mod perfetto;
 pub mod sink;
 
 pub use lane::{current_lane, with_lane};

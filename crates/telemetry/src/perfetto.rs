@@ -1,0 +1,311 @@
+//! Chrome/Perfetto `trace.json` export of a [`FlightTrace`].
+//!
+//! Emits the Trace Event Format (the JSON flavour `ui.perfetto.dev`
+//! and `chrome://tracing` both load): one *process* per resource class
+//! — pid 1 holds one track per worker lane, pid 2 one track per
+//! transfer slot — so a run reads as "what each lane did" stacked over
+//! "what each slot served". Mapping:
+//!
+//! * span / phase events → `B`/`E` duration events on the lane track;
+//! * each transfer → an `X` slice on the lane track covering its slot
+//!   wait (`issue → grant`) plus an `X` slice on the slot track
+//!   covering its occupancy (`grant → retire`), linked by an async
+//!   flow arrow (`s` → `f`) carrying the transfer id;
+//! * faults → instant events (`i`) on the lane track;
+//! * compute charges → a per-lane counter series (`C`).
+//!
+//! Virtual-domain timestamps map 1 unit → 1 µs (the format's native
+//! resolution); wall-domain nanoseconds map to fractional µs.
+
+use serde::Value;
+
+use crate::flight::{ClockDomain, EventKind, FlightTrace, NO_SLOT};
+
+/// pid hosting the per-lane tracks.
+const PID_LANES: u64 = 1;
+/// pid hosting the per-slot tracks.
+const PID_SLOTS: u64 = 2;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+/// Timestamp in (possibly fractional) microseconds.
+fn us(domain: ClockDomain, ts: u64) -> Value {
+    match domain {
+        ClockDomain::Virtual => Value::U64(ts),
+        ClockDomain::Wall => Value::F64(ts as f64 / 1000.0),
+    }
+}
+
+fn dur_us(domain: ClockDomain, from: u64, to: u64) -> Value {
+    us(domain, to.saturating_sub(from))
+}
+
+fn meta(pid: u64, tid: Option<u64>, what: &str, name: &str) -> Value {
+    let mut pairs = vec![("ph", s("M")), ("pid", Value::U64(pid)), ("name", s(what))];
+    if let Some(tid) = tid {
+        pairs.insert(2, ("tid", Value::U64(tid)));
+    }
+    pairs.push(("args", obj(vec![("name", s(name))])));
+    obj(pairs)
+}
+
+/// Render `trace` as a Chrome Trace Event Format JSON document.
+pub fn to_chrome_json(trace: &FlightTrace) -> String {
+    let d = trace.domain;
+    let mut events: Vec<Value> = Vec::new();
+
+    // Track naming.
+    events.push(meta(PID_LANES, None, "process_name", "worker lanes (p)"));
+    events.push(meta(PID_SLOTS, None, "process_name", "transfer slots (p')"));
+    for lane in &trace.lanes {
+        events.push(meta(
+            PID_LANES,
+            Some(lane.lane as u64),
+            "thread_name",
+            &format!("lane {}", lane.lane),
+        ));
+    }
+    for slot in 0..trace.transfer_slots {
+        events.push(meta(
+            PID_SLOTS,
+            Some(slot as u64),
+            "thread_name",
+            &format!("slot {slot}"),
+        ));
+    }
+
+    // Lane-track events: spans, phases, faults, compute counters.
+    for lane in &trace.lanes {
+        let tid = lane.lane as u64;
+        let mut compute_total = 0u64;
+        for ev in &lane.events {
+            match ev.kind {
+                EventKind::SpanBegin | EventKind::PhaseBegin => {
+                    events.push(obj(vec![
+                        ("ph", s("B")),
+                        ("pid", Value::U64(PID_LANES)),
+                        ("tid", Value::U64(tid)),
+                        ("ts", us(d, ev.ts)),
+                        ("name", s(trace.name(ev.name))),
+                        (
+                            "cat",
+                            s(if ev.kind == EventKind::PhaseBegin {
+                                "phase"
+                            } else {
+                                "span"
+                            }),
+                        ),
+                    ]));
+                }
+                EventKind::SpanEnd | EventKind::PhaseEnd => {
+                    events.push(obj(vec![
+                        ("ph", s("E")),
+                        ("pid", Value::U64(PID_LANES)),
+                        ("tid", Value::U64(tid)),
+                        ("ts", us(d, ev.ts)),
+                        ("name", s(trace.name(ev.name))),
+                    ]));
+                }
+                EventKind::Fault => {
+                    events.push(obj(vec![
+                        ("ph", s("i")),
+                        ("s", s("t")),
+                        ("pid", Value::U64(PID_LANES)),
+                        ("tid", Value::U64(tid)),
+                        ("ts", us(d, ev.ts)),
+                        ("name", s(&format!("fault: {}", trace.name(ev.name)))),
+                        ("cat", s("fault")),
+                    ]));
+                }
+                EventKind::Compute => {
+                    compute_total += ev.bytes;
+                    events.push(obj(vec![
+                        ("ph", s("C")),
+                        ("pid", Value::U64(PID_LANES)),
+                        ("tid", Value::U64(tid)),
+                        ("ts", us(d, ev.ts)),
+                        ("name", s(&format!("compute_ops lane {}", lane.lane))),
+                        ("args", obj(vec![("ops", Value::U64(compute_total))])),
+                    ]));
+                }
+                EventKind::Issue | EventKind::Grant | EventKind::Retire => {}
+            }
+        }
+    }
+
+    // Transfers: wait slice on the lane, occupancy slice on the slot,
+    // flow arrow between them.
+    for t in trace.transfers() {
+        let lane_tid = t.lane as u64;
+        let channel = if t.far() { "far" } else { "near" };
+        let rw = if t.flags & crate::flight::FLAG_WRITE != 0 {
+            "wr"
+        } else {
+            "rd"
+        };
+        let retry = if t.retry() { " !retry" } else { "" };
+        let label = format!("{channel} {rw} {}B #{}{retry}", t.bytes, t.id);
+
+        // Issue→grant on the lane track (zero-length when ungated).
+        events.push(obj(vec![
+            ("ph", s("X")),
+            ("pid", Value::U64(PID_LANES)),
+            ("tid", Value::U64(lane_tid)),
+            ("ts", us(d, t.issue)),
+            ("dur", dur_us(d, t.issue, t.grant)),
+            (
+                "name",
+                s(&if t.grant > t.issue {
+                    format!("slot_wait #{}", t.id)
+                } else {
+                    format!("issue #{}", t.id)
+                }),
+            ),
+            (
+                "cat",
+                s(if t.grant > t.issue {
+                    "slot_wait"
+                } else {
+                    "issue"
+                }),
+            ),
+            (
+                "args",
+                obj(vec![
+                    ("bytes", Value::U64(t.bytes)),
+                    ("transfer", Value::U64(t.id)),
+                ]),
+            ),
+        ]));
+
+        if t.slot != NO_SLOT {
+            events.push(obj(vec![
+                ("ph", s("X")),
+                ("pid", Value::U64(PID_SLOTS)),
+                ("tid", Value::U64(t.slot as u64)),
+                ("ts", us(d, t.grant)),
+                ("dur", dur_us(d, t.grant, t.retire)),
+                ("name", s(&label)),
+                ("cat", s(channel)),
+                (
+                    "args",
+                    obj(vec![
+                        ("bytes", Value::U64(t.bytes)),
+                        ("lane", Value::U64(lane_tid)),
+                        ("wait", Value::U64(t.grant - t.issue)),
+                    ]),
+                ),
+            ]));
+            // Async arrow: issue point on the lane → grant on the slot.
+            events.push(obj(vec![
+                ("ph", s("s")),
+                ("pid", Value::U64(PID_LANES)),
+                ("tid", Value::U64(lane_tid)),
+                ("ts", us(d, t.issue)),
+                ("id", Value::U64(t.id)),
+                ("name", s("xfer")),
+                ("cat", s("xfer")),
+            ]));
+            events.push(obj(vec![
+                ("ph", s("f")),
+                ("bp", s("e")),
+                ("pid", Value::U64(PID_SLOTS)),
+                ("tid", Value::U64(t.slot as u64)),
+                ("ts", us(d, t.grant)),
+                ("id", Value::U64(t.id)),
+                ("name", s("xfer")),
+                ("cat", s("xfer")),
+            ]));
+        }
+    }
+
+    let doc = obj(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", s("ms")),
+        (
+            "otherData",
+            obj(vec![
+                ("schema_version", Value::U64(trace.schema_version as u64)),
+                (
+                    "clock_domain",
+                    s(match d {
+                        ClockDomain::Virtual => "virtual (1 unit = 1us)",
+                        ClockDomain::Wall => "wall (ns)",
+                    }),
+                ),
+                ("workers", Value::U64(trace.workers as u64)),
+                ("transfer_slots", Value::U64(trace.transfer_slots as u64)),
+                ("seed", Value::U64(trace.seed)),
+            ]),
+        ),
+    ]);
+    serde::json::value_to_string(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::{
+        install, test_guard, transfer_event, uninstall, FlightConfig, TransferTiming, FLAG_FAR,
+    };
+
+    #[test]
+    fn export_is_wellformed_and_carries_arrows() {
+        let _g = test_guard();
+        let _ = install(FlightConfig::virtual_time(2, 1, 3));
+        crate::with_lane(0, || {
+            crate::flight::span_event(true, "t.pf.sort");
+            transfer_event(
+                4096,
+                FLAG_FAR,
+                Some(TransferTiming {
+                    slot: 0,
+                    issue: 0,
+                    grant: 0,
+                    retire: 4096,
+                }),
+            );
+            crate::flight::span_event(false, "t.pf.sort");
+        });
+        crate::with_lane(1, || {
+            transfer_event(
+                512,
+                FLAG_FAR,
+                Some(TransferTiming {
+                    slot: 0,
+                    issue: 0,
+                    grant: 4096,
+                    retire: 4608,
+                }),
+            );
+        });
+        let trace = uninstall().expect("installed");
+        let json = to_chrome_json(&trace);
+        // Well-formed JSON (the vendored parser round-trips it).
+        let doc = serde::json::parse_value(&json).expect("valid JSON");
+        let events = doc.get("traceEvents").expect("traceEvents");
+        let Value::Seq(events) = events else {
+            panic!("traceEvents must be an array")
+        };
+        let phase = |p: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::as_str) == Some(p))
+                .count()
+        };
+        assert_eq!(phase("s"), 2, "one flow start per slotted transfer");
+        assert_eq!(phase("f"), 2, "one flow finish per slotted transfer");
+        assert_eq!(phase("B"), 1);
+        assert_eq!(phase("E"), 1);
+        assert!(phase("X") >= 3, "wait + occupancy slices");
+        assert!(phase("M") >= 4, "process + thread names");
+        // The contended transfer shows a real wait slice.
+        assert!(json.contains("slot_wait #2"));
+    }
+}

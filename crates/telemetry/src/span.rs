@@ -65,16 +65,26 @@ fn open(name: &str, set_current: bool) -> Span {
         }
         parent
     });
+    // RAII spans mirror into the flight recorder (begin/end stay on one
+    // lane, so per-lane nesting is strict); detached spans don't — their
+    // holders (the phase recorder) emit richer Phase* events instead.
+    if set_current {
+        crate::flight::span_event(true, name);
+    }
     Span {
         id,
         parent,
         name: name.to_string(),
         start_ns: now_ns(),
         lane: current_lane().map_or(u64::MAX, |l| l as u64),
+        flight: set_current,
     }
 }
 
 fn finish(span: &mut Span) {
+    if span.flight {
+        crate::flight::span_event(false, &span.name);
+    }
     let record = SpanRecord {
         id: span.id,
         parent: span.parent,
@@ -96,6 +106,8 @@ pub struct Span {
     name: String,
     start_ns: u64,
     lane: u64,
+    /// Mirror begin/end into the flight recorder (RAII spans only).
+    flight: bool,
 }
 
 impl Span {
