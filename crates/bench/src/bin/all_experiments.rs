@@ -23,6 +23,7 @@ const BINS: &[&str] = &[
     "fig_parallel",
     "fig_energy",
     "fig_gemm",
+    "fig_crossover",
     "ablation",
     "telemetry_overhead",
     "tlmm_profile",

@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! cargo run --release -p tlmm-bench --bin tlmm_profile -- \
-//!     [--algo nmsort|dma|baseline] [--n N] [--lanes L] [--chunk C]
+//!     [--algo nmsort|dma|baseline|spms|squaresort] [--n N] [--lanes L] [--chunk C]
 //!     [--seed S] [--workers P] [--slots P'] [--exec-seed E]
 //!     [--fault-seed F] [--name NAME]
 //! ```
@@ -26,7 +26,7 @@
 //!
 //! [`Bottleneck`]: tlmm_memsim::stats::Bottleneck
 
-use tlmm_bench::{artifact, outln, run_sort_with_exec, SortAlgo, SortSpec};
+use tlmm_bench::{artifact, outln, run_sort_with_exec, Engine, SortAlgo, SortSpec};
 use tlmm_memsim::crosscheck::cross_check;
 use tlmm_memsim::{simulate_flow, MachineConfig};
 use tlmm_scratchpad::ExecConfig;
@@ -76,15 +76,11 @@ fn parse_args() -> Args {
         });
         match flag {
             "--algo" => {
-                a.algo = match val.as_str() {
-                    "nmsort" => SortAlgo::NmSort,
-                    "dma" => SortAlgo::NmSortDma,
-                    "baseline" => SortAlgo::Baseline,
-                    other => {
-                        eprintln!("unknown algo {other:?} (nmsort|dma|baseline)");
-                        std::process::exit(2);
-                    }
-                }
+                a.algo = Engine::parse(val).unwrap_or_else(|| {
+                    let names: Vec<&str> = Engine::ALL.iter().map(|e| e.name()).collect();
+                    eprintln!("unknown algo {val:?} ({})", names.join("|"));
+                    std::process::exit(2);
+                })
             }
             "--n" => a.n = val.parse().expect("--n"),
             "--lanes" => a.lanes = val.parse().expect("--lanes"),
@@ -111,10 +107,10 @@ fn main() {
         algo: args.algo,
         n: args.n,
         lanes: args.lanes,
-        chunk_elems: if args.algo == SortAlgo::Baseline {
-            None
-        } else {
+        chunk_elems: if args.algo.uses_chunks() {
             args.chunk
+        } else {
+            None
         },
         seed: args.seed,
         fault_seed: args.fault_seed,

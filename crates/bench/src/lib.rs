@@ -12,6 +12,7 @@
 use serde::{Deserialize, Serialize};
 use tlmm_core::baseline::{baseline_sort, BaselineConfig};
 use tlmm_core::nmsort::{nmsort, DegradationStats, NmSortConfig};
+use tlmm_core::oblivious::{spms_sort, squaresort_sort, ObliviousConfig};
 use tlmm_core::SortError;
 use tlmm_model::{CostSnapshot, ScratchpadParams};
 use tlmm_scratchpad::{ExecConfig, ExecMode, ExecReport, FaultPlan, PhaseTrace, TwoLevel};
@@ -162,15 +163,65 @@ pub fn check_sorted(v: &[u64]) -> Result<(), HarnessError> {
     }
 }
 
-/// Which algorithm [`run_sort`] executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SortAlgo {
+/// Which engine [`run_sort`] executes — the single registry every bench
+/// binary dispatches through. Adding a sorter means adding a variant here,
+/// one [`Engine::name`]/[`Engine::parse`] row, and one match arm in the
+/// runner; no binary carries its own algo-name strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
     /// NMsort with blocking ingest transfers.
     NmSort,
     /// NMsort with DMA-overlapped ingest (the §VII improvement).
     NmSortDma,
     /// The GNU-style far-memory multiway mergesort baseline.
     Baseline,
+    /// SPMS (Cole–Ramachandran) — cache-oblivious sample–partition–merge.
+    Spms,
+    /// SquareSort (Koucký–Matějka) — cache-oblivious √n-block recursion.
+    SquareSort,
+}
+
+/// Former name of [`Engine`]; kept so existing call sites (and muscle
+/// memory) keep compiling — type-alias enum variants are path-compatible.
+pub type SortAlgo = Engine;
+
+impl Engine {
+    /// Every registered engine, in display order.
+    pub const ALL: [Engine; 5] = [
+        Engine::NmSort,
+        Engine::NmSortDma,
+        Engine::Baseline,
+        Engine::Spms,
+        Engine::SquareSort,
+    ];
+
+    /// Canonical lowercase name (artifact keys, `--algo` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::NmSort => "nmsort",
+            Engine::NmSortDma => "dma",
+            Engine::Baseline => "baseline",
+            Engine::Spms => "spms",
+            Engine::SquareSort => "squaresort",
+        }
+    }
+
+    /// Inverse of [`Engine::name`] (case-sensitive, exact).
+    pub fn parse(s: &str) -> Option<Engine> {
+        Engine::ALL.into_iter().find(|e| e.name() == s)
+    }
+
+    /// Does the engine read `SortSpec::chunk_elems`? Only the aware NMsort
+    /// variants chunk; the baseline and the oblivious engines ignore it.
+    pub fn uses_chunks(self) -> bool {
+        matches!(self, Engine::NmSort | Engine::NmSortDma)
+    }
+
+    /// Is the engine scratchpad-*oblivious* (control flow independent of
+    /// `M` and `Z`)? The `fig_crossover` sweep partitions on this.
+    pub fn is_oblivious(self) -> bool {
+        matches!(self, Engine::Spms | Engine::SquareSort)
+    }
 }
 
 /// Parameters for one measured sort run.
@@ -220,7 +271,7 @@ pub fn run_sort_with_plan(
     spec: &SortSpec,
     plan: Option<FaultPlan>,
 ) -> Result<SortRun, HarnessError> {
-    run_sort_full(spec, plan, ExecConfig::from_env())
+    run_sort_full(spec, plan, ExecConfig::from_env(), experiment_params(4.0))
 }
 
 /// Like [`run_sort`] but under an explicit executor configuration — the
@@ -233,15 +284,27 @@ pub fn run_sort_with_exec(
         .fault_seed
         .map(FaultPlan::seeded)
         .or_else(FaultPlan::from_env);
-    run_sort_full(spec, plan, exec)
+    run_sort_full(spec, plan, exec, experiment_params(4.0))
+}
+
+/// Like [`run_sort`] but on an explicitly sized [`TwoLevel`] — the
+/// `fig_crossover` sweep varies the near-memory size per cell through this
+/// (every other runner pins the paper's experiment-scale parameters).
+pub fn run_sort_on(spec: &SortSpec, params: ScratchpadParams) -> Result<SortRun, HarnessError> {
+    let plan = spec
+        .fault_seed
+        .map(FaultPlan::seeded)
+        .or_else(FaultPlan::from_env);
+    run_sort_full(spec, plan, ExecConfig::from_env(), params)
 }
 
 fn run_sort_full(
     spec: &SortSpec,
     plan: Option<FaultPlan>,
     exec: Option<ExecConfig>,
+    params: ScratchpadParams,
 ) -> Result<SortRun, HarnessError> {
-    let tl = TwoLevel::new(experiment_params(4.0));
+    let tl = TwoLevel::new(params);
     // A deterministic executor owns the schedule: host threads racing the
     // virtual arbiter would make the recorded waits order-dependent, so
     // rayon is switched off and stage parallelism is the executor's.
@@ -282,6 +345,22 @@ fn run_sort_full(
                 baseline_sort(&tl, input, &cfg)?.output,
                 DegradationStats::default(),
             )
+        }
+        SortAlgo::Spms | SortAlgo::SquareSort => {
+            // The oblivious engines take no chunk bound — their recursion
+            // shape depends only on n. Fault resilience is re-streaming
+            // (charged in full), not a ladder, so degradation stats stay
+            // with the injector counts harvested below.
+            let cfg = ObliviousConfig {
+                lanes: spec.lanes,
+                parallel: !deterministic_exec,
+                ..Default::default()
+            };
+            let (output, _report) = match spec.algo {
+                SortAlgo::Spms => spms_sort(&tl, input, &cfg)?,
+                _ => squaresort_sort(&tl, input, &cfg)?,
+            };
+            (output, DegradationStats::default())
         }
     };
     check_sorted(output.as_slice_uncharged())?;
@@ -367,6 +446,40 @@ mod tests {
         // its far traffic is the 4-pass minimum — NMsort's should be close
         // (the Table-I gap appears at paper scale; see tests/end_to_end.rs).
         assert!(nm.ledger.far_bytes < 2 * base.ledger.far_bytes);
+    }
+
+    #[test]
+    fn engine_registry_round_trips() {
+        for e in Engine::ALL {
+            assert_eq!(Engine::parse(e.name()), Some(e));
+        }
+        assert_eq!(Engine::parse("quantum"), None);
+        assert!(Engine::NmSort.uses_chunks() && !Engine::Spms.uses_chunks());
+        assert!(Engine::Spms.is_oblivious() && !Engine::Baseline.is_oblivious());
+    }
+
+    #[test]
+    fn oblivious_engines_route_through_the_harness() {
+        for algo in [Engine::Spms, Engine::SquareSort] {
+            let spec = SortSpec {
+                algo,
+                n: 50_000,
+                lanes: 8,
+                chunk_elems: None,
+                seed: 2,
+                fault_seed: None,
+            };
+            let run = run_sort(&spec).expect("oblivious run");
+            assert!(run.ledger.far_bytes >= 2 * 50_000 * 8, "{algo:?}");
+            assert!(run.trace.phases.iter().any(|p| p.name.contains("sort")));
+            // Same spec under a fault plan still sorts, never cheaper.
+            let faulted = run_sort(&SortSpec {
+                fault_seed: Some(5),
+                ..spec
+            })
+            .expect("faulted oblivious run degrades, not fails");
+            assert!(faulted.ledger.far_bytes >= run.ledger.far_bytes, "{algo:?}");
+        }
     }
 
     #[test]

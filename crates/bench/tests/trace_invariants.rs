@@ -43,7 +43,7 @@ fn traced_run(
 fn arb_spec() -> impl Strategy<Value = (SortSpec, usize, usize, u64)> {
     (
         (
-            0u8..3,           // algo selector
+            0u8..5,           // algo selector
             2_000u64..12_000, // n
             1u64..6,          // lanes
             0u64..1_000,      // workload seed
@@ -60,7 +60,9 @@ fn arb_spec() -> impl Strategy<Value = (SortSpec, usize, usize, u64)> {
                 let algo = match algo {
                     0 => SortAlgo::NmSort,
                     1 => SortAlgo::NmSortDma,
-                    _ => SortAlgo::Baseline,
+                    2 => SortAlgo::Baseline,
+                    3 => SortAlgo::Spms,
+                    _ => SortAlgo::SquareSort,
                 };
                 let n = n as usize;
                 (
@@ -68,10 +70,10 @@ fn arb_spec() -> impl Strategy<Value = (SortSpec, usize, usize, u64)> {
                         algo,
                         n,
                         lanes: lanes as usize,
-                        chunk_elems: if algo == SortAlgo::Baseline {
-                            None
-                        } else {
+                        chunk_elems: if algo.uses_chunks() {
                             Some((n / 3).max(512))
+                        } else {
+                            None
                         },
                         seed,
                         fault_seed: if fault == 0 { None } else { Some(fault) },
@@ -155,6 +157,39 @@ proptest! {
         let (_, t2) = traced_run(&spec, workers, slots, exec_seed);
         prop_assert_eq!(&t1, &t2);
         prop_assert_eq!(perfetto::to_chrome_json(&t1), perfetto::to_chrome_json(&t2));
+    }
+}
+
+/// The oblivious engines charge exclusively through the shared `TwoLevel`
+/// API, so the recorder must see every one of their bytes with zero hooks
+/// of their own: traced transfer bytes equal the ledger exactly, clean and
+/// faulted, for both engines.
+#[test]
+fn oblivious_trace_bytes_equal_ledger() {
+    let _g = guard();
+    for algo in [SortAlgo::Spms, SortAlgo::SquareSort] {
+        for fault_seed in [None, Some(23u64)] {
+            let spec = SortSpec {
+                algo,
+                n: 20_000,
+                lanes: 4,
+                chunk_elems: None,
+                seed: 9,
+                fault_seed,
+            };
+            let (run, trace) = traced_run(&spec, 4, 2, 11);
+            assert_eq!(trace.dropped(), 0, "{algo:?}: ring overflowed");
+            assert_eq!(
+                trace.transfer_bytes(|t| t.far()),
+                run.ledger.far_bytes,
+                "{algo:?} fault={fault_seed:?}: far bytes"
+            );
+            assert_eq!(
+                trace.transfer_bytes(|t| !t.far()),
+                run.ledger.near_bytes,
+                "{algo:?} fault={fault_seed:?}: near bytes"
+            );
+        }
     }
 }
 

@@ -14,6 +14,11 @@
 //! * [`extsort`] — the external multiway mergesort engine both sorts build
 //!   on (run formation + loser-tree merge passes with exact transfer
 //!   accounting), usable against either memory level.
+//! * [`oblivious`] — the cache-*oblivious* opponents: SPMS
+//!   (Cole–Ramachandran sample–partition–merge) and SquareSort
+//!   (Koucký–Matějka √n-block recursion), whose control flow never reads a
+//!   machine parameter; the residency adapter charges their passes to the
+//!   correct level.
 //! * [`losertree`] — tournament-tree k-way merging (branchless kernel).
 //! * [`kernels`] — the host wall-clock kernel layer: MSD hybrid radix run
 //!   formation for [`kernels::RadixKey`] types and the pre-kernel reference
@@ -48,6 +53,7 @@ pub mod extsort;
 pub mod kernels;
 pub mod losertree;
 pub mod nmsort;
+pub mod oblivious;
 pub mod par;
 pub mod parsort;
 pub mod pmerge;
@@ -59,6 +65,7 @@ pub mod seqsort;
 pub use baseline::{baseline_sort, BaselineConfig};
 pub use kernels::{radix_sort, sort_kernel, RadixKey};
 pub use nmsort::{nmsort, ChunkSorter, DegradationStats, NmSortConfig, NmSortReport};
+pub use oblivious::{spms_sort, squaresort_sort, ObliviousConfig, ObliviousReport};
 pub use parsort::{par_scratchpad_sort, ParSortConfig};
 pub use select::{select_kth, SelectConfig};
 pub use seqsort::{seq_scratchpad_sort, SeqSortConfig};

@@ -1,0 +1,363 @@
+//! SPMS — Sample, Partition, and Merge Sort (Cole–Ramachandran).
+//!
+//! The deterministic resource-oblivious sort: split the input into ~√n
+//! groups, sort each recursively, draw a *strided* sample from every sorted
+//! group (deterministic — no RNG anywhere), merge the per-group sample runs
+//! into one sorted sample, pick √n−1 evenly spaced pivots from it, binary-
+//! search every group against the pivots, and finish each of the √n buckets
+//! with a single k-way loser-tree merge of its (already sorted) group
+//! segments. Partitioning and merging interleave: the bucket merge *is* the
+//! completion step, so one recursion level costs exactly two streaming
+//! passes over the data (bucket merges into scratch, charged copy back)
+//! plus the lower-order sample traffic.
+//!
+//! Control flow depends only on `n`. The machine's [`super::Ctx`] decides
+//! which memory level each pass is charged against and charges the far
+//! ingest/writeback boundary when a subtree becomes scratchpad-resident —
+//! see the module docs of [`super`] for the residency rationale.
+
+use super::{ceil_sqrt, Ctx, ObliviousConfig, ObliviousReport};
+use crate::extsort::RegionLevel;
+use crate::par::{charge_compute_striped, charge_io_striped, charged_copy, CopyKind};
+use crate::{ceil_lg, SortElem, SortError};
+use rayon::prelude::*;
+use tlmm_scratchpad::trace::{current_lane, with_lane};
+use tlmm_scratchpad::{Dir, FarArray, TwoLevel};
+
+/// Sort `input` with SPMS. Returns the sorted array and a summary of the
+/// work performed. Fails fast on `cfg.lanes == 0`.
+pub fn spms_sort<T: SortElem>(
+    tl: &TwoLevel,
+    input: FarArray<T>,
+    cfg: &ObliviousConfig,
+) -> Result<(FarArray<T>, ObliviousReport), SortError> {
+    super::validate(cfg)?;
+    let _phase = tl.phase("spms.sort");
+    let mut data = input.into_vec();
+    let mut scratch = vec![T::default(); data.len()];
+    let cx = Ctx::new::<T>(tl, cfg);
+    sort_rec(&cx, &mut data, &mut scratch, cfg.lanes, true, 1);
+    Ok((tl.far_from_vec(data), cx.report()))
+}
+
+/// One SPMS recursion node over `data` (result left in `data`, sorted).
+/// `parent_far` is true when the enclosing segment streams against far
+/// memory — the node charges the residency boundary if it is the topmost
+/// scratchpad-fitting segment on its root path.
+fn sort_rec<T: SortElem>(
+    cx: &Ctx<'_>,
+    data: &mut [T],
+    scratch: &mut [T],
+    lanes: usize,
+    parent_far: bool,
+    depth: u32,
+) {
+    let n = data.len();
+    cx.note_depth(depth);
+    if n <= 1 {
+        return;
+    }
+    let level = cx.level(n);
+    let entered = parent_far && level == RegionLevel::Near;
+    if entered {
+        cx.ingest::<T>(n, lanes);
+    }
+    if n <= cx.base_elems {
+        cx.base_case(data, level, lanes);
+    } else {
+        node(cx, data, scratch, lanes, level, depth);
+    }
+    if entered {
+        cx.writeback::<T>(n, lanes);
+    }
+}
+
+fn node<T: SortElem>(
+    cx: &Ctx<'_>,
+    data: &mut [T],
+    scratch: &mut [T],
+    lanes: usize,
+    level: RegionLevel,
+    depth: u32,
+) {
+    let n = data.len();
+    let elem = std::mem::size_of::<T>();
+    // ~√n groups of ~√n elements; the last may be short.
+    let k = ceil_sqrt(n);
+    let group = n.div_ceil(k);
+    let n_groups = n.div_ceil(group);
+    let child_far = level == RegionLevel::Far;
+
+    // ---- 1. Recursively sort each group ------------------------------
+    // Groups distribute round-robin over the lanes (each child charges on
+    // one lane when there are enough groups to go around, otherwise the
+    // children share the lane budget).
+    let child_lanes = (lanes / n_groups).max(1);
+    let base = current_lane();
+    let sort_group = |(i, (d, s)): (usize, (&mut [T], &mut [T]))| {
+        with_lane(base + (i * child_lanes) % lanes, || {
+            sort_rec(cx, d, s, child_lanes, child_far, depth + 1);
+        })
+    };
+    if cx.parallel {
+        data.par_chunks_mut(group)
+            .zip(scratch.par_chunks_mut(group))
+            .enumerate()
+            .for_each(sort_group);
+    } else {
+        data.chunks_mut(group)
+            .zip(scratch.chunks_mut(group))
+            .enumerate()
+            .for_each(sort_group);
+    }
+
+    // ---- 2. Deterministic strided sample + pivots --------------------
+    // Every ⌈√g⌉-th element of every sorted group: ~n^(3/4) elements in
+    // ~√n already-sorted runs. Gathering is strided, so it is charged as
+    // random block touches, not a streamed pass.
+    let stride = ceil_sqrt(group).max(1);
+    let sample_runs: Vec<Vec<T>> = data
+        .chunks(group)
+        .map(|g| g.iter().step_by(stride).copied().collect())
+        .collect();
+    let sample_len: usize = sample_runs.iter().map(Vec::len).sum();
+    let sample_bytes = (sample_len * elem) as u64;
+    match level {
+        RegionLevel::Far => cx
+            .tl
+            .charge_far_random(Dir::Read, sample_len as u64, sample_bytes),
+        RegionLevel::Near => cx
+            .tl
+            .charge_near_random(Dir::Read, sample_len as u64, sample_bytes),
+    }
+    // Merge the sorted sample runs into one sorted sample: one small
+    // streaming pass over the sample.
+    let mut sample = vec![T::default(); sample_len];
+    let run_refs: Vec<&[T]> = sample_runs.iter().map(Vec::as_slice).collect();
+    cx.preflight_stream(level, sample_bytes, lanes);
+    charge_io_striped(cx.tl, level, Dir::Read, sample_bytes, lanes);
+    let sample_cmps = crate::losertree::merge_into_slice(&run_refs, &mut sample);
+    charge_compute_striped(cx.tl, sample_cmps, lanes);
+    charge_io_striped(cx.tl, level, Dir::Write, sample_bytes, lanes);
+    cx.add_comparisons(sample_cmps);
+    // √n−1 evenly spaced pivots carve √n buckets.
+    let pivots: Vec<T> = (1..n_groups)
+        .map(|j| sample[j * sample_len / n_groups])
+        .collect();
+
+    // ---- 3. Partition: binary-search every group against the pivots --
+    // Boundary metadata is cache-resident (O(√n·√n) = O(n) usize, but each
+    // group's row is computed from its own sorted slice in cache); the
+    // search comparisons are charged as compute.
+    let groups: Vec<&[T]> = data.chunks(group).collect();
+    let mut bounds: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
+    for g in &groups {
+        let mut row = Vec::with_capacity(pivots.len() + 2);
+        row.push(0);
+        for p in &pivots {
+            row.push(g.partition_point(|x| x < p));
+        }
+        row.push(g.len());
+        // partition_point can regress across equal pivots; make the row
+        // monotone so segments never overlap.
+        for i in 1..row.len() {
+            if row[i] < row[i - 1] {
+                row[i] = row[i - 1];
+            }
+        }
+        bounds.push(row);
+    }
+    let search_cmps = (groups.len() * pivots.len()) as u64 * ceil_lg(group);
+    charge_compute_striped(cx.tl, search_cmps, lanes);
+    cx.add_comparisons(search_cmps);
+
+    // ---- 4. Bucket merges: one k-way merge per bucket into scratch ----
+    // Reading the group segments and writing the merged buckets is one full
+    // streaming pass over the node. Buckets round-robin over lanes.
+    let n_buckets = n_groups;
+    let bucket_len = |b: usize| -> usize {
+        groups
+            .iter()
+            .zip(&bounds)
+            .map(|(_, row)| row[b + 1] - row[b])
+            .sum()
+    };
+    let mut bucket_slices: Vec<&mut [T]> = Vec::with_capacity(n_buckets);
+    {
+        let mut rest: &mut [T] = scratch;
+        for b in 0..n_buckets {
+            let (out, tail) = rest.split_at_mut(bucket_len(b));
+            bucket_slices.push(out);
+            rest = tail;
+        }
+    }
+    let groups_ref = &groups;
+    let bounds_ref = &bounds;
+    let merge_bucket = |(b, out): (usize, &mut [T])| {
+        with_lane(base + b % lanes, || {
+            let segs: Vec<&[T]> = groups_ref
+                .iter()
+                .zip(bounds_ref)
+                .map(|(g, row)| &g[row[b]..row[b + 1]])
+                .collect();
+            let bytes = std::mem::size_of_val(out) as u64;
+            cx.preflight_stream(level, bytes, 1);
+            charge_io_striped(cx.tl, level, Dir::Read, bytes, 1);
+            let cmps = crate::losertree::merge_into_slice(&segs, out);
+            cx.tl.charge_compute(cmps);
+            charge_io_striped(cx.tl, level, Dir::Write, bytes, 1);
+            cx.add_comparisons(cmps);
+        })
+    };
+    if cx.parallel {
+        bucket_slices
+            .into_par_iter()
+            .enumerate()
+            .for_each(merge_bucket);
+    } else {
+        bucket_slices.into_iter().enumerate().for_each(merge_bucket);
+    }
+    cx.add_passes(1);
+
+    // ---- 5. Copy the concatenated buckets back: the second pass -------
+    let kind = match level {
+        RegionLevel::Near => CopyKind::NearToNear,
+        RegionLevel::Far => CopyKind::FarToFar,
+    };
+    cx.preflight_stream(level, std::mem::size_of_val(data) as u64, lanes);
+    charged_copy(cx.tl, kind, &scratch[..n], data, lanes, cx.parallel);
+    cx.add_passes(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tlmm_model::ScratchpadParams;
+    use tlmm_scratchpad::FaultPlan;
+
+    fn tl() -> TwoLevel {
+        // B=64, rho=4, M=1MiB, Z=16KiB: near cap = 32Ki u64 elements.
+        TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
+    }
+
+    fn seq_cfg() -> ObliviousConfig {
+        ObliviousConfig {
+            lanes: 4,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    fn run(v: Vec<u64>, cfg: &ObliviousConfig) -> (Vec<u64>, ObliviousReport) {
+        let tl = tl();
+        let (out, rep) = spms_sort(&tl, tl.far_from_vec(v), cfg).unwrap();
+        (out.into_vec(), rep)
+    }
+
+    #[test]
+    fn sorts_various_sizes_and_shapes() {
+        for n in [0usize, 1, 2, 3, 17, 1024, 1025, 4096, 40_000, 120_000] {
+            let v = random_vec(n, n as u64);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            let (got, _) = run(v, &seq_cfg());
+            assert_eq!(got, expect, "n={n}");
+        }
+        for v in [
+            vec![7u64; 10_000],
+            (0..10_000u64).collect(),
+            (0..10_000u64).rev().collect(),
+        ] {
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            let (got, _) = run(v, &seq_cfg());
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn near_resident_input_pays_exactly_one_far_roundtrip() {
+        // 20_000 u64 = 160 KB ≤ M/4: the whole sort is one far ingest and
+        // one far writeback; every working pass is near traffic.
+        let tl = tl();
+        let n = 20_000usize;
+        let (out, rep) = spms_sort(&tl, tl.far_from_vec(random_vec(n, 9)), &seq_cfg()).unwrap();
+        assert!(out.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+        let s = tl.ledger().snapshot();
+        assert_eq!(s.far_bytes, 2 * (n as u64) * 8, "ingest + writeback only");
+        assert!(s.near_bytes > s.far_bytes, "working passes must be near");
+        assert_eq!(rep.resident_subtrees, 1, "root is the resident subtree");
+    }
+
+    #[test]
+    fn far_input_streams_more_than_a_roundtrip() {
+        // 200_000 u64 = 1.6 MB > M/4: the root streams against far memory.
+        let tl = tl();
+        let n = 200_000usize;
+        let (out, rep) = spms_sort(&tl, tl.far_from_vec(random_vec(n, 10)), &seq_cfg()).unwrap();
+        assert!(out.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+        let s = tl.ledger().snapshot();
+        assert!(
+            s.far_bytes > 4 * (n as u64) * 8,
+            "root passes + child ingests must exceed two far roundtrips: {}",
+            s.far_bytes
+        );
+        assert!(rep.resident_subtrees > 1);
+        assert!(rep.max_depth >= 2);
+    }
+
+    #[test]
+    fn parallel_and_sequential_charge_identically() {
+        let snap = |parallel: bool| {
+            let tl = tl();
+            let cfg = ObliviousConfig {
+                lanes: 4,
+                parallel,
+                ..Default::default()
+            };
+            let (out, _) = spms_sort(&tl, tl.far_from_vec(random_vec(60_000, 3)), &cfg).unwrap();
+            assert!(out.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+            tl.ledger().snapshot()
+        };
+        assert_eq!(snap(true), snap(false));
+    }
+
+    #[test]
+    fn faults_degrade_but_never_discount() {
+        let run_seeded = |fault: Option<u64>| {
+            let tl = tl();
+            if let Some(seed) = fault {
+                tl.install_fault_plan(FaultPlan::seeded(seed));
+            }
+            let (out, rep) =
+                spms_sort(&tl, tl.far_from_vec(random_vec(50_000, 4)), &seq_cfg()).unwrap();
+            assert!(out.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
+            (tl.ledger().snapshot(), rep)
+        };
+        let (clean, _) = run_seeded(None);
+        let (faulted, rep) = run_seeded(Some(11));
+        assert!(faulted.far_bytes >= clean.far_bytes);
+        assert!(faulted.near_bytes >= clean.near_bytes);
+        assert!(rep.restreams > 0, "seed 11 must fire at least one fault");
+    }
+
+    #[test]
+    fn zero_lanes_rejected_at_the_edge() {
+        let tl = tl();
+        let cfg = ObliviousConfig {
+            lanes: 0,
+            ..Default::default()
+        };
+        match spms_sort(&tl, tl.far_from_vec(vec![1u64, 0]), &cfg) {
+            Err(SortError::BadConfig { .. }) => {}
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
+    }
+}

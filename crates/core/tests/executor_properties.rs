@@ -12,6 +12,7 @@
 
 use proptest::prelude::*;
 use tlmm_core::nmsort::{nmsort, NmSortConfig};
+use tlmm_core::oblivious::{spms_sort, squaresort_sort, ObliviousConfig};
 use tlmm_core::parsort::{par_scratchpad_sort, ParSortConfig};
 use tlmm_model::{CostSnapshot, ScratchpadParams};
 use tlmm_scratchpad::{ExecConfig, FaultPlan, TwoLevel};
@@ -90,6 +91,37 @@ fn parsort_snapshot(
     (out.as_slice_uncharged().to_vec(), tl.ledger().snapshot())
 }
 
+/// One oblivious run (SPMS or SquareSort) under an optional executor and
+/// fault plan — the cache-oblivious engines face the same two laws through
+/// the exact same charging API, with zero hooks of their own.
+fn oblivious_snapshot(
+    spms: bool,
+    input: &[u64],
+    lanes: usize,
+    exec: Option<ExecConfig>,
+    fault_seed: Option<u64>,
+) -> (Vec<u64>, CostSnapshot) {
+    let tl = tl();
+    if let Some(cfg) = exec {
+        tl.install_executor(cfg).unwrap();
+    }
+    if let Some(fs) = fault_seed {
+        tl.install_fault_plan(FaultPlan::seeded(fs));
+    }
+    let cfg = ObliviousConfig {
+        lanes,
+        parallel: false,
+        ..Default::default()
+    };
+    let arr = tl.far_from_vec(input.to_vec());
+    let (out, _report) = if spms {
+        spms_sort(&tl, arr, &cfg).unwrap()
+    } else {
+        squaresort_sort(&tl, arr, &cfg).unwrap()
+    };
+    (out.as_slice_uncharged().to_vec(), tl.ledger().snapshot())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -139,6 +171,58 @@ proptest! {
         let (oracle_out, oracle_snap) = parsort_snapshot(&input, lanes, None, fault_seed);
         let exec = ExecConfig::deterministic(workers, slots, exec_seed);
         let (out, snap) = parsort_snapshot(&input, lanes, Some(exec), fault_seed);
+
+        prop_assert_eq!(&oracle_out, &expect);
+        prop_assert_eq!(&out, &expect);
+        prop_assert_eq!(snap, oracle_snap);
+    }
+
+    #[test]
+    fn spms_ledger_invariant_under_schedule_fuzzing(
+        shape_ix in 0usize..SHAPES.len(),
+        lanes_ix in 0usize..LANES.len(),
+        n in 0usize..12_000,
+        data_seed in any::<u64>(),
+        exec_seed in any::<u64>(),
+        workers in 1usize..16,
+        with_faults in any::<bool>(),
+    ) {
+        let input = generate(SHAPES[shape_ix], n, data_seed);
+        let lanes = LANES[lanes_ix];
+        let slots = 1 + exec_seed as usize % workers;
+        let fault_seed = with_faults.then_some(data_seed ^ 0x0B11);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+
+        let (oracle_out, oracle_snap) = oblivious_snapshot(true, &input, lanes, None, fault_seed);
+        let exec = ExecConfig::deterministic(workers, slots, exec_seed);
+        let (out, snap) = oblivious_snapshot(true, &input, lanes, Some(exec), fault_seed);
+
+        prop_assert_eq!(&oracle_out, &expect);
+        prop_assert_eq!(&out, &expect);
+        prop_assert_eq!(snap, oracle_snap);
+    }
+
+    #[test]
+    fn squaresort_ledger_invariant_under_schedule_fuzzing(
+        shape_ix in 0usize..SHAPES.len(),
+        lanes_ix in 0usize..LANES.len(),
+        n in 0usize..12_000,
+        data_seed in any::<u64>(),
+        exec_seed in any::<u64>(),
+        workers in 1usize..16,
+        with_faults in any::<bool>(),
+    ) {
+        let input = generate(SHAPES[shape_ix], n, data_seed);
+        let lanes = LANES[lanes_ix];
+        let slots = 1 + exec_seed as usize % workers;
+        let fault_seed = with_faults.then_some(data_seed ^ 0x50A8);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+
+        let (oracle_out, oracle_snap) = oblivious_snapshot(false, &input, lanes, None, fault_seed);
+        let exec = ExecConfig::deterministic(workers, slots, exec_seed);
+        let (out, snap) = oblivious_snapshot(false, &input, lanes, Some(exec), fault_seed);
 
         prop_assert_eq!(&oracle_out, &expect);
         prop_assert_eq!(&out, &expect);

@@ -25,6 +25,7 @@
 
 pub mod bounds;
 pub mod ledger;
+pub mod oblivious;
 pub mod params;
 pub mod recursion;
 pub mod theorems;

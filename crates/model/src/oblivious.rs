@@ -1,0 +1,287 @@
+//! Predicted transfer counts for the cache-oblivious engines.
+//!
+//! Unlike [`crate::theorems`], which encodes the paper's asymptotic bounds,
+//! these predictors *mirror the implemented pass structure* of the
+//! `tlmm-core` oblivious engines (SPMS and SquareSort) and of NMsort's
+//! aware two-phase layout, in block units. The mirrors walk the same
+//! recursion the engines execute — same `⌈√n⌉` splits, same residency
+//! boundary, same per-node pass counts — so predicted and simulated far
+//! traffic agree closely and the *crossover* between aware and oblivious
+//! engines can be predicted before a single element is sorted. The
+//! `fig_crossover` experiment plots exactly this: predicted crossover n
+//! (from here) against simulated crossover n (from charged ledgers).
+//!
+//! The residency model: a recursion segment is near-resident when the
+//! segment plus its equal-sized ping-pong scratch fit half the scratchpad —
+//! `n·elem ≤ M/4` — at which point the subtree pays one far ingest and one
+//! far writeback and works at near rates (the ideal-cache assumption made
+//! explicit; see `tlmm_core::oblivious`).
+
+use crate::params::ScratchpadParams;
+use crate::theorems::CostSplit;
+
+/// The engines' default recursion cutoff (`ObliviousConfig::base_elems`).
+pub const DEFAULT_BASE_ELEMS: u64 = 1024;
+
+/// Largest segment (elements) the residency adapter keeps near-resident:
+/// data + scratch within half the scratchpad.
+pub fn near_resident_cap_elems(p: &ScratchpadParams, elem_bytes: usize) -> u64 {
+    (p.scratchpad_bytes / (4 * elem_bytes.max(1) as u64)).max(1)
+}
+
+/// Integer `⌈√n⌉`, mirroring the engines' splitter.
+fn ceil_sqrt(n: u64) -> u64 {
+    if n <= 1 {
+        return n;
+    }
+    let mut x = (n as f64).sqrt() as u64;
+    while x.saturating_mul(x) >= n {
+        x -= 1;
+    }
+    while x.saturating_mul(x) < n {
+        x += 1;
+    }
+    x
+}
+
+/// Accumulator for the recursion mirrors: far/near bytes, converted to
+/// blocks at the end (stripe-ceiling effects are below prediction noise).
+#[derive(Default)]
+struct Acc {
+    far_bytes: f64,
+    near_bytes: f64,
+    /// Strided single-block touches (SPMS sample gathers) — one block each
+    /// regardless of bytes.
+    far_touches: f64,
+    near_touches: f64,
+}
+
+impl Acc {
+    fn pass(&mut self, far: bool, bytes: f64, count: f64) {
+        if far {
+            self.far_bytes += bytes * count;
+        } else {
+            self.near_bytes += bytes * count;
+        }
+    }
+
+    fn split(self, p: &ScratchpadParams) -> CostSplit {
+        CostSplit {
+            far_blocks: self.far_bytes / p.block_bytes as f64 + self.far_touches,
+            near_blocks: self.near_bytes / p.near_block_bytes() as f64 + self.near_touches,
+        }
+    }
+}
+
+/// Shared residency boundary: entering a near-resident subtree under a far
+/// parent costs one far-read/near-write ingest and one near-read/far-write
+/// writeback of the whole segment.
+fn boundary(acc: &mut Acc, bytes: f64) {
+    acc.far_bytes += 2.0 * bytes;
+    acc.near_bytes += 2.0 * bytes;
+}
+
+fn spms_rec(acc: &mut Acc, cap: u64, n: u64, elem: f64, parent_far: bool) {
+    if n <= 1 {
+        return;
+    }
+    let far = n > cap;
+    let bytes = n as f64 * elem;
+    if parent_far && !far {
+        boundary(acc, bytes);
+    }
+    if n <= DEFAULT_BASE_ELEMS {
+        // Base case: one read + one write pass.
+        acc.pass(far, bytes, 2.0);
+        return;
+    }
+    let k = ceil_sqrt(n);
+    let group = n.div_ceil(k);
+    let n_groups = n.div_ceil(group);
+    // Children: full groups plus one remainder group.
+    let last = n - group * (n_groups - 1);
+    spms_rec(acc, cap, group, elem, far);
+    // Identical full groups: scale the marginal cost of one.
+    if n_groups > 2 {
+        let mut one = Acc::default();
+        spms_rec(&mut one, cap, group, elem, far);
+        let extra = (n_groups - 2) as f64;
+        acc.far_bytes += one.far_bytes * extra;
+        acc.near_bytes += one.near_bytes * extra;
+        acc.far_touches += one.far_touches * extra;
+        acc.near_touches += one.near_touches * extra;
+    }
+    if n_groups > 1 {
+        spms_rec(acc, cap, last, elem, far);
+    }
+    // Sample: strided gather (block touches) + one merge pass over it.
+    let stride = ceil_sqrt(group).max(1);
+    let sample_len = ((n_groups - 1) * group.div_ceil(stride) + last.div_ceil(stride)) as f64;
+    if far {
+        acc.far_touches += sample_len;
+    } else {
+        acc.near_touches += sample_len;
+    }
+    acc.pass(far, sample_len * elem, 2.0);
+    // Bucket-merge pass + copy-back pass: two read+write passes over n.
+    acc.pass(far, bytes, 4.0);
+}
+
+fn squaresort_rec(acc: &mut Acc, cap: u64, n: u64, elem: f64, parent_far: bool) {
+    if n <= 1 {
+        return;
+    }
+    let far = n > cap;
+    let bytes = n as f64 * elem;
+    if parent_far && !far {
+        boundary(acc, bytes);
+    }
+    if n <= DEFAULT_BASE_ELEMS {
+        acc.pass(far, bytes, 2.0);
+        return;
+    }
+    let block = ceil_sqrt(n);
+    let n_blocks = n.div_ceil(block);
+    let last = n - block * (n_blocks - 1);
+    squaresort_rec(acc, cap, block, elem, far);
+    if n_blocks > 2 {
+        let mut one = Acc::default();
+        squaresort_rec(&mut one, cap, block, elem, far);
+        let extra = (n_blocks - 2) as f64;
+        acc.far_bytes += one.far_bytes * extra;
+        acc.near_bytes += one.near_bytes * extra;
+        acc.far_touches += one.far_touches * extra;
+        acc.near_touches += one.near_touches * extra;
+    }
+    if n_blocks > 1 {
+        squaresort_rec(acc, cap, last, elem, far);
+    }
+    // Binary merge tree: ⌈lg(#blocks)⌉ read+write rounds, plus one
+    // relocation pass when the round count is odd.
+    let rounds = (64 - (n_blocks - 1).leading_zeros()) as f64; // ceil(lg2)
+    let odd = rounds as u64 % 2 == 1;
+    acc.pass(far, bytes, 2.0 * rounds + if odd { 2.0 } else { 0.0 });
+}
+
+/// Predicted cost of the implemented SPMS on `n` elements.
+pub fn spms_cost(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> CostSplit {
+    let mut acc = Acc::default();
+    spms_rec(
+        &mut acc,
+        near_resident_cap_elems(p, elem_bytes),
+        n,
+        elem_bytes as f64,
+        true,
+    );
+    acc.split(p)
+}
+
+/// Predicted cost of the implemented SquareSort on `n` elements.
+pub fn squaresort_cost(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> CostSplit {
+    let mut acc = Acc::default();
+    squaresort_rec(
+        &mut acc,
+        near_resident_cap_elems(p, elem_bytes),
+        n,
+        elem_bytes as f64,
+        true,
+    );
+    acc.split(p)
+}
+
+/// Predicted cost of the *aware* NMsort layout on the same residency
+/// scale: one far roundtrip when a single Θ(M) chunk suffices, two (Phase 1
+/// read/write + Phase 2 read/write) plus ~12% sample-and-metadata slack
+/// when it must chunk. Near side follows Corollary 3's in-scratchpad sort.
+pub fn nmsort_aware_cost(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> CostSplit {
+    let bytes = n as f64 * elem_bytes as f64;
+    let cap = near_resident_cap_elems(p, elem_bytes);
+    let far_bytes = if n <= cap { 2.0 * bytes } else { 4.12 * bytes };
+    let near = crate::theorems::corollary3_in_scratchpad_sort(p, n, elem_bytes);
+    CostSplit {
+        far_blocks: far_bytes / p.block_bytes as f64,
+        near_blocks: near,
+    }
+}
+
+/// First `n` in `grid` (ascending) where the oblivious predictor's far
+/// traffic exceeds the aware predictor's by more than `margin` (e.g. 1.05
+/// for 5%): the predicted aware/oblivious crossover. `None` when the
+/// oblivious engine stays competitive across the whole grid.
+pub fn predicted_crossover(
+    p: &ScratchpadParams,
+    elem_bytes: usize,
+    grid: &[u64],
+    oblivious: fn(&ScratchpadParams, u64, usize) -> CostSplit,
+    margin: f64,
+) -> Option<u64> {
+    grid.iter().copied().find(|&n| {
+        oblivious(p, n, elem_bytes).far_blocks
+            > nmsort_aware_cost(p, n, elem_bytes).far_blocks * margin
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(m: u64) -> ScratchpadParams {
+        ScratchpadParams::new(64, 4.0, m, m / 16).unwrap()
+    }
+
+    #[test]
+    fn below_cap_everything_is_one_roundtrip() {
+        let p = params(1 << 20);
+        let cap = near_resident_cap_elems(&p, 8);
+        assert_eq!(cap, 32_768);
+        for n in [1000u64, cap / 2, cap] {
+            let far_roundtrip = 2.0 * n as f64 * 8.0 / 64.0;
+            for cost in [spms_cost(&p, n, 8), squaresort_cost(&p, n, 8)] {
+                assert!(
+                    (cost.far_blocks - far_roundtrip).abs() / far_roundtrip < 1e-9,
+                    "n={n}: {} vs {far_roundtrip}",
+                    cost.far_blocks
+                );
+                assert!(cost.near_blocks > 0.0);
+            }
+            let aware = nmsort_aware_cost(&p, n, 8);
+            assert!((aware.far_blocks - far_roundtrip).abs() / far_roundtrip < 1e-9);
+        }
+    }
+
+    #[test]
+    fn above_cap_pass_counts_match_the_implementations() {
+        // Mirrors the measured profile: NMsort ~4.1 passes, SPMS ~6.1,
+        // SquareSort ~18+ once the root streams against far memory.
+        let p = params(1 << 20);
+        let n = 4 * near_resident_cap_elems(&p, 8);
+        let passes = |far_blocks: f64| far_blocks * 64.0 / (n as f64 * 8.0);
+        let aware = passes(nmsort_aware_cost(&p, n, 8).far_blocks);
+        let spms = passes(spms_cost(&p, n, 8).far_blocks);
+        let square = passes(squaresort_cost(&p, n, 8).far_blocks);
+        assert!((4.0..4.5).contains(&aware), "aware {aware}");
+        assert!((5.8..6.8).contains(&spms), "spms {spms}");
+        assert!(square > 14.0, "squaresort {square}");
+        assert!(aware < spms && spms < square);
+    }
+
+    #[test]
+    fn crossover_sits_at_the_residency_cap_and_grows_with_m() {
+        let mut last = 0u64;
+        for m in [1u64 << 20, 4 << 20, 16 << 20] {
+            let p = params(m);
+            let cap = near_resident_cap_elems(&p, 8);
+            let grid: Vec<u64> = (0..8).map(|i| (cap / 4) << i).collect();
+            for engine in [
+                spms_cost as fn(&ScratchpadParams, u64, usize) -> CostSplit,
+                squaresort_cost,
+            ] {
+                let x = predicted_crossover(&p, 8, &grid, engine, 1.05)
+                    .expect("grid extends well past the cap");
+                assert!(x > cap, "crossover {x} must lie beyond the cap {cap}");
+                assert!(x > last, "crossover must grow with M");
+            }
+            last = near_resident_cap_elems(&p, 8);
+        }
+    }
+}

@@ -55,6 +55,7 @@ pub mod prelude {
     pub use tlmm_core::nmsort::{
         nmsort, ChunkSorter, DegradationStats, NmSortConfig, NmSortReport,
     };
+    pub use tlmm_core::oblivious::{spms_sort, squaresort_sort, ObliviousConfig, ObliviousReport};
     pub use tlmm_core::parsort::{par_scratchpad_sort, ParSortConfig};
     pub use tlmm_core::select::{select_kth, SelectConfig};
     pub use tlmm_core::seqsort::{seq_scratchpad_sort, SeqSortConfig};

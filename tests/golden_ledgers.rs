@@ -1,6 +1,6 @@
 //! Golden charge-ledger snapshots: nondeterminism regressions fail loudly.
 //!
-//! For each of the four sorters, a canonical small-N run's `CostSnapshot`
+//! For each of the six sorters, a canonical small-N run's `CostSnapshot`
 //! is committed under `tests/golden/`. Every test run re-executes the
 //! sorter and asserts byte-identical serialization against the golden —
 //! first with no executor (the sequential oracle), then under the
@@ -85,6 +85,19 @@ fn run_sorter(name: &str, exec: Option<tlmm_scratchpad::ExecConfig>) -> CostSnap
             .unwrap();
             assert_sorted(r.output.as_slice_uncharged());
         }
+        "spms" | "squaresort" => {
+            let cfg = ObliviousConfig {
+                lanes: 8,
+                parallel: false,
+                ..Default::default()
+            };
+            let (out, _report) = if name == "spms" {
+                spms_sort(&tl, far, &cfg).unwrap()
+            } else {
+                squaresort_sort(&tl, far, &cfg).unwrap()
+            };
+            assert_sorted(out.as_slice_uncharged());
+        }
         other => panic!("unknown sorter {other}"),
     }
     tl.ledger().snapshot()
@@ -123,10 +136,17 @@ fn check_against_golden(name: &str, snap: &CostSnapshot, context: &str) {
     assert_eq!(&parsed, snap, "{name} golden round-trip ({context})");
 }
 
-const SORTERS: [&str; 4] = ["nmsort", "seqsort", "parsort", "baseline"];
+const SORTERS: [&str; 6] = [
+    "nmsort",
+    "seqsort",
+    "parsort",
+    "baseline",
+    "spms",
+    "squaresort",
+];
 
 #[test]
-fn all_four_sorters_match_their_golden_ledgers() {
+fn all_sorters_match_their_golden_ledgers() {
     for name in SORTERS {
         let snap = run_sorter(name, None);
         check_against_golden(name, &snap, "no executor");

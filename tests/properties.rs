@@ -37,6 +37,87 @@ fn opt_fault_seed() -> impl Strategy<Value = Option<u64>> {
     (any::<bool>(), any::<u64>()).prop_map(|(fire, seed)| fire.then_some(seed))
 }
 
+/// One clean oblivious run; returns the sorted output and the far bytes it
+/// was charged.
+fn run_oblivious<T: two_level_mem::core::SortElem>(
+    spms: bool,
+    keys: Vec<T>,
+    lanes: usize,
+    fault_seed: Option<u64>,
+) -> (Vec<T>, u64) {
+    let tl = TwoLevel::new(tiny_params());
+    if let Some(fs) = fault_seed {
+        tl.install_fault_plan(FaultPlan::seeded(fs));
+    }
+    let input = tl.far_from_vec(keys);
+    let cfg = ObliviousConfig {
+        lanes,
+        parallel: false,
+        ..Default::default()
+    };
+    let (out, _report) = if spms {
+        spms_sort(&tl, input, &cfg).unwrap()
+    } else {
+        squaresort_sort(&tl, input, &cfg).unwrap()
+    };
+    (
+        out.as_slice_uncharged().to_vec(),
+        tl.ledger().snapshot().far_bytes,
+    )
+}
+
+/// Differential check for one oblivious engine: sorted-permutation vs
+/// `slice::sort` on the chosen key type, and — when a fault plan is in
+/// play — a degraded run that still sorts and never pays *less* far
+/// traffic than the clean one.
+fn oblivious_differential(
+    spms: bool,
+    w: Workload,
+    n: usize,
+    seed: u64,
+    lanes: usize,
+    key_kind: u8,
+    fault_seed: Option<u64>,
+) {
+    fn check<T: two_level_mem::core::SortElem + std::fmt::Debug>(
+        spms: bool,
+        keys: Vec<T>,
+        lanes: usize,
+        fault_seed: Option<u64>,
+    ) {
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let (clean_out, clean_far) = run_oblivious(spms, keys.clone(), lanes, None);
+        prop_assert_eq!(&clean_out, &expect);
+        if fault_seed.is_some() {
+            let (fault_out, fault_far) = run_oblivious(spms, keys, lanes, fault_seed);
+            prop_assert_eq!(&fault_out, &expect);
+            prop_assert!(
+                fault_far >= clean_far,
+                "degraded run under-charged: {} < {} far bytes",
+                fault_far,
+                clean_far
+            );
+        }
+    }
+    let base = generate(w, n, seed);
+    match key_kind {
+        0 => check::<u64>(spms, base, lanes, fault_seed),
+        1 => check::<u32>(
+            spms,
+            base.into_iter().map(|x| (x >> 32) as u32).collect(),
+            lanes,
+            fault_seed,
+        ),
+        _ => check::<i64>(
+            spms,
+            base.into_iter().map(|x| x as i64).collect(),
+            lanes,
+            fault_seed,
+        ),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -250,6 +331,34 @@ proptest! {
             ..Default::default()
         }).unwrap();
         prop_assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
+    }
+
+    // ---- Oblivious engines: differential vs `slice::sort` across the same
+    // workload shapes, over three key types, with and without faults. Honest
+    // accounting means a faulted run can re-stream but never under-charge.
+
+    #[test]
+    fn spms_differential_across_shapes_keys_and_faults(
+        w in shaped_workload(),
+        n in 0usize..30_000,
+        seed in any::<u64>(),
+        lanes in 1usize..8,
+        key_kind in 0u8..3,
+        fault_seed in opt_fault_seed(),
+    ) {
+        oblivious_differential(true, w, n, seed, lanes, key_kind, fault_seed);
+    }
+
+    #[test]
+    fn squaresort_differential_across_shapes_keys_and_faults(
+        w in shaped_workload(),
+        n in 0usize..30_000,
+        seed in any::<u64>(),
+        lanes in 1usize..8,
+        key_kind in 0u8..3,
+        fault_seed in opt_fault_seed(),
+    ) {
+        oblivious_differential(false, w, n, seed, lanes, key_kind, fault_seed);
     }
 
     #[test]
