@@ -43,7 +43,7 @@ fn bench_parallel_merge(c: &mut Criterion) {
     for ways in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(ways), &ways, |b, &ways| {
             let mut out = vec![0u64; total];
-            b.iter(|| parallel_merge(&refs, &mut out, ways, true))
+            b.iter(|| parallel_merge(&refs, &mut out, ways, 4))
         });
     }
     g.finish();

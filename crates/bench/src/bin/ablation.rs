@@ -31,7 +31,6 @@ fn nmsort_with(
         sim_lanes: 64,
         chunk_elems: Some(chunk),
         n_pivots: pivots,
-        parallel: true,
         ..Default::default()
     };
     let r = nmsort(&tl, input, &cfg)?;
@@ -108,7 +107,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 sim_lanes: 64,
                 chunk_elems: Some(1_000_000),
                 chunk_sorter: sorter,
-                parallel: true,
                 ..Default::default()
             };
             let r = nmsort(&tl, input, &cfg)?;

@@ -116,6 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for seed in 0..n_seeds {
         for (profile, agg) in PROFILES.iter().zip(aggs.iter_mut()) {
             let spec = SortSpec {
+                threads: 1,
                 algo: profile.algo,
                 n,
                 lanes,
@@ -143,6 +144,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         let spec = SortSpec {
+            threads: 1,
             algo: profile.algo,
             n,
             lanes,

@@ -54,6 +54,7 @@ fn contention_sweep(
         let mut row = Vec::new();
         for &p in ps {
             let spec = SortSpec {
+                threads: 1,
                 algo: SortAlgo::NmSort,
                 n,
                 lanes: p,

@@ -67,6 +67,7 @@ fn predictor(engine: Engine) -> fn(&ScratchpadParams, u64, usize) -> CostSplit {
 
 fn measure_far_blocks(engine: Engine, n: u64, params: ScratchpadParams) -> (f64, f64) {
     let spec = SortSpec {
+        threads: 1,
         algo: engine,
         n: n as usize,
         lanes: 8,

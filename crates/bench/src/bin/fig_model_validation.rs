@@ -37,7 +37,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let input = tl.far_from_vec(generate(Workload::UniformU64, n, n as u64));
             let cfg = NmSortConfig {
                 sim_lanes: 16,
-                parallel: true,
                 ..Default::default()
             };
             let report = nmsort(&tl, input, &cfg)?;

@@ -1,16 +1,23 @@
 //! **F-PAR** — Theorem 10: parallel scratchpad sorting scales with `p′`.
 //!
 //! §IV-C: allowing `p′` processors to make simultaneous block transfers
-//! divides both Theorem 6 terms by `p′`. This harness runs the parallel
-//! scratchpad sample sort at increasing lane counts on the Fig. 4 machine
-//! and reports simulated time, the trace's per-lane critical path (the
-//! model's "block-transfer steps"), and the Theorem 10 prediction.
+//! divides both Theorem 6 terms by `p′`. Two sweeps:
 //!
-//! Run: `cargo run --release -p tlmm-bench --bin fig_parallel`
+//! * the parallel scratchpad sample sort at increasing lane counts,
+//!   reporting simulated time, the trace's per-lane critical path (the
+//!   model's "block-transfer steps"), and the Theorem 10 prediction;
+//! * every registered [`Engine`] (or a `--engines a,b` subset, parsed
+//!   through the registry — no hand-rolled algo-name strings) through the
+//!   standard harness with host threads from the worker pool, replayed at
+//!   1 and 8 simulated cores so the lane-scaling each engine actually
+//!   achieves sits next to the theorem's idealized division.
+//!
+//! Run: `cargo run --release -p tlmm-bench --bin fig_parallel [-- --engines nmsort,spms]`
 
 use tlmm_analysis::table::{count, secs, Table};
-use tlmm_bench::{artifact, check_sorted, outln};
+use tlmm_bench::{artifact, check_sorted, outln, run_sort, Engine, SortSpec};
 use tlmm_core::parsort::{par_scratchpad_sort, ParSortConfig};
+use tlmm_core::pool::host_threads;
 use tlmm_memsim::{simulate_flow, MachineConfig};
 use tlmm_model::theorems;
 use tlmm_model::ScratchpadParams;
@@ -18,9 +25,56 @@ use tlmm_scratchpad::TwoLevel;
 use tlmm_telemetry::RunReport;
 use tlmm_workloads::{generate, Workload};
 
+/// `(engine, sim 1-core seconds, sim 8-core seconds)` sweep rows.
+type SweepRow = (Engine, f64, f64);
+
+/// Registry sweep: each engine once through [`run_sort`] with 8 virtual
+/// lanes and real host fan-out, then the recorded trace replayed at 1 and
+/// 8 simulated cores. Returns `(engine, sim_1c, sim_8c)` rows.
+fn engine_sweep(
+    engines: &[Engine],
+    n: usize,
+    threads: usize,
+) -> Result<Vec<SweepRow>, Box<dyn std::error::Error>> {
+    let mut rows = Vec::new();
+    for &engine in engines {
+        let run = run_sort(&SortSpec {
+            algo: engine,
+            n,
+            lanes: 8,
+            threads,
+            chunk_elems: None,
+            seed: 4,
+            fault_seed: None,
+        })?;
+        let s1 = simulate_flow(&run.trace, &MachineConfig::fig4(1, 4.0)).seconds;
+        let s8 = simulate_flow(&run.trace, &MachineConfig::fig4(8, 4.0)).seconds;
+        rows.push((engine, s1, s8));
+    }
+    Ok(rows)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 2_000_000usize;
     let params = ScratchpadParams::new(64, 4.0, 16 << 20, 2 << 20).unwrap();
+
+    // `--engines a,b,c` filters the registry sweep; names must parse.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let engines: Vec<Engine> = match argv.iter().position(|a| a == "--engines") {
+        Some(i) => argv
+            .get(i + 1)
+            .map(|list| {
+                list.split(',')
+                    .map(|s| {
+                        Engine::parse(s.trim())
+                            .unwrap_or_else(|| panic!("fig_parallel: unknown engine {s:?}"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        None => Engine::ALL.to_vec(),
+    };
+
     let mut out = String::new();
     outln!(
         out,
@@ -42,7 +96,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             input,
             &ParSortConfig {
                 lanes,
-                parallel: true,
                 ..Default::default()
             },
         )?;
@@ -78,9 +131,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          the asymptotic analysis hides."
     );
 
+    // ---- Registry sweep: what each engine's trace does with 8 cores.
+    let threads = host_threads();
+    eprintln!(
+        "[fig_parallel] registry sweep: {} engines, {threads} host threads...",
+        engines.len()
+    );
+    let rows = engine_sweep(&engines, n, threads)?;
+    let mut et = Table::new(["engine", "sim 1c (s)", "sim 8c (s)", "scaling"]);
+    let mut scalings = Vec::new();
+    for (engine, s1, s8) in &rows {
+        et.row(vec![
+            engine.name().to_string(),
+            secs(*s1),
+            secs(*s8),
+            format!("{:.2}x", s1 / s8),
+        ]);
+        scalings.push(s1 / s8);
+    }
+    outln!(
+        out,
+        "\nRegistry engines, 8 lanes, {threads} host thread(s), replayed at 1 vs 8 cores:\n"
+    );
+    outln!(out, "{}", et.render());
+    outln!(
+        out,
+        "expected shape: the lane-parallel engines approach the Theorem 10 \
+         division (bounded by the serial residue); per-engine wall clock \
+         and the full thread axis live in BENCH_parallel.json."
+    );
+
     let report = RunReport::collect("fig_parallel")
         .meta("n", n)
-        .section("measured_over_predicted", &ratios);
+        .meta("host_threads", threads)
+        .section("measured_over_predicted", &ratios)
+        .section("engine_core_scaling", &scalings);
     artifact::emit("fig_parallel", &out, report)?;
     Ok(())
 }

@@ -197,6 +197,15 @@ fn kway_merge_cells(n: usize, timing: &Timing, smoke: bool, cells: &mut Vec<Cell
             let cb = merge_into_slice(&runs, &mut b);
             assert_eq!(a, b, "merge kernels disagree on {name}");
             assert_eq!(ca, cb, "merge comparison counts diverge on {name}");
+            // And the SIMD pre-merge path must be invisible: same output,
+            // same comparison ledger, with vector dispatch forced off.
+            let prior = tlmm_core::kernels::simd::enabled();
+            tlmm_core::kernels::simd::set_enabled(false);
+            let mut c = vec![0u64; n];
+            let cc = merge_into_slice(&runs, &mut c);
+            tlmm_core::kernels::simd::set_enabled(prior);
+            assert_eq!(b, c, "merge output changed with SIMD disabled on {name}");
+            assert_eq!(cb, cc, "merge counts changed with SIMD disabled on {name}");
         }
         let (base, opt, speedup) = paired_medians_ms(
             timing,
@@ -234,7 +243,7 @@ fn bucketize_cells(n: usize, timing: &Timing, cells: &mut Vec<Cell>) {
             timing,
             || (),
             |()| {
-                bucketize::bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, 8, false);
+                bucketize::bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, 8, 1);
             },
         );
         cells.push(Cell {
@@ -258,6 +267,7 @@ fn nmsort_cells(sizes: &[usize], timing: &Timing, cells: &mut Vec<Cell>) {
                 || (),
                 |()| {
                     run_sort(&SortSpec {
+                        threads: 1,
                         algo: SortAlgo::NmSort,
                         n,
                         lanes: 8,

@@ -8,28 +8,48 @@
 //! record calls), and compare against the run's wall clock. The JSONL
 //! sink's cost *is* directly measurable: the binary re-executes itself
 //! with `TLMM_TELEMETRY` pointing at a scratch file and times the same
-//! workload.
+//! workload. The flight-recorder budget is checked twice: single-threaded
+//! and again at `threads > 1`, so the <5% bound holds with multiple host
+//! workers pushing ring events concurrently.
 //!
 //! Run: `cargo run --release -p tlmm-bench --bin telemetry_overhead`
 
 use std::hint::black_box;
 use std::time::Instant;
-use tlmm_bench::{artifact, outln, run_nmsort};
+use tlmm_bench::{artifact, outln, run_sort, SortAlgo, SortSpec};
 use tlmm_telemetry::RunReport;
 
 const N: usize = 1_000_000;
 const LANES: usize = 64;
 const CHUNK: usize = 250_000;
+/// Host threads for the contended flight-recorder cell: enough workers
+/// that ring pushes genuinely interleave even on small hosts.
+const CONTENDED_THREADS: usize = 4;
 
-/// One measured workload run; returns wall seconds (best of `reps`).
-fn time_workload(reps: usize) -> f64 {
+/// One measured workload run on `threads` host threads; returns wall
+/// seconds (best of `reps`).
+fn time_workload_threads(reps: usize, threads: usize) -> f64 {
     let mut best = f64::INFINITY;
     for rep in 0..reps {
         let t0 = Instant::now();
-        run_nmsort(N, LANES, CHUNK, 0x7E + rep as u64).expect("nmsort run");
+        run_sort(&SortSpec {
+            algo: SortAlgo::NmSort,
+            n: N,
+            lanes: LANES,
+            threads,
+            chunk_elems: Some(CHUNK),
+            seed: 0x7E + rep as u64,
+            fault_seed: None,
+        })
+        .expect("nmsort run");
         best = best.min(t0.elapsed().as_secs_f64());
     }
     best
+}
+
+/// Single-threaded workload (the original overhead cells).
+fn time_workload(reps: usize) -> f64 {
+    time_workload_threads(reps, 1)
 }
 
 /// Nanoseconds per operation over `iters` calls of `f`.
@@ -183,6 +203,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tracing_pct = events_per_run as f64 * flight_push_ns / 1e9 / tracing_base * 100.0;
     let flight_events: usize = flight_trace.lanes.iter().map(|l| l.events.len()).sum();
 
+    // Contended cell: the same recorder-on measurement at threads > 1, so
+    // the 5% budget is verified with multiple host workers pushing events
+    // concurrently (per-lane rings — no shared tail, but real cache-line
+    // and allocator pressure), not just single-threaded.
+    eprintln!(
+        "[telemetry_overhead] re-running with flight recorder on, {CONTENDED_THREADS} host threads..."
+    );
+    let mut cont_base = f64::INFINITY;
+    let mut cont_wall = f64::INFINITY;
+    let mut cont_trace = None;
+    for _ in 0..3 {
+        cont_base = cont_base.min(time_workload_threads(2, CONTENDED_THREADS));
+        tlmm_telemetry::flight::install(
+            tlmm_telemetry::flight::FlightConfig::wall(LANES as u32, LANES as u32)
+                .with_capacity(1 << 16),
+        );
+        let _ = time_workload_threads(1, CONTENDED_THREADS);
+        cont_wall = cont_wall.min(time_workload_threads(2, CONTENDED_THREADS));
+        cont_trace = Some(tlmm_telemetry::flight::uninstall().expect("recorder installed"));
+    }
+    let cont_trace = cont_trace.expect("contended reps ran");
+    let cont_wall_pct = (cont_wall / cont_base - 1.0) * 100.0;
+    // Same inside-out bound as the single-threaded cell: per-event push
+    // cost times the volume one contended run emits. Event volume can
+    // differ from the 1-thread cell only via drops (ring capacity), which
+    // the report surfaces.
+    let cont_events_per_run = cont_trace
+        .lanes
+        .iter()
+        .map(|l| l.events.len())
+        .sum::<usize>()
+        / 3;
+    let cont_pct = cont_events_per_run as f64 * flight_push_ns / 1e9 / cont_base * 100.0;
+
     let mut out = String::new();
     outln!(
         out,
@@ -234,6 +288,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     outln!(
         out,
+        "flight recorder, {CONTENDED_THREADS} host threads: {cont_wall:.4} s vs {cont_base:.4} s \
+         interleaved ({cont_wall_pct:+.1}% wall, informational; {} events, {} dropped)",
+        cont_trace
+            .lanes
+            .iter()
+            .map(|l| l.events.len())
+            .sum::<usize>(),
+        cont_trace.dropped(),
+    );
+    outln!(
+        out,
+        "estimated flight-recorder time under contention: {cont_events_per_run} events/run x \
+         {flight_push_ns:.1} ns = {cont_pct:.3}% of wall clock ({})",
+        if cont_pct < 5.0 {
+            "PASS < 5%"
+        } else {
+            "FAIL >= 5%"
+        }
+    );
+    outln!(
+        out,
         "note: hot paths batch counter flushes (loser trees, caches flush \
          once on drop), so the always-on share stays far under the 5% budget."
     );
@@ -250,7 +325,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .section("estimated_always_on_pct", &always_on_pct)
         .section("sink_on_wall_seconds", &sink_wall_for_report)
         .section("tracing_on_wall_seconds", &tracing_wall)
-        .section("tracing_on_pct", &tracing_pct);
+        .section("tracing_on_pct", &tracing_pct)
+        .section("contended_threads", &(CONTENDED_THREADS as f64))
+        .section("contended_tracing_pct", &cont_pct);
     artifact::emit("telemetry_overhead", &out, report)?;
 
     if always_on_pct >= 5.0 {
@@ -259,6 +336,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if tracing_pct >= 5.0 {
         eprintln!("[telemetry_overhead] flight-recorder overhead budget exceeded");
+        std::process::exit(1);
+    }
+    if cont_pct >= 5.0 {
+        eprintln!("[telemetry_overhead] contended flight-recorder overhead budget exceeded");
         std::process::exit(1);
     }
     Ok(())

@@ -104,6 +104,7 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let spec = SortSpec {
+        threads: 1,
         algo: args.algo,
         n: args.n,
         lanes: args.lanes,

@@ -233,6 +233,10 @@ pub struct SortSpec {
     pub n: usize,
     /// Virtual lanes (simulated cores).
     pub lanes: usize,
+    /// Host worker threads for real fan-out (1 = inline). Never affects
+    /// simulated charges — only wall clock. Forced to 1 under a
+    /// deterministic executor, which owns the schedule.
+    pub threads: usize,
     /// NMsort chunk bound in elements (ignored by the baseline).
     pub chunk_elems: Option<usize>,
     /// Workload seed.
@@ -326,7 +330,7 @@ fn run_sort_full(
             let cfg = NmSortConfig {
                 sim_lanes: spec.lanes,
                 chunk_elems: spec.chunk_elems,
-                parallel: !deterministic_exec,
+                threads: if deterministic_exec { 1 } else { spec.threads },
                 use_dma: spec.algo == SortAlgo::NmSortDma,
                 ..Default::default()
             };
@@ -336,7 +340,7 @@ fn run_sort_full(
         SortAlgo::Baseline => {
             let cfg = BaselineConfig {
                 sim_lanes: spec.lanes,
-                parallel: !deterministic_exec,
+                threads: if deterministic_exec { 1 } else { spec.threads },
                 ..Default::default()
             };
             // The baseline has no degradation ladder of its own; injector
@@ -353,7 +357,7 @@ fn run_sort_full(
             // with the injector counts harvested below.
             let cfg = ObliviousConfig {
                 lanes: spec.lanes,
-                parallel: !deterministic_exec,
+                threads: if deterministic_exec { 1 } else { spec.threads },
                 ..Default::default()
             };
             let (output, _report) = match spec.algo {
@@ -384,6 +388,7 @@ pub fn run_nmsort(
     seed: u64,
 ) -> Result<SortRun, HarnessError> {
     run_sort(&SortSpec {
+        threads: 1,
         algo: SortAlgo::NmSort,
         n,
         lanes,
@@ -401,6 +406,7 @@ pub fn run_nmsort_dma(
     seed: u64,
 ) -> Result<SortRun, HarnessError> {
     run_sort(&SortSpec {
+        threads: 1,
         algo: SortAlgo::NmSortDma,
         n,
         lanes,
@@ -413,6 +419,7 @@ pub fn run_nmsort_dma(
 /// Run the GNU-style far-memory baseline.
 pub fn run_baseline(n: usize, lanes: usize, seed: u64) -> Result<SortRun, HarnessError> {
     run_sort(&SortSpec {
+        threads: 1,
         algo: SortAlgo::Baseline,
         n,
         lanes,
@@ -462,6 +469,7 @@ mod tests {
     fn oblivious_engines_route_through_the_harness() {
         for algo in [Engine::Spms, Engine::SquareSort] {
             let spec = SortSpec {
+                threads: 1,
                 algo,
                 n: 50_000,
                 lanes: 8,
@@ -474,6 +482,7 @@ mod tests {
             assert!(run.trace.phases.iter().any(|p| p.name.contains("sort")));
             // Same spec under a fault plan still sorts, never cheaper.
             let faulted = run_sort(&SortSpec {
+                threads: 1,
                 fault_seed: Some(5),
                 ..spec
             })
@@ -501,6 +510,7 @@ mod tests {
     #[test]
     fn exec_spec_arbitrates_without_changing_charges() {
         let spec = SortSpec {
+            threads: 1,
             algo: SortAlgo::NmSort,
             n: 60_000,
             lanes: 8,
@@ -527,6 +537,7 @@ mod tests {
     #[test]
     fn faulted_spec_sorts_and_surfaces_degradations() {
         let spec = SortSpec {
+            threads: 1,
             algo: SortAlgo::NmSort,
             n: 100_000,
             lanes: 8,
@@ -542,6 +553,7 @@ mod tests {
         let json = serde::json::to_string(&run.degradations).expect("summary serializes");
         assert!(json.contains("\"fault_seed\""));
         let clean = run_sort(&SortSpec {
+            threads: 1,
             fault_seed: None,
             ..spec
         })

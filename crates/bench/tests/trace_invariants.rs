@@ -67,6 +67,7 @@ fn arb_spec() -> impl Strategy<Value = (SortSpec, usize, usize, u64)> {
                 let n = n as usize;
                 (
                     SortSpec {
+                        threads: 1,
                         algo,
                         n,
                         lanes: lanes as usize,
@@ -170,6 +171,7 @@ fn oblivious_trace_bytes_equal_ledger() {
     for algo in [SortAlgo::Spms, SortAlgo::SquareSort] {
         for fault_seed in [None, Some(23u64)] {
             let spec = SortSpec {
+                threads: 1,
                 algo,
                 n: 20_000,
                 lanes: 4,
@@ -201,6 +203,7 @@ fn oblivious_trace_bytes_equal_ledger() {
 fn contended_run_attributes_slot_wait() {
     let _g = guard();
     let spec = SortSpec {
+        threads: 1,
         algo: SortAlgo::NmSort,
         n: 60_000,
         lanes: 8,

@@ -16,7 +16,6 @@
 
 use crate::extsort::{merge_rounds, RegionLevel};
 use crate::{ceil_lg, SortElem, SortError};
-use rayon::prelude::*;
 use tlmm_scratchpad::trace::with_lane;
 use tlmm_scratchpad::{Dir, FarArray, TwoLevel};
 
@@ -26,8 +25,8 @@ pub struct BaselineConfig {
     /// Simulated threads `p` (= number of initial runs). The paper's machine
     /// has 256.
     pub sim_lanes: usize,
-    /// Real host parallelism.
-    pub parallel: bool,
+    /// Host worker threads sorting runs and merging groups (1 = inline).
+    pub threads: usize,
     /// Per-thread effective cache share in bytes. Default: `Z / sim_lanes`.
     pub cache_per_lane_bytes: Option<u64>,
     /// Merge fan-in. Default: one `B`-sized input buffer per half cache,
@@ -40,7 +39,7 @@ impl Default for BaselineConfig {
     fn default() -> Self {
         Self {
             sim_lanes: 8,
-            parallel: true,
+            threads: crate::pool::host_threads(),
             cache_per_lane_bytes: None,
             fanout: None,
         }
@@ -68,6 +67,7 @@ pub fn baseline_sort<T: SortElem>(
 ) -> Result<BaselineReport<T>, SortError> {
     let n = input.len();
     let p = cfg.sim_lanes.max(1);
+    crate::pool::validate_threads(cfg.threads)?;
     let elem = std::mem::size_of::<T>() as u64;
     let mut data = input;
     if n <= 1 {
@@ -107,11 +107,12 @@ pub fn baseline_sort<T: SortElem>(
             tl.charge_compute(run.len() as u64 * ceil_lg(run.len()));
         })
     };
-    if cfg.parallel {
-        data.as_mut_slice_uncharged()
-            .par_chunks_mut(run_elems)
-            .enumerate()
-            .for_each(sort_run);
+    if cfg.threads > 1 {
+        let runs: Vec<&mut [T]> = data
+            .as_mut_slice_uncharged()
+            .chunks_mut(run_elems)
+            .collect();
+        crate::pool::run_indexed(cfg.threads, runs, |r, run| sort_run((r, run)));
     } else {
         data.as_mut_slice_uncharged()
             .chunks_mut(run_elems)
@@ -135,7 +136,7 @@ pub fn baseline_sort<T: SortElem>(
         bounds,
         fanout,
         p,
-        cfg.parallel,
+        cfg.threads,
     );
     tl.end_phase();
 

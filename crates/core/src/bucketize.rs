@@ -13,7 +13,6 @@
 
 use crate::extsort::RegionLevel;
 use crate::{ceil_lg, SortElem};
-use rayon::prelude::*;
 use tlmm_scratchpad::trace::{current_lane, with_lane};
 use tlmm_scratchpad::{Dir, TwoLevel};
 
@@ -32,7 +31,7 @@ pub fn bucket_positions<T: SortElem>(
     sorted: &[T],
     pivots: &[T],
     lanes: usize,
-    parallel: bool,
+    threads: usize,
 ) -> BucketPositions {
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "chunk not sorted");
     debug_assert!(
@@ -54,7 +53,7 @@ pub fn bucket_positions<T: SortElem>(
             // Jump to the group's first boundary with a binary search:
             // lg(n) random reads at `level`.
             let first = group[0];
-            let mut idx = sorted.partition_point(|x| x <= &first);
+            let mut idx = crate::kernels::simd::partition_point_le(sorted, &first);
             let probes = ceil_lg(n);
             match level {
                 RegionLevel::Near => tl.charge_near_random(Dir::Read, probes, probes * elem),
@@ -68,9 +67,10 @@ pub fn bucket_positions<T: SortElem>(
             let mut out = Vec::with_capacity(group.len());
             out.push(idx as u64);
             for p in &group[1..] {
-                while idx < n && &sorted[idx] <= p {
-                    idx += 1;
-                }
+                // Sequential boundary scan; the SIMD kernel inspects the
+                // same elements a scalar walk would, so the charged scan
+                // length below is unchanged by dispatch.
+                idx += crate::kernels::simd::count_le(&sorted[idx..], p);
                 out.push(idx as u64);
             }
             let scanned = (idx - scan_start) as u64;
@@ -85,8 +85,8 @@ pub fn bucket_positions<T: SortElem>(
     };
 
     let groups: Vec<&[T]> = pivots.chunks(per_lane).collect();
-    let boundary_lists: Vec<Vec<u64>> = if parallel {
-        groups.par_iter().copied().enumerate().map(work).collect()
+    let boundary_lists: Vec<Vec<u64>> = if threads > 1 {
+        crate::pool::map_indexed(threads, groups, |g, group| work((g, group)))
     } else {
         groups.iter().copied().enumerate().map(work).collect()
     };
@@ -164,7 +164,7 @@ mod tests {
         let sorted: Vec<u64> = (0..1000).map(|i| i * 3).collect();
         let pivots = vec![10, 100, 101, 102, 2000, 2997];
         for lanes in [1, 2, 3, 8] {
-            let got = bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, lanes, false);
+            let got = bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, lanes, 1);
             assert_eq!(got, brute_positions(&sorted, &pivots), "lanes={lanes}");
         }
     }
@@ -174,8 +174,8 @@ mod tests {
         let tl = tl();
         let sorted: Vec<u64> = (0..10_000).map(|i| i / 3).collect();
         let pivots: Vec<u64> = (0..64).map(|i| i * 50).collect();
-        let a = bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, 8, true);
-        let b = bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, 8, false);
+        let a = bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, 8, 4);
+        let b = bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, 8, 1);
         assert_eq!(a, b);
         assert_eq!(a, brute_positions(&sorted, &pivots));
     }
@@ -185,7 +185,7 @@ mod tests {
         let tl = tl();
         let sorted: Vec<u64> = vec![5; 100]; // all equal
         let pivots = vec![1, 5, 9];
-        let pos = bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, 4, false);
+        let pos = bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, 4, 1);
         assert_eq!(pos, vec![0, 0, 100, 100, 100]);
         // Elements equal to pivot 5 land in bucket 1 ((1, 5]).
     }
@@ -193,10 +193,10 @@ mod tests {
     #[test]
     fn empty_chunk_and_empty_pivots() {
         let tl = tl();
-        let pos = bucket_positions::<u64>(&tl, RegionLevel::Near, &[], &[1, 2], 2, false);
+        let pos = bucket_positions::<u64>(&tl, RegionLevel::Near, &[], &[1, 2], 2, 1);
         assert_eq!(pos, vec![0, 0, 0, 0]);
         let sorted = vec![1u64, 2, 3];
-        let pos = bucket_positions(&tl, RegionLevel::Near, &sorted, &[], 2, false);
+        let pos = bucket_positions(&tl, RegionLevel::Near, &sorted, &[], 2, 1);
         assert_eq!(pos, vec![0, 3]);
     }
 
@@ -204,9 +204,9 @@ mod tests {
     fn pivots_outside_range() {
         let tl = tl();
         let sorted: Vec<u64> = (100..200).collect();
-        let pos = bucket_positions(&tl, RegionLevel::Near, &sorted, &[1, 2, 3], 1, false);
+        let pos = bucket_positions(&tl, RegionLevel::Near, &sorted, &[1, 2, 3], 1, 1);
         assert_eq!(pos, vec![0, 0, 0, 0, 100]);
-        let pos = bucket_positions(&tl, RegionLevel::Near, &sorted, &[500, 600], 1, false);
+        let pos = bucket_positions(&tl, RegionLevel::Near, &sorted, &[500, 600], 1, 1);
         assert_eq!(pos, vec![0, 100, 100, 100]);
     }
 
@@ -229,7 +229,7 @@ mod tests {
         let n = 100_000usize;
         let sorted: Vec<u64> = (0..n as u64).collect();
         let pivots: Vec<u64> = (1..1000).map(|i| i * 100).collect();
-        bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, 4, false);
+        bucket_positions(&tl, RegionLevel::Near, &sorted, &pivots, 4, 1);
         let s = tl.ledger().snapshot();
         let elem = 8u64;
         assert!(

@@ -15,11 +15,10 @@
 //! block granularity for the level (`B` for far, `ρB` for near), and every
 //! comparison is charged as compute. Work is attributed to `lanes` virtual
 //! lanes in the same round-robin pattern a real parallel execution would
-//! use; with [`ExtSortConfig::parallel`] the host actually runs runs/groups
-//! in parallel with rayon.
+//! use; with [`ExtSortConfig::threads`] > 1 the host actually runs
+//! runs/groups in parallel on a sized worker pool ([`crate::pool`]).
 
 use crate::{ceil_lg, SortElem};
-use rayon::prelude::*;
 use tlmm_scratchpad::trace::{current_lane, with_lane};
 use tlmm_scratchpad::{Dir, FaultDecision, FaultOp, TwoLevel};
 
@@ -44,8 +43,9 @@ pub struct ExtSortConfig {
     /// Merge fan-in. Default: enough input buffers of one level-block each
     /// to half-fill the cache, clamped to `[2, 1024]`.
     pub fanout: Option<usize>,
-    /// Use real host parallelism (rayon) across runs and merge groups.
-    pub parallel: bool,
+    /// Host worker threads fanning out runs and merge groups (1 = run
+    /// inline). Never affects simulated charges.
+    pub threads: usize,
 }
 
 impl Default for ExtSortConfig {
@@ -54,7 +54,7 @@ impl Default for ExtSortConfig {
             lanes: 1,
             run_elems: None,
             fanout: None,
-            parallel: false,
+            threads: 1,
         }
     }
 }
@@ -165,8 +165,9 @@ pub fn external_sort<T: SortElem>(
             total_cmps.fetch_add(cmps, std::sync::atomic::Ordering::Relaxed);
         })
     };
-    if cfg.parallel {
-        data.par_chunks_mut(run_elems).enumerate().for_each(form);
+    if cfg.threads > 1 {
+        let runs: Vec<&mut [T]> = data.chunks_mut(run_elems).collect();
+        crate::pool::run_indexed(cfg.threads, runs, |i, run| form((i, run)));
     } else {
         data.chunks_mut(run_elems).enumerate().for_each(form);
     }
@@ -174,16 +175,8 @@ pub fn external_sort<T: SortElem>(
 
     // ---- Merge rounds --------------------------------------------------
     let bounds: Vec<usize> = (0..=n_runs).map(|i| (i * run_elems).min(n)).collect();
-    let (in_scratch, rounds, merge_cmps) = merge_rounds(
-        tl,
-        level,
-        data,
-        scratch,
-        bounds,
-        fanout,
-        lanes,
-        cfg.parallel,
-    );
+    let (in_scratch, rounds, merge_cmps) =
+        merge_rounds(tl, level, data, scratch, bounds, fanout, lanes, cfg.threads);
     total_cmps.fetch_add(merge_cmps, std::sync::atomic::Ordering::Relaxed);
 
     ExtSortOutcome {
@@ -207,7 +200,7 @@ pub(crate) fn merge_rounds<T: SortElem>(
     mut bounds: Vec<usize>,
     fanout: usize,
     lanes: usize,
-    parallel: bool,
+    threads: usize,
 ) -> (bool, u32, u64) {
     let n = data.len();
     let fanout = fanout.max(2);
@@ -259,7 +252,7 @@ pub(crate) fn merge_rounds<T: SortElem>(
                 .map(|r| &src_ref[bounds[r]..bounds[r + 1]])
                 .collect();
             let elems = out.len();
-            let cmps = crate::pmerge::parallel_merge(&runs, out, ways, parallel);
+            let cmps = crate::pmerge::parallel_merge(&runs, out, ways, threads);
             // Charge IO and compute across this group's lane share.
             for j in 0..ways {
                 let lane = base + (g + j * n_groups) % lanes;
@@ -277,12 +270,9 @@ pub(crate) fn merge_rounds<T: SortElem>(
             }
             total_cmps.fetch_add(cmps, std::sync::atomic::Ordering::Relaxed);
         };
-        if parallel {
-            groups
-                .par_iter()
-                .zip(out_slices.into_par_iter())
-                .enumerate()
-                .for_each(merge_group);
+        if threads > 1 {
+            let items: Vec<(&(usize, usize), &mut [T])> = groups.iter().zip(out_slices).collect();
+            crate::pool::run_indexed(threads, items, |g, go| merge_group((g, go)));
         } else {
             groups
                 .iter()
@@ -358,7 +348,7 @@ mod tests {
             50_000,
             &ExtSortConfig {
                 lanes: 8,
-                parallel: true,
+                threads: 4,
                 ..Default::default()
             },
         );
@@ -470,20 +460,20 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_charge_identically() {
-        let run = |parallel: bool| {
+        let run = |threads: usize| {
             let tl = tl();
             let mut data = random_vec(30_000, 9);
             let mut scratch = vec![0u64; 30_000];
             let cfg = ExtSortConfig {
                 lanes: 4,
-                parallel,
+                threads,
                 ..Default::default()
             };
             external_sort(&tl, RegionLevel::Near, &mut data, &mut scratch, &cfg);
             tl.ledger().snapshot()
         };
-        let s_par = run(true);
-        let s_seq = run(false);
+        let s_par = run(4);
+        let s_seq = run(1);
         assert_eq!(s_par.near_bytes, s_seq.near_bytes);
         assert_eq!(s_par.near_blocks(), s_seq.near_blocks());
         assert_eq!(s_par.compute_ops, s_seq.compute_ops);

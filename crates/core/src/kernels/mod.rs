@@ -29,6 +29,7 @@
 
 pub mod radix;
 pub mod reference;
+pub mod simd;
 
 pub use radix::{radix_sort, RadixKey};
 

@@ -44,7 +44,7 @@
 /// [`from_radix_key`](RadixKey::from_radix_key) — equal keys mean identical
 /// elements, which both the bucket-finishing step and the counting
 /// fast path (which *reconstructs* elements from key counts) rely on.
-pub trait RadixKey: Copy + Ord {
+pub trait RadixKey: Copy + Ord + 'static {
     /// Significant bits in the transformed key.
     const KEY_BITS: u32;
     /// Order-preserving map into unsigned key space.
@@ -183,9 +183,14 @@ pub fn radix_sort<T: RadixKey>(data: &mut [T]) {
     let buckets = 1usize << width;
     let mask = (buckets - 1) as u64;
 
+    // Histogram and scatter have vectorized forms for identity-keyed `u64`
+    // (8-lane digit extraction); other key types — and `TLMM_NO_SIMD=1` —
+    // take the scalar loops. Identical counts and placements either way.
     let mut hist = vec![0u32; buckets];
-    for &x in data.iter() {
-        hist[((x.radix_key() >> shift) & mask) as usize] += 1;
+    if !super::simd::radix_histogram(data, shift, mask, &mut hist) {
+        for &x in data.iter() {
+            hist[((x.radix_key() >> shift) & mask) as usize] += 1;
+        }
     }
     // Exclusive prefix sums -> per-bucket write cursors.
     let mut cursors = vec![0u32; buckets];
@@ -196,10 +201,12 @@ pub fn radix_sort<T: RadixKey>(data: &mut [T]) {
     }
     let mut scratch: Vec<T> = Vec::with_capacity(n);
     scratch.extend_from_slice(data);
-    for &x in data.iter() {
-        let b = ((x.radix_key() >> shift) & mask) as usize;
-        scratch[cursors[b] as usize] = x;
-        cursors[b] += 1;
+    if !super::simd::radix_scatter(data, shift, mask, &mut cursors, &mut scratch) {
+        for &x in data.iter() {
+            let b = ((x.radix_key() >> shift) & mask) as usize;
+            scratch[cursors[b] as usize] = x;
+            cursors[b] += 1;
+        }
     }
 
     // Finish each bucket while it is cache-hot; `cursors[b]` is now the end

@@ -57,6 +57,7 @@ pub mod oblivious;
 pub mod par;
 pub mod parsort;
 pub mod pmerge;
+pub mod pool;
 pub mod quicksort;
 pub mod sample;
 pub mod select;

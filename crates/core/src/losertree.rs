@@ -38,6 +38,22 @@ const ALIVE_BIT: u32 = 1 << 31;
 /// decision, short enough to catch phase changes in the input.
 const ADAPT_BLOCK: u32 = 8192;
 
+/// Policy flips tolerated before the adaptive store policy is pinned.
+/// Duplicate-heavy inputs with long equal-key runs sit right at the
+/// `opp_wins` thresholds and would otherwise thrash the policy every
+/// block, paying the mispredict cost of *both* forms; once the flip count
+/// reaches this plateau the guarded form is pinned for the tree's
+/// remaining life (it degrades gracefully on near-even outcomes, the
+/// branchless form does not on biased ones).
+const PIN_FLIPS: u32 = 4;
+
+/// Runs at or below this length are eligible for pair pre-merging in
+/// [`merge_into_slice`]: adjacent short runs are two-way merged (a
+/// vectorizable streaming kernel) before the loser tree builds, halving
+/// `k` where it is cheap. Long runs skip it — the pair buffer would
+/// rival the tree's own working set.
+const PREMERGE_MAX: usize = 1 << 16;
+
 /// A loser tree over `k` in-memory sorted runs.
 ///
 /// The tree stores, at each internal node, the *loser* of the match played
@@ -77,6 +93,12 @@ pub struct LoserTree<'a, T> {
     /// Replay steps and `opp_wins` outcomes observed in this block.
     block_steps: u64,
     block_opp_wins: u64,
+    /// Retunes whose decision flipped the policy (see [`PIN_FLIPS`]).
+    policy_flips: u32,
+    /// Oscillation plateau reached: the policy is pinned guarded and no
+    /// longer retuned. Wall-clock heuristic only — the emitted sequence
+    /// and comparison count are policy-independent.
+    policy_pinned: bool,
 }
 
 impl<'a, T: Ord + Copy> LoserTree<'a, T> {
@@ -99,6 +121,8 @@ impl<'a, T: Ord + Copy> LoserTree<'a, T> {
             block_left: ADAPT_BLOCK,
             block_steps: 0,
             block_opp_wins: 0,
+            policy_flips: 0,
+            policy_pinned: false,
         };
         lt.rebuild();
         lt
@@ -250,9 +274,24 @@ impl<'a, T: Ord + Copy> LoserTree<'a, T> {
     /// Pick the next block's store policy from this block's `opp_wins`
     /// rate: outcomes outside [1/4, 3/4] are predictable enough that the
     /// guarded store wins; near-even outcomes favor the branchless form.
+    ///
+    /// Inputs whose flip rate hovers at the thresholds (long equal-key
+    /// runs alternating with mixed regions) would re-decide every block;
+    /// after [`PIN_FLIPS`] flips the guarded policy is pinned instead.
     fn retune(&mut self) {
-        let (s, w) = (self.block_steps, self.block_opp_wins);
-        self.guarded_store = 4 * w <= s || 4 * w >= 3 * s;
+        if !self.policy_pinned {
+            let (s, w) = (self.block_steps, self.block_opp_wins);
+            let want = 4 * w <= s || 4 * w >= 3 * s;
+            if want != self.guarded_store {
+                self.policy_flips += 1;
+                if self.policy_flips >= PIN_FLIPS {
+                    self.policy_pinned = true;
+                    self.guarded_store = true;
+                } else {
+                    self.guarded_store = want;
+                }
+            }
+        }
         self.block_left = ADAPT_BLOCK;
         self.block_steps = 0;
         self.block_opp_wins = 0;
@@ -337,9 +376,48 @@ pub fn merge_into<T: Ord + Copy>(runs: &[&[T]], out: &mut Vec<T>) -> u64 {
 /// The output is written in place — no per-element capacity checks, and a
 /// final-run tail is bulk-copied once its last competitor exhausts.
 ///
+/// With four or more runs, adjacent runs no longer than [`PREMERGE_MAX`]
+/// (and not flagged [`duplicate_heavy`], where the tree's guarded-store
+/// streaks win) are first two-way merged by the streaming pair kernel (4-wide bitonic
+/// network when SIMD dispatch is active), and the loser tree plays over
+/// the halved run set. Pair merges are charged the *analytic* two-way
+/// merge comparison count ([`crate::kernels::simd::pair_merge_cost`]), so
+/// the returned total — and every ledger built from it — is identical
+/// whichever kernel executed. The emitted sequence is unchanged too:
+/// pair-merging adjacent runs with lower-index tie preference composes
+/// with the tree's leaf-order tie-breaking.
+///
 /// # Panics
 /// Panics if `out.len()` differs from the total run length.
-pub fn merge_into_slice<T: Ord + Copy>(runs: &[&[T]], out: &mut [T]) -> u64 {
+/// Plateau probe for the pair pre-merge: `true` when sampled positions of
+/// the sorted run sit inside equal-key plateaus at least [`PLATEAU_GAP`]
+/// long. Such runs feed the loser tree long winner streaks that its
+/// guarded store policy turns into near-free replay steps, while the pair
+/// kernel does fixed work per element regardless — so duplicate-heavy
+/// runs skip pre-merging. The decision reads only the data, so it is
+/// identical across SIMD dispatch and thread counts, and the charged
+/// comparison total is unchanged either way (the pair cost is the exact
+/// analytic tree-node equivalent).
+fn duplicate_heavy<T: Ord>(r: &[T]) -> bool {
+    const PROBES: usize = 4;
+    if r.len() < PLATEAU_GAP * PROBES {
+        return false;
+    }
+    let span = r.len() - PLATEAU_GAP;
+    let hits = (0..PROBES)
+        .filter(|&k| {
+            let p = span * (2 * k + 1) / (2 * PROBES);
+            r[p] == r[p + PLATEAU_GAP]
+        })
+        .count();
+    hits * 2 >= PROBES
+}
+
+/// Plateau length at which the loser tree's guarded-store streaks beat
+/// the pair kernel's fixed per-element work (see [`duplicate_heavy`]).
+const PLATEAU_GAP: usize = 32;
+
+pub fn merge_into_slice<T: crate::SortElem>(runs: &[&[T]], out: &mut [T]) -> u64 {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     assert_eq!(out.len(), total, "output slice must fit the merge exactly");
     match runs.len() {
@@ -349,7 +427,61 @@ pub fn merge_into_slice<T: Ord + Copy>(runs: &[&[T]], out: &mut [T]) -> u64 {
             0
         }
         _ => {
-            let mut lt = LoserTree::new(runs.to_vec());
+            // Plan the pair pre-merge: walk left to right pairing adjacent
+            // short runs; `true` marks "paired with the next run".
+            let mut plan: Vec<(usize, bool)> = Vec::new();
+            let mut paired_total = 0usize;
+            if runs.len() >= 4 {
+                let dup: Vec<bool> = runs.iter().map(|r| duplicate_heavy(r)).collect();
+                let mut i = 0usize;
+                while i < runs.len() {
+                    if i + 1 < runs.len()
+                        && runs[i].len() <= PREMERGE_MAX
+                        && runs[i + 1].len() <= PREMERGE_MAX
+                        && !dup[i]
+                        && !dup[i + 1]
+                    {
+                        plan.push((i, true));
+                        paired_total += runs[i].len() + runs[i + 1].len();
+                        i += 2;
+                    } else {
+                        plan.push((i, false));
+                        i += 1;
+                    }
+                }
+            }
+            let mut cmps = 0u64;
+            let mut buf: Vec<T> = Vec::new();
+            let mut tree_runs: Vec<&[T]> = Vec::new();
+            if plan.iter().any(|&(_, paired)| paired) {
+                buf.resize(paired_total, T::default());
+                let mut rest: &mut [T] = &mut buf;
+                for &(i, paired) in &plan {
+                    if paired {
+                        let (a, b) = (runs[i], runs[i + 1]);
+                        let (dst, next) = rest.split_at_mut(a.len() + b.len());
+                        crate::kernels::simd::merge_pair(a, b, dst);
+                        cmps += crate::kernels::simd::pair_merge_cost(a, b);
+                        rest = next;
+                    }
+                }
+                let mut off = 0usize;
+                for &(i, paired) in &plan {
+                    if paired {
+                        let len = runs[i].len() + runs[i + 1].len();
+                        tree_runs.push(&buf[off..off + len]);
+                        off += len;
+                    } else {
+                        tree_runs.push(runs[i]);
+                    }
+                }
+            }
+            let tree_over: &[&[T]] = if tree_runs.is_empty() {
+                runs
+            } else {
+                &tree_runs
+            };
+            let mut lt = LoserTree::new(tree_over.to_vec());
             let mut emitted = 0usize;
             while emitted < total {
                 // Once a single run remains, stream its tail with one bulk
@@ -368,7 +500,7 @@ pub fn merge_into_slice<T: Ord + Copy>(runs: &[&[T]], out: &mut [T]) -> u64 {
                 out[emitted] = v;
                 emitted += 1;
             }
-            lt.comparisons()
+            cmps + lt.comparisons()
         }
     }
 }
@@ -544,5 +676,61 @@ mod tests {
         }
         assert!(switched, "biased input must engage the guarded store");
         assert_eq!(new_lt.comparisons(), old_lt.comparisons());
+    }
+
+    #[test]
+    fn oscillating_input_pins_guarded_policy() {
+        // Alternate duplicate-heavy regions (guarded wins) with uniform
+        // regions (branchless wins), each spanning a couple of
+        // ADAPT_BLOCKs of *emitted* elements: the retune decision flips at
+        // every region edge. After PIN_FLIPS flips the policy must pin
+        // guarded and stop thrashing — while staying observationally
+        // identical to the reference.
+        let region = 2 * ADAPT_BLOCK as u64; // emitted elements per region
+        let k = 4u64;
+        let per_run_region = region / k;
+        let runs: Vec<Vec<u64>> = (0..k)
+            .map(|r| {
+                let mut v = Vec::new();
+                let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r + 1);
+                for block in 0..12u64 {
+                    let base = block * 1_000_000;
+                    let start = v.len();
+                    for _ in 0..per_run_region {
+                        if block % 2 == 0 {
+                            v.push(base); // all-equal region: heavily biased
+                        } else {
+                            // Pseudorandom region: match outcomes are coin
+                            // flips (round-robin interleaving would be
+                            // predictable and favor guarded too).
+                            state = state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            v.push(base + (state >> 45));
+                        }
+                    }
+                    v[start..].sort_unstable();
+                }
+                v
+            })
+            .collect();
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let mut new_lt = LoserTree::new(refs.clone());
+        let mut old_lt = ReferenceLoserTree::new(refs);
+        loop {
+            let (a, b) = (new_lt.next_element(), old_lt.next_element());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(new_lt.comparisons(), old_lt.comparisons());
+        assert!(
+            new_lt.policy_flips >= PIN_FLIPS,
+            "regions must flip the policy (flips = {})",
+            new_lt.policy_flips
+        );
+        assert!(new_lt.policy_pinned, "plateau must pin the policy");
+        assert!(new_lt.guarded_store, "pinned policy is the guarded store");
     }
 }

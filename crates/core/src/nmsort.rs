@@ -28,7 +28,6 @@ use crate::pmerge::parallel_merge;
 use crate::quicksort::external_quicksort;
 use crate::sample::{draw_pivots, PivotSample};
 use crate::{SortElem, SortError};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use tlmm_model::CostSnapshot;
 use tlmm_scratchpad::trace::with_lane;
@@ -62,8 +61,10 @@ pub struct NmSortConfig {
     pub n_pivots: Option<usize>,
     /// RNG seed for pivot sampling.
     pub seed: u64,
-    /// Real host parallelism (rayon) in addition to virtual-lane accounting.
-    pub parallel: bool,
+    /// Host worker threads fanning out real work (chunk copies, segment
+    /// gathers, merges) in addition to virtual-lane accounting. `1` runs
+    /// everything inline; never affects simulated charges.
+    pub threads: usize,
     /// Mark ingest phases overlappable (DMA double-buffering semantics).
     pub use_dma: bool,
     /// In-scratchpad chunk sorting algorithm.
@@ -77,7 +78,7 @@ impl Default for NmSortConfig {
             chunk_elems: None,
             n_pivots: None,
             seed: 0x5EED_CAFE,
-            parallel: true,
+            threads: crate::pool::host_threads(),
             use_dma: false,
             chunk_sorter: ChunkSorter::MultiwayMerge,
         }
@@ -241,7 +242,7 @@ fn staged_copy_with_retry<T: SortElem>(
     src: &[T],
     dst: &mut [T],
     lanes: usize,
-    parallel: bool,
+    threads: usize,
     stats: &mut DegradationStats,
 ) {
     let op = match kind {
@@ -274,7 +275,7 @@ fn staged_copy_with_retry<T: SortElem>(
             FaultDecision::Proceed => break,
         }
     }
-    charged_copy(tl, kind, src, dst, lanes, parallel);
+    charged_copy(tl, kind, src, dst, lanes, threads);
 }
 
 /// Consult the injector's [`FaultOp::DmaIssue`] class before overlapping a
@@ -397,6 +398,7 @@ pub fn nmsort<T: SortElem>(
 ) -> Result<NmSortReport<T>, SortError> {
     let n = input.len();
     let lanes = cfg.sim_lanes.max(1);
+    crate::pool::validate_threads(cfg.threads)?;
     if n == 0 {
         return Ok(NmSortReport {
             output: input,
@@ -459,7 +461,7 @@ pub fn nmsort<T: SortElem>(
     let mut all_positions: Vec<BucketPositions> = Vec::with_capacity(n_chunks);
     let ext_cfg = ExtSortConfig {
         lanes,
-        parallel: cfg.parallel,
+        threads: cfg.threads,
         ..Default::default()
     };
     for k in 0..n_chunks {
@@ -477,7 +479,7 @@ pub fn nmsort<T: SortElem>(
             &input.as_slice_uncharged()[lo..hi],
             &mut chunk_buf.as_mut_slice_uncharged()[..len],
             lanes,
-            cfg.parallel,
+            cfg.threads,
             &mut degradations,
         );
 
@@ -518,7 +520,7 @@ pub fn nmsort<T: SortElem>(
             sorted,
             &mut sorted_chunks.as_mut_slice_uncharged()[lo..hi],
             lanes,
-            cfg.parallel,
+            cfg.threads,
             &mut degradations,
         );
 
@@ -530,7 +532,7 @@ pub fn nmsort<T: SortElem>(
                 sorted,
                 &sample.pivots,
                 lanes,
-                cfg.parallel,
+                cfg.threads,
             );
             accumulate_totals(tl, totals_buf.as_mut_slice_uncharged(), &pos, lanes);
             // BucketPos for this chunk goes to DRAM (the auxiliary array of
@@ -605,7 +607,7 @@ pub fn nmsort<T: SortElem>(
                         out_off,
                         total as usize,
                         lanes,
-                        cfg.parallel,
+                        cfg.threads,
                     );
                 } else {
                     merge_batch_via_scratchpad(
@@ -620,7 +622,7 @@ pub fn nmsort<T: SortElem>(
                         out_off,
                         total as usize,
                         lanes,
-                        cfg.parallel,
+                        cfg.threads,
                     );
                 }
             } else {
@@ -638,7 +640,7 @@ pub fn nmsort<T: SortElem>(
                     out_off,
                     total as usize,
                     lanes,
-                    cfg.parallel,
+                    cfg.threads,
                 );
                 degradations.dram_direct_parts += direct_parts as u64;
             }
@@ -681,7 +683,7 @@ fn merge_batch_from_far<T: SortElem>(
     out_off: usize,
     total: usize,
     lanes: usize,
-    parallel: bool,
+    threads: usize,
 ) {
     let elem = std::mem::size_of::<T>() as u64;
     let segs = batch_segments(all_positions, chunk_starts, bucket_range);
@@ -691,7 +693,7 @@ fn merge_batch_from_far<T: SortElem>(
     tl.charge_far_random(Dir::Read, 2 * segs.len() as u64, 16 * segs.len() as u64);
     let seg_slices: Vec<&[T]> = segs.iter().map(|&(a, b)| &src[a..b]).collect();
     let out = &mut output.as_mut_slice_uncharged()[out_off..out_off + total];
-    let cmps = parallel_merge(&seg_slices, out, lanes, parallel);
+    let cmps = parallel_merge(&seg_slices, out, lanes, threads);
     charge_io_striped(tl, RegionLevel::Far, Dir::Read, total as u64 * elem, lanes);
     charge_io_striped(tl, RegionLevel::Far, Dir::Write, total as u64 * elem, lanes);
     charge_compute_striped(tl, cmps, lanes);
@@ -727,7 +729,7 @@ fn merge_batch_via_scratchpad<T: SortElem>(
     out_off: usize,
     total: usize,
     lanes: usize,
-    parallel: bool,
+    threads: usize,
 ) {
     let elem = std::mem::size_of::<T>() as u64;
     let segs = batch_segments(all_positions, chunk_starts, bucket_range);
@@ -769,11 +771,9 @@ fn merge_batch_via_scratchpad<T: SortElem>(
                 })
                 .collect();
             ex.run_tasks(tasks);
-        } else if parallel {
-            segs.par_iter()
-                .zip(dsts.into_par_iter())
-                .enumerate()
-                .for_each(copy_one);
+        } else if threads > 1 {
+            let items: Vec<(&(usize, usize), &mut [T])> = segs.iter().zip(dsts).collect();
+            crate::pool::run_indexed(threads, items, |k, sd| copy_one((k, sd)));
         } else {
             segs.iter().zip(dsts).enumerate().for_each(copy_one);
         }
@@ -801,7 +801,7 @@ fn merge_batch_via_scratchpad<T: SortElem>(
             cursor += hi - lo;
         }
         let out = &mut merge_buf.as_mut_slice_uncharged()[..total];
-        let cmps = parallel_merge(&seg_slices, out, lanes, parallel);
+        let cmps = parallel_merge(&seg_slices, out, lanes, threads);
         // Merge streams the batch through cache once each way.
         charge_io_striped(tl, RegionLevel::Near, Dir::Read, total as u64 * elem, lanes);
         charge_io_striped(
@@ -822,7 +822,7 @@ fn merge_batch_via_scratchpad<T: SortElem>(
         &merge_buf.as_slice_uncharged()[..total],
         &mut output.as_mut_slice_uncharged()[out_off..out_off + total],
         lanes,
-        parallel,
+        threads,
     );
     tl.end_phase();
 }
@@ -845,7 +845,7 @@ fn merge_oversized_bucket<T: SortElem>(
     out_off: usize,
     total: usize,
     lanes: usize,
-    parallel: bool,
+    threads: usize,
 ) -> usize {
     let elem = std::mem::size_of::<T>() as u64;
     let cap = gather_buf.len();
@@ -905,7 +905,7 @@ fn merge_oversized_bucket<T: SortElem>(
         if part_total <= cap {
             merge_part_via_scratchpad(
                 tl, src, &part_segs, gather_buf, merge_buf, output, part_off, part_total, lanes,
-                parallel,
+                threads,
             );
         } else {
             // Degenerate duplication: merge straight from DRAM.
@@ -914,7 +914,7 @@ fn merge_oversized_bucket<T: SortElem>(
             tl.begin_phase("nmsort.p2.stream_far");
             let seg_slices: Vec<&[T]> = part_segs.iter().map(|&(a, b)| &src[a..b]).collect();
             let out = &mut output.as_mut_slice_uncharged()[part_off..part_off + part_total];
-            let cmps = parallel_merge(&seg_slices, out, lanes, parallel);
+            let cmps = parallel_merge(&seg_slices, out, lanes, threads);
             charge_io_striped(
                 tl,
                 RegionLevel::Far,
@@ -955,7 +955,7 @@ fn merge_part_via_scratchpad<T: SortElem>(
     out_off: usize,
     total: usize,
     lanes: usize,
-    parallel: bool,
+    threads: usize,
 ) {
     let elem = std::mem::size_of::<T>() as u64;
     tl.begin_phase("nmsort.p2.gather");
@@ -985,7 +985,7 @@ fn merge_part_via_scratchpad<T: SortElem>(
             cursor += hi - lo;
         }
         let out = &mut merge_buf.as_mut_slice_uncharged()[..total];
-        let cmps = parallel_merge(&seg_slices, out, lanes, parallel);
+        let cmps = parallel_merge(&seg_slices, out, lanes, threads);
         charge_io_striped(tl, RegionLevel::Near, Dir::Read, total as u64 * elem, lanes);
         charge_io_striped(
             tl,
@@ -1003,7 +1003,7 @@ fn merge_part_via_scratchpad<T: SortElem>(
         &merge_buf.as_slice_uncharged()[..total],
         &mut output.as_mut_slice_uncharged()[out_off..out_off + total],
         lanes,
-        parallel,
+        threads,
     );
     tl.end_phase();
 }
@@ -1133,18 +1133,18 @@ mod tests {
 
     #[test]
     fn sequential_and_parallel_agree_on_ledger() {
-        let run = |parallel| {
+        let run = |threads: usize| {
             let tl = tl_small();
             let input = tl.far_from_vec(random_vec(200_000, 7));
             let cfg = NmSortConfig {
-                parallel,
+                threads,
                 ..Default::default()
             };
             nmsort(&tl, input, &cfg).unwrap();
             tl.ledger().snapshot()
         };
-        let a = run(true);
-        let b = run(false);
+        let a = run(4);
+        let b = run(1);
         assert_eq!(a.far_bytes, b.far_bytes);
         assert_eq!(a.near_bytes, b.near_bytes);
     }

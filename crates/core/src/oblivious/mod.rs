@@ -52,14 +52,14 @@ use tlmm_scratchpad::{Dir, FaultDecision, FaultOp, TwoLevel};
 /// Tuning knobs shared by both oblivious engines. None of these encode a
 /// memory-hierarchy size: `base_elems` is a constant recursion cutoff (the
 /// usual "O(1) base case, engineered constant" of cache-oblivious practice)
-/// and the lane/parallel knobs only affect attribution and host threading.
+/// and the lane/thread knobs only affect attribution and host threading.
 #[derive(Debug, Clone)]
 pub struct ObliviousConfig {
     /// Virtual lanes to attribute work to (simulated cores). Default 8.
     pub lanes: usize,
-    /// Use real host parallelism (rayon) across recursion children and
-    /// bucket merges. Charges are identical either way.
-    pub parallel: bool,
+    /// Host worker threads across recursion children and bucket merges
+    /// (1 = run inline). Charges are identical at every thread count.
+    pub threads: usize,
     /// Recursion cutoff in elements: segments at most this long are sorted
     /// with one read pass, an in-cache kernel sort, and one write pass.
     /// A constant — deliberately *not* derived from `M` or `Z`.
@@ -70,7 +70,7 @@ impl Default for ObliviousConfig {
     fn default() -> Self {
         Self {
             lanes: 8,
-            parallel: true,
+            threads: crate::pool::host_threads(),
             base_elems: 1024,
         }
     }
@@ -96,14 +96,14 @@ pub struct ObliviousReport {
 
 /// Charging context threaded through both recursions: the `TwoLevel` being
 /// charged, the machine-side residency threshold, and atomic tallies (the
-/// recursions run children on rayon when configured).
+/// recursions fan children out over [`crate::pool`] when configured).
 pub(crate) struct Ctx<'a> {
     pub tl: &'a TwoLevel,
     /// Largest segment (in elements) the machine keeps near-resident —
     /// data plus equal-sized ping-pong scratch within half the scratchpad.
     near_cap_elems: usize,
     pub base_elems: usize,
-    pub parallel: bool,
+    pub threads: usize,
     resident_subtrees: AtomicU64,
     streaming_passes: AtomicU64,
     comparisons: AtomicU64,
@@ -122,7 +122,7 @@ impl<'a> Ctx<'a> {
             tl,
             near_cap_elems,
             base_elems: cfg.base_elems.max(2),
-            parallel: cfg.parallel,
+            threads: cfg.threads,
             resident_subtrees: AtomicU64::new(0),
             streaming_passes: AtomicU64::new(0),
             comparisons: AtomicU64::new(0),
@@ -265,7 +265,7 @@ pub(crate) fn validate(cfg: &ObliviousConfig) -> Result<(), crate::SortError> {
             reason: "ObliviousConfig::lanes must be at least 1",
         });
     }
-    Ok(())
+    crate::pool::validate_threads(cfg.threads)
 }
 
 #[cfg(test)]

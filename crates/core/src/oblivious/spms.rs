@@ -20,7 +20,6 @@ use super::{ceil_sqrt, Ctx, ObliviousConfig, ObliviousReport};
 use crate::extsort::RegionLevel;
 use crate::par::{charge_compute_striped, charge_io_striped, charged_copy, CopyKind};
 use crate::{ceil_lg, SortElem, SortError};
-use rayon::prelude::*;
 use tlmm_scratchpad::trace::{current_lane, with_lane};
 use tlmm_scratchpad::{Dir, FarArray, TwoLevel};
 
@@ -99,11 +98,12 @@ fn node<T: SortElem>(
             sort_rec(cx, d, s, child_lanes, child_far, depth + 1);
         })
     };
-    if cx.parallel {
-        data.par_chunks_mut(group)
-            .zip(scratch.par_chunks_mut(group))
-            .enumerate()
-            .for_each(sort_group);
+    if cx.threads > 1 {
+        let children: Vec<(&mut [T], &mut [T])> = data
+            .chunks_mut(group)
+            .zip(scratch.chunks_mut(group))
+            .collect();
+        crate::pool::run_indexed(cx.threads, children, |i, ds| sort_group((i, ds)));
     } else {
         data.chunks_mut(group)
             .zip(scratch.chunks_mut(group))
@@ -209,11 +209,8 @@ fn node<T: SortElem>(
             cx.add_comparisons(cmps);
         })
     };
-    if cx.parallel {
-        bucket_slices
-            .into_par_iter()
-            .enumerate()
-            .for_each(merge_bucket);
+    if cx.threads > 1 {
+        crate::pool::run_indexed(cx.threads, bucket_slices, |b, out| merge_bucket((b, out)));
     } else {
         bucket_slices.into_iter().enumerate().for_each(merge_bucket);
     }
@@ -225,7 +222,7 @@ fn node<T: SortElem>(
         RegionLevel::Far => CopyKind::FarToFar,
     };
     cx.preflight_stream(level, std::mem::size_of_val(data) as u64, lanes);
-    charged_copy(cx.tl, kind, &scratch[..n], data, lanes, cx.parallel);
+    charged_copy(cx.tl, kind, &scratch[..n], data, lanes, cx.threads);
     cx.add_passes(1);
 }
 
@@ -245,7 +242,7 @@ mod tests {
     fn seq_cfg() -> ObliviousConfig {
         ObliviousConfig {
             lanes: 4,
-            parallel: false,
+            threads: 1,
             ..Default::default()
         }
     }
@@ -315,18 +312,18 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_charge_identically() {
-        let snap = |parallel: bool| {
+        let snap = |threads: usize| {
             let tl = tl();
             let cfg = ObliviousConfig {
                 lanes: 4,
-                parallel,
+                threads,
                 ..Default::default()
             };
             let (out, _) = spms_sort(&tl, tl.far_from_vec(random_vec(60_000, 3)), &cfg).unwrap();
             assert!(out.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
             tl.ledger().snapshot()
         };
-        assert_eq!(snap(true), snap(false));
+        assert_eq!(snap(4), snap(1));
     }
 
     #[test]

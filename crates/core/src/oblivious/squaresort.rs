@@ -17,7 +17,6 @@ use super::{ceil_sqrt, Ctx, ObliviousConfig, ObliviousReport};
 use crate::extsort::{merge_rounds, RegionLevel};
 use crate::par::{charged_copy, CopyKind};
 use crate::{SortElem, SortError};
-use rayon::prelude::*;
 use tlmm_scratchpad::trace::{current_lane, with_lane};
 use tlmm_scratchpad::{FarArray, TwoLevel};
 
@@ -88,11 +87,12 @@ fn node<T: SortElem>(
             sort_rec(cx, d, s, child_lanes, child_far, depth + 1);
         })
     };
-    if cx.parallel {
-        data.par_chunks_mut(block)
-            .zip(scratch.par_chunks_mut(block))
-            .enumerate()
-            .for_each(sort_block);
+    if cx.threads > 1 {
+        let children: Vec<(&mut [T], &mut [T])> = data
+            .chunks_mut(block)
+            .zip(scratch.chunks_mut(block))
+            .collect();
+        crate::pool::run_indexed(cx.threads, children, |i, ds| sort_block((i, ds)));
     } else {
         data.chunks_mut(block)
             .zip(scratch.chunks_mut(block))
@@ -107,7 +107,7 @@ fn node<T: SortElem>(
     cx.preflight_stream(level, bytes, lanes);
     let bounds: Vec<usize> = (0..=n_blocks).map(|i| (i * block).min(n)).collect();
     let (in_scratch, rounds, cmps) =
-        merge_rounds(cx.tl, level, data, scratch, bounds, 2, lanes, cx.parallel);
+        merge_rounds(cx.tl, level, data, scratch, bounds, 2, lanes, cx.threads);
     cx.add_comparisons(cmps);
     cx.add_passes(rounds as u64);
 
@@ -119,7 +119,7 @@ fn node<T: SortElem>(
             RegionLevel::Far => CopyKind::FarToFar,
         };
         cx.preflight_stream(level, bytes, lanes);
-        charged_copy(cx.tl, kind, &scratch[..n], data, lanes, cx.parallel);
+        charged_copy(cx.tl, kind, &scratch[..n], data, lanes, cx.threads);
         cx.add_passes(1);
     }
 }
@@ -140,7 +140,7 @@ mod tests {
     fn seq_cfg() -> ObliviousConfig {
         ObliviousConfig {
             lanes: 4,
-            parallel: false,
+            threads: 1,
             ..Default::default()
         }
     }
@@ -213,11 +213,11 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_charge_identically() {
-        let snap = |parallel: bool| {
+        let snap = |threads: usize| {
             let tl = tl();
             let cfg = ObliviousConfig {
                 lanes: 4,
-                parallel,
+                threads,
                 ..Default::default()
             };
             let (out, _) =
@@ -225,7 +225,7 @@ mod tests {
             assert!(out.as_slice_uncharged().windows(2).all(|w| w[0] <= w[1]));
             tl.ledger().snapshot()
         };
-        assert_eq!(snap(true), snap(false));
+        assert_eq!(snap(4), snap(1));
     }
 
     #[test]

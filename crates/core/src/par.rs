@@ -2,14 +2,13 @@
 //!
 //! Moving a chunk between DRAM and the scratchpad is bandwidth work shared
 //! by all cores: each of the `lanes` virtual lanes streams a contiguous
-//! stripe. These helpers perform the copy (optionally with real host
-//! parallelism) and charge each stripe to its lane, so the phase trace shows
-//! the transfer as parallel — which is how the flow simulator can apply the
-//! full channel bandwidth to it.
+//! stripe. These helpers perform the copy (fanning out over the caller's
+//! `threads` host workers via [`crate::pool`]) and charge each stripe to
+//! its lane, so the phase trace shows the transfer as parallel — which is
+//! how the flow simulator can apply the full channel bandwidth to it.
 
 use crate::extsort::RegionLevel;
 use crate::SortElem;
-use rayon::prelude::*;
 use std::ops::Range;
 use tlmm_scratchpad::trace::{current_lane, with_lane};
 use tlmm_scratchpad::{Dir, TwoLevel};
@@ -80,7 +79,7 @@ pub enum CopyKind {
 /// [`charge_compute_striped`]) stay allocation-free on the hot path — these
 /// run once per transfer in every merge round and used to collect a `Vec`
 /// each time. The iterator is `Clone + ExactSizeIterator`, so callers that
-/// genuinely need a materialized list (e.g. rayon fan-out) can collect it
+/// genuinely need a materialized list (e.g. pool fan-out) can collect it
 /// themselves.
 pub fn striped_ranges(
     len: usize,
@@ -116,14 +115,14 @@ fn charge_stripe<T>(tl: &TwoLevel, kind: CopyKind, elems: usize) {
 }
 
 /// Copy `src` into `dst` (equal lengths) in lane stripes, charging both
-/// endpoints of `kind`.
+/// endpoints of `kind`. `threads` bounds the host fan-out (1 = inline).
 pub fn charged_copy<T: SortElem>(
     tl: &TwoLevel,
     kind: CopyKind,
     src: &[T],
     dst: &mut [T],
     lanes: usize,
-    parallel: bool,
+    threads: usize,
 ) {
     assert_eq!(src.len(), dst.len(), "charged_copy length mismatch");
     if src.is_empty() {
@@ -160,8 +159,8 @@ pub fn charged_copy<T: SortElem>(
         ex.run_tasks(tasks);
         return;
     }
-    if parallel {
-        // Rayon needs materialized stripes to fan out; this path is the
+    if threads > 1 {
+        // The pool needs materialized stripes to fan out; this path is the
         // thread-spawning one, so a couple of small Vecs are in the noise.
         let ranges: Vec<Range<usize>> = striped_ranges(src.len(), lanes).collect();
         let mut dst_slices: Vec<&mut [T]> = Vec::with_capacity(ranges.len());
@@ -171,11 +170,8 @@ pub fn charged_copy<T: SortElem>(
             dst_slices.push(a);
             rest = b;
         }
-        ranges
-            .into_par_iter()
-            .zip(dst_slices.into_par_iter())
-            .enumerate()
-            .for_each(work);
+        let items: Vec<(Range<usize>, &mut [T])> = ranges.into_iter().zip(dst_slices).collect();
+        crate::pool::run_indexed(threads, items, |i, rd| work((i, rd)));
     } else {
         // Sequential path: walk the stripe iterator and carve `dst` as we
         // go — no allocation at all.
@@ -218,7 +214,7 @@ mod tests {
         let tl = tl();
         let src: Vec<u64> = (0..10_000).collect();
         let mut dst = vec![0u64; 10_000];
-        charged_copy(&tl, CopyKind::FarToNear, &src, &mut dst, 8, false);
+        charged_copy(&tl, CopyKind::FarToNear, &src, &mut dst, 8, 1);
         assert_eq!(src, dst);
         let s = tl.ledger().snapshot();
         assert_eq!(s.far_bytes, 80_000);
@@ -229,16 +225,16 @@ mod tests {
 
     #[test]
     fn parallel_copy_matches_sequential_charges() {
-        let run = |parallel| {
+        let run = |threads: usize| {
             let tl = tl();
             let src: Vec<u32> = (0..50_000).collect();
             let mut dst = vec![0u32; 50_000];
-            charged_copy(&tl, CopyKind::NearToFar, &src, &mut dst, 8, parallel);
+            charged_copy(&tl, CopyKind::NearToFar, &src, &mut dst, 8, threads);
             assert_eq!(src, dst);
             tl.ledger().snapshot()
         };
-        let a = run(true);
-        let b = run(false);
+        let a = run(4);
+        let b = run(1);
         assert_eq!(a, b);
     }
 
@@ -254,7 +250,7 @@ mod tests {
             let tl = tl();
             let src = vec![1u8; 1000];
             let mut dst = vec![0u8; 1000];
-            charged_copy(&tl, kind, &src, &mut dst, 4, false);
+            charged_copy(&tl, kind, &src, &mut dst, 4, 1);
             let s = tl.ledger().snapshot();
             assert_eq!(s.far_bytes > 0, far, "{kind:?}");
             assert_eq!(s.near_bytes > 0, near, "{kind:?}");
@@ -267,7 +263,7 @@ mod tests {
         tl.begin_phase("copy");
         let src = vec![0u64; 8192];
         let mut dst = vec![0u64; 8192];
-        charged_copy(&tl, CopyKind::FarToNear, &src, &mut dst, 8, true);
+        charged_copy(&tl, CopyKind::FarToNear, &src, &mut dst, 8, 4);
         tl.end_phase();
         let t = tl.take_trace();
         assert_eq!(t.phases[0].active_lanes(), 8);

@@ -10,7 +10,7 @@
 //! This module is a thin, documented wrapper over the shared bucketizing
 //! engine with `lanes = p′`: every scan's ingest, in-scratchpad sort,
 //! boundary extraction and bucket write-out is charged (and, with
-//! `parallel`, executed) across the lanes. NMsort (§IV-D) remains the
+//! `threads > 1`, executed) across the lanes. NMsort (§IV-D) remains the
 //! *practical* parallel algorithm; this one exists to check Theorem 10's
 //! scaling — see `tests/model_validation.rs` and the `parsort_scaling`
 //! test below.
@@ -28,8 +28,8 @@ pub struct ParSortConfig {
     pub seed: u64,
     /// Pivot count per scan (default `Θ(M/B)`).
     pub n_pivots: Option<usize>,
-    /// Real host parallelism.
-    pub parallel: bool,
+    /// Host worker threads inside scans (1 = run inline).
+    pub threads: usize,
 }
 
 impl Default for ParSortConfig {
@@ -38,7 +38,7 @@ impl Default for ParSortConfig {
             lanes: 8,
             seed: 0x0DD5_EED5,
             n_pivots: None,
-            parallel: true,
+            threads: crate::pool::host_threads(),
         }
     }
 }
@@ -63,7 +63,7 @@ pub fn par_scratchpad_sort<T: SortElem>(
             max_depth: 64,
             n_pivots: cfg.n_pivots,
             lanes: cfg.lanes,
-            parallel: cfg.parallel,
+            threads: cfg.threads,
         },
     )
 }
@@ -128,7 +128,7 @@ mod tests {
                 tl.far_from_vec(v),
                 &ParSortConfig {
                     lanes,
-                    parallel: false,
+                    threads: 1,
                     ..Default::default()
                 },
             )
@@ -160,7 +160,7 @@ mod tests {
                 tl.far_from_vec(v),
                 &ParSortConfig {
                     lanes,
-                    parallel: false,
+                    threads: 1,
                     ..Default::default()
                 },
             )

@@ -14,12 +14,12 @@
 
 use crate::losertree::merge_into_slice;
 use crate::SortElem;
-use rayon::prelude::*;
 use tlmm_scratchpad::trace::with_lane;
 
 /// Merge `segments` (each sorted) into `out`, split into up to `ways`
 /// independent parts. Parts are charged to virtual lanes `0..ways`; with
-/// `parallel` they run on rayon. Returns total comparisons.
+/// `threads` > 1 they fan out on the sized worker pool. Returns total
+/// comparisons.
 ///
 /// # Panics
 /// Panics if `out.len()` differs from the total segment length.
@@ -27,7 +27,7 @@ pub fn parallel_merge<T: SortElem>(
     segments: &[&[T]],
     out: &mut [T],
     ways: usize,
-    parallel: bool,
+    threads: usize,
 ) -> u64 {
     let total: usize = segments.iter().map(|s| s.len()).sum();
     assert_eq!(out.len(), total, "output must fit the merge exactly");
@@ -97,12 +97,10 @@ pub fn parallel_merge<T: SortElem>(
         with_lane(t % ways, || merge_into_slice(&part.subs, out))
     };
 
-    if parallel {
-        parts
-            .par_iter()
-            .zip(out_slices.into_par_iter())
-            .enumerate()
-            .map(merge_part)
+    if threads > 1 {
+        let items: Vec<(&Part<'_, T>, &mut [T])> = parts.iter().zip(out_slices).collect();
+        crate::pool::map_indexed(threads, items, |t, po| merge_part((t, po)))
+            .into_iter()
             .sum()
     } else {
         parts
@@ -120,14 +118,14 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn check(segments: Vec<Vec<u64>>, ways: usize, parallel: bool) {
+    fn check(segments: Vec<Vec<u64>>, ways: usize, threads: usize) {
         let refs: Vec<&[u64]> = segments.iter().map(|s| s.as_slice()).collect();
         let total: usize = segments.iter().map(|s| s.len()).sum();
         let mut out = vec![0u64; total];
-        parallel_merge(&refs, &mut out, ways, parallel);
+        parallel_merge(&refs, &mut out, ways, threads);
         let mut expect: Vec<u64> = segments.concat();
         expect.sort_unstable();
-        assert_eq!(out, expect, "ways={ways} parallel={parallel}");
+        assert_eq!(out, expect, "ways={ways} threads={threads}");
     }
 
     fn random_sorted(n: usize, seed: u64) -> Vec<u64> {
@@ -143,22 +141,22 @@ mod tests {
             .map(|i| random_sorted(1000 + i * 37, i as u64))
             .collect();
         for ways in [1, 2, 4, 8, 16] {
-            check(segs.clone(), ways, false);
-            check(segs.clone(), ways, true);
+            check(segs.clone(), ways, 1);
+            check(segs.clone(), ways, 4);
         }
     }
 
     #[test]
     fn handles_empty_and_tiny_segments() {
-        check(vec![vec![], vec![1, 2], vec![], vec![3]], 4, false);
-        check(vec![vec![]], 4, false);
-        check(vec![], 4, false);
-        check(vec![vec![5]], 8, true);
+        check(vec![vec![], vec![1, 2], vec![], vec![3]], 4, 1);
+        check(vec![vec![]], 4, 1);
+        check(vec![], 4, 1);
+        check(vec![vec![5]], 8, 4);
     }
 
     #[test]
     fn handles_all_equal_keys() {
-        check(vec![vec![7; 500], vec![7; 300], vec![7; 200]], 8, true);
+        check(vec![vec![7; 500], vec![7; 300], vec![7; 200]], 8, 4);
     }
 
     #[test]
@@ -170,7 +168,7 @@ mod tests {
                 (2000..3000).collect(),
             ],
             4,
-            true,
+            4,
         );
     }
 
@@ -179,7 +177,7 @@ mod tests {
         check(
             vec![random_sorted(100_000, 1), vec![5], random_sorted(10, 2)],
             8,
-            true,
+            4,
         );
     }
 
@@ -188,7 +186,7 @@ mod tests {
         let segs: Vec<Vec<u64>> = (0..4).map(|i| random_sorted(5000, i)).collect();
         let refs: Vec<&[u64]> = segs.iter().map(|s| s.as_slice()).collect();
         let mut out = vec![0u64; 20_000];
-        let cmps = parallel_merge(&refs, &mut out, 4, false);
+        let cmps = parallel_merge(&refs, &mut out, 4, 1);
         assert!(cmps >= 20_000 / 2, "cmps={cmps}");
         assert!(cmps <= 20_000 * 4, "cmps={cmps}");
     }

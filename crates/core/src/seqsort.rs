@@ -38,8 +38,8 @@ pub struct SeqSortConfig {
     /// Virtual lanes cooperating on every scan (`p′` in §IV; 1 = the
     /// sequential algorithm of §III).
     pub lanes: usize,
-    /// Real host parallelism inside scans.
-    pub parallel: bool,
+    /// Host worker threads inside scans (1 = run inline).
+    pub threads: usize,
 }
 
 impl Default for SeqSortConfig {
@@ -49,7 +49,7 @@ impl Default for SeqSortConfig {
             max_depth: 64,
             n_pivots: None,
             lanes: 1,
-            parallel: false,
+            threads: 1,
         }
     }
 }
@@ -73,7 +73,7 @@ struct Ctx<'a> {
     n_pivots: usize,
     max_depth: u32,
     lanes: usize,
-    parallel: bool,
+    threads: usize,
     report: SeqSortReport,
 }
 
@@ -108,7 +108,7 @@ pub fn seq_scratchpad_sort<T: SortElem>(
         n_pivots,
         max_depth: cfg.max_depth,
         lanes: cfg.lanes.max(1),
-        parallel: cfg.parallel,
+        threads: cfg.threads.max(1),
         report: SeqSortReport::default(),
     };
     let data = input.into_vec();
@@ -146,7 +146,7 @@ fn sort_rec<T: SortElem>(ctx: &mut Ctx<'_>, data: Vec<T>, depth: u32) -> Vec<T> 
             &mut scratch,
             &ExtSortConfig {
                 lanes: ctx.lanes,
-                parallel: ctx.parallel,
+                threads: ctx.threads,
                 ..Default::default()
             },
         );
@@ -211,7 +211,7 @@ fn sort_rec<T: SortElem>(ctx: &mut Ctx<'_>, data: Vec<T>, depth: u32) -> Vec<T> 
             &mut scratch[..len],
             &ExtSortConfig {
                 lanes: ctx.lanes,
-                parallel: ctx.parallel,
+                threads: ctx.threads,
                 ..Default::default()
             },
         );
@@ -227,7 +227,7 @@ fn sort_rec<T: SortElem>(ctx: &mut Ctx<'_>, data: Vec<T>, depth: u32) -> Vec<T> 
             sorted,
             &pivots,
             ctx.lanes,
-            ctx.parallel,
+            ctx.threads,
         );
         // Append each piece to its bucket in DRAM: the piece streams out of
         // the scratchpad, plus up to two extra far blocks per piece for the

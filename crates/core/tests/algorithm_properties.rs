@@ -46,7 +46,7 @@ proptest! {
         let mut a = vec![0u64; total];
         merge_into_slice(&refs, &mut a);
         let mut b = vec![0u64; total];
-        parallel_merge(&refs, &mut b, ways, false);
+        parallel_merge(&refs, &mut b, ways, 1);
         prop_assert_eq!(a, b);
     }
 
@@ -99,7 +99,7 @@ proptest! {
             let cfg = NmSortConfig {
                 chunk_elems: Some(chunk),
                 chunk_sorter: sorter,
-                parallel: false,
+                threads: 1,
                 ..Default::default()
             };
             let r = nmsort(&tl, input, &cfg).unwrap();
@@ -117,7 +117,7 @@ proptest! {
             let v: Vec<u64> = (0..n as u64).rev().collect();
             baseline_sort(&tl, tl.far_from_vec(v), &BaselineConfig {
                 sim_lanes: 4,
-                parallel: false,
+                threads: 1,
                 ..Default::default()
             }).unwrap();
             tl.ledger().snapshot().far_bytes
@@ -138,7 +138,7 @@ proptest! {
         let tl = tl();
         let input = tl.far_from_vec(v);
         let r = nmsort(&tl, input, &NmSortConfig {
-            parallel: false,
+            threads: 1,
             ..Default::default()
         }).unwrap();
         prop_assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());

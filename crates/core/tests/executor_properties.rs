@@ -54,7 +54,7 @@ fn nmsort_snapshot(
         tl.far_from_vec(input.to_vec()),
         &NmSortConfig {
             sim_lanes: lanes,
-            parallel: false,
+            threads: 1,
             ..Default::default()
         },
     )
@@ -83,7 +83,7 @@ fn parsort_snapshot(
         tl.far_from_vec(input.to_vec()),
         &ParSortConfig {
             lanes,
-            parallel: false,
+            threads: 1,
             ..Default::default()
         },
     )
@@ -110,7 +110,7 @@ fn oblivious_snapshot(
     }
     let cfg = ObliviousConfig {
         lanes,
-        parallel: false,
+        threads: 1,
         ..Default::default()
     };
     let arr = tl.far_from_vec(input.to_vec());
@@ -247,7 +247,7 @@ proptest! {
             nmsort(
                 &tl,
                 tl.far_from_vec(input.clone()),
-                &NmSortConfig { sim_lanes: 8, parallel: false, ..Default::default() },
+                &NmSortConfig { sim_lanes: 8, threads: 1, ..Default::default() },
             )
             .unwrap();
             ex.report()
@@ -297,7 +297,7 @@ fn contention_surfaces_in_trace_only_when_slots_are_scarce() {
             tl.far_from_vec(input.clone()),
             &NmSortConfig {
                 sim_lanes: 8,
-                parallel: false,
+                threads: 1,
                 ..Default::default()
             },
         )

@@ -75,7 +75,7 @@ fn main() {
             far.as_slice_uncharged(),
             near.as_mut_slice_uncharged(),
             lanes,
-            false,
+            1,
         );
         let mut hist2 = [0u64; 64];
         for _ in 0..passes {

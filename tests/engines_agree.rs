@@ -35,7 +35,7 @@ fn nmsort_trace_with_exec(
         input,
         &NmSortConfig {
             sim_lanes: 32,
-            parallel: false,
+            threads: 1,
             ..Default::default()
         },
     )

@@ -40,7 +40,6 @@ fn run_once(v: Vec<u64>, chunk: usize, fault_seed: Option<u64>) -> SweepRun {
     let cfg = NmSortConfig {
         sim_lanes: 8,
         chunk_elems: Some(chunk),
-        parallel: true,
         ..Default::default()
     };
     let r = nmsort(&tl, input, &cfg).expect("nmsort degrades, never fails");
@@ -118,7 +117,7 @@ fn oversized_bucket_fallback_fires_and_sorts() {
     let cfg = NmSortConfig {
         sim_lanes: 4,
         chunk_elems: Some(n / 6),
-        parallel: false,
+        threads: 1,
         ..Default::default()
     };
     let r = nmsort(&tl, input, &cfg).expect("oversized buckets degrade, not fail");
@@ -213,7 +212,7 @@ fn injection_is_deterministic() {
         let cfg = NmSortConfig {
             sim_lanes: 4,
             chunk_elems: Some(20_000),
-            parallel: false,
+            threads: 1,
             ..Default::default()
         };
         let r = nmsort(&tl, input, &cfg).unwrap();

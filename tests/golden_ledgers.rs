@@ -39,7 +39,7 @@ fn run_sorter(name: &str, exec: Option<tlmm_scratchpad::ExecConfig>) -> CostSnap
                 far,
                 &NmSortConfig {
                     sim_lanes: 8,
-                    parallel: false,
+                    threads: 1,
                     ..Default::default()
                 },
             )
@@ -52,7 +52,7 @@ fn run_sorter(name: &str, exec: Option<tlmm_scratchpad::ExecConfig>) -> CostSnap
                 far,
                 &SeqSortConfig {
                     lanes: 4,
-                    parallel: false,
+                    threads: 1,
                     ..Default::default()
                 },
             )
@@ -65,7 +65,7 @@ fn run_sorter(name: &str, exec: Option<tlmm_scratchpad::ExecConfig>) -> CostSnap
                 far,
                 &ParSortConfig {
                     lanes: 8,
-                    parallel: false,
+                    threads: 1,
                     ..Default::default()
                 },
             )
@@ -78,7 +78,7 @@ fn run_sorter(name: &str, exec: Option<tlmm_scratchpad::ExecConfig>) -> CostSnap
                 far,
                 &BaselineConfig {
                     sim_lanes: 4,
-                    parallel: false,
+                    threads: 1,
                     ..Default::default()
                 },
             )
@@ -88,7 +88,7 @@ fn run_sorter(name: &str, exec: Option<tlmm_scratchpad::ExecConfig>) -> CostSnap
         "spms" | "squaresort" => {
             let cfg = ObliviousConfig {
                 lanes: 8,
-                parallel: false,
+                threads: 1,
                 ..Default::default()
             };
             let (out, _report) = if name == "spms" {

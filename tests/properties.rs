@@ -52,7 +52,7 @@ fn run_oblivious<T: two_level_mem::core::SortElem>(
     let input = tl.far_from_vec(keys);
     let cfg = ObliviousConfig {
         lanes,
-        parallel: false,
+        threads: 1,
         ..Default::default()
     };
     let (out, _report) = if spms {
@@ -134,7 +134,7 @@ proptest! {
         let cfg = NmSortConfig {
             sim_lanes: lanes,
             chunk_elems: if n > 16 { Some((n / chunk_div).clamp(8, 14_000)) } else { None },
-            parallel: false,
+            threads: 1,
             ..Default::default()
         };
         let r = nmsort(&tl, input, &cfg).unwrap();
@@ -152,7 +152,7 @@ proptest! {
         let expect = sorted_copy(&v);
         let input = tl.far_from_vec(v);
         let r = nmsort(&tl, input, &NmSortConfig {
-            parallel: false,
+            threads: 1,
             ..Default::default()
         }).unwrap();
         prop_assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
@@ -168,7 +168,7 @@ proptest! {
         let input = tl.far_from_vec(v);
         let r = baseline_sort(&tl, input, &BaselineConfig {
             sim_lanes: lanes,
-            parallel: false,
+            threads: 1,
             ..Default::default()
         }).unwrap();
         prop_assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
@@ -191,7 +191,7 @@ proptest! {
     ) {
         let tl = TwoLevel::new(tiny_params());
         let input = tl.far_from_vec(v);
-        nmsort(&tl, input, &NmSortConfig { parallel: false, ..Default::default() }).unwrap();
+        nmsort(&tl, input, &NmSortConfig { threads: 1, ..Default::default() }).unwrap();
         let s = tl.ledger().snapshot();
         let p = tiny_params();
         // Block counts can exceed bytes/block (ceiling per transfer) but
@@ -212,7 +212,7 @@ proptest! {
     ) {
         let tl = TwoLevel::new(tiny_params());
         let input = tl.far_from_vec(v);
-        nmsort(&tl, input, &NmSortConfig { parallel: false, ..Default::default() }).unwrap();
+        nmsort(&tl, input, &NmSortConfig { threads: 1, ..Default::default() }).unwrap();
         let trace = tl.take_trace();
         let mut prev = f64::INFINITY;
         for rho in [1.0, 2.0, 4.0, 8.0] {
@@ -244,7 +244,7 @@ proptest! {
         let cfg = NmSortConfig {
             sim_lanes: lanes,
             chunk_elems: if n > 64 { Some((n / 3).clamp(32, 14_000)) } else { None },
-            parallel: false,
+            threads: 1,
             ..Default::default()
         };
         let r = nmsort(&tl, input, &cfg).unwrap();
@@ -276,7 +276,7 @@ proptest! {
         let input = tl.far_from_vec(v);
         let cfg = NmSortConfig {
             chunk_sorter: ChunkSorter::Quicksort,
-            parallel: false,
+            threads: 1,
             ..Default::default()
         };
         let r = nmsort(&tl, input, &cfg).unwrap();
@@ -327,7 +327,7 @@ proptest! {
         tl.install_fault_plan(FaultPlan::seeded(fault_seed));
         let input = tl.far_from_vec(v);
         let r = baseline_sort(&tl, input, &BaselineConfig {
-            parallel: false,
+            threads: 1,
             ..Default::default()
         }).unwrap();
         prop_assert_eq!(r.output.as_slice_uncharged(), expect.as_slice());
