@@ -12,21 +12,25 @@ use serde::Serialize;
 use std::process::Command;
 use tlmm_bench::artifact;
 
-const BINS: &[&str] = &[
-    "table1",
-    "fig_bandwidth",
-    "fig_corescale",
-    "fig_model_validation",
-    "fig_membound",
-    "fig_overhead",
-    "fig_kmeans",
-    "fig_parallel",
-    "fig_energy",
-    "fig_gemm",
-    "fig_crossover",
-    "ablation",
-    "telemetry_overhead",
-    "tlmm_profile",
+/// `(binary, artifact stem)` — most binaries name their artifact after
+/// themselves; the soak bench writes `soak.*` (and runs `--smoke` here so
+/// the full-length soak stays a nightly job).
+const BINS: &[(&str, &str)] = &[
+    ("table1", "table1"),
+    ("fig_bandwidth", "fig_bandwidth"),
+    ("fig_corescale", "fig_corescale"),
+    ("fig_model_validation", "fig_model_validation"),
+    ("fig_membound", "fig_membound"),
+    ("fig_overhead", "fig_overhead"),
+    ("fig_kmeans", "fig_kmeans"),
+    ("fig_parallel", "fig_parallel"),
+    ("fig_energy", "fig_energy"),
+    ("fig_gemm", "fig_gemm"),
+    ("fig_crossover", "fig_crossover"),
+    ("ablation", "ablation"),
+    ("telemetry_overhead", "telemetry_overhead"),
+    ("tlmm_profile", "tlmm_profile"),
+    ("soak_bench", "soak"),
 ];
 
 #[derive(Serialize)]
@@ -71,13 +75,16 @@ fn main() {
     let mut entries = Vec::new();
     let mut traces = Vec::new();
     let mut failures = 0;
-    for bin in BINS {
+    for &(bin, stem) in BINS {
         let path = exe_dir.join(bin);
         eprint!("[all_experiments] {bin} ... ");
         let started = std::time::Instant::now();
-        let output = Command::new(&path)
-            .env(artifact::RESULTS_DIR_ENV, &out_dir)
-            .output();
+        let mut cmd = Command::new(&path);
+        cmd.env(artifact::RESULTS_DIR_ENV, &out_dir);
+        if bin == "soak_bench" {
+            cmd.arg("--smoke");
+        }
+        let output = cmd.output();
         let seconds = started.elapsed().as_secs_f64();
         let ok = match &output {
             Ok(o) if o.status.success() => {
@@ -102,7 +109,7 @@ fn main() {
         // Record whichever artifact files the child actually produced.
         let files: Vec<String> = ["txt", "json", "jsonl", "trace.json"]
             .iter()
-            .map(|ext| format!("{bin}.{ext}"))
+            .map(|ext| format!("{stem}.{ext}"))
             .filter(|f| std::path::Path::new(&out_dir).join(f).exists())
             .collect();
         for f in files.iter().filter(|f| f.ends_with(".trace.json")) {
@@ -113,7 +120,7 @@ fn main() {
             });
         }
         entries.push(ManifestEntry {
-            artifact: bin.to_string(),
+            artifact: stem.to_string(),
             ok,
             seconds,
             files,

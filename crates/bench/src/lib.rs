@@ -163,66 +163,15 @@ pub fn check_sorted(v: &[u64]) -> Result<(), HarnessError> {
     }
 }
 
-/// Which engine [`run_sort`] executes — the single registry every bench
-/// binary dispatches through. Adding a sorter means adding a variant here,
-/// one [`Engine::name`]/[`Engine::parse`] row, and one match arm in the
-/// runner; no binary carries its own algo-name strings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Engine {
-    /// NMsort with blocking ingest transfers.
-    NmSort,
-    /// NMsort with DMA-overlapped ingest (the §VII improvement).
-    NmSortDma,
-    /// The GNU-style far-memory multiway mergesort baseline.
-    Baseline,
-    /// SPMS (Cole–Ramachandran) — cache-oblivious sample–partition–merge.
-    Spms,
-    /// SquareSort (Koucký–Matějka) — cache-oblivious √n-block recursion.
-    SquareSort,
-}
+/// The engine registry [`run_sort`] dispatches over. The enum itself lives
+/// in `tlmm-model` (the dependency root) so the service layer can share it;
+/// re-exported here so every bench binary keeps its `tlmm_bench::Engine`
+/// path.
+pub use tlmm_model::Engine;
 
 /// Former name of [`Engine`]; kept so existing call sites (and muscle
 /// memory) keep compiling — type-alias enum variants are path-compatible.
 pub type SortAlgo = Engine;
-
-impl Engine {
-    /// Every registered engine, in display order.
-    pub const ALL: [Engine; 5] = [
-        Engine::NmSort,
-        Engine::NmSortDma,
-        Engine::Baseline,
-        Engine::Spms,
-        Engine::SquareSort,
-    ];
-
-    /// Canonical lowercase name (artifact keys, `--algo` values).
-    pub fn name(self) -> &'static str {
-        match self {
-            Engine::NmSort => "nmsort",
-            Engine::NmSortDma => "dma",
-            Engine::Baseline => "baseline",
-            Engine::Spms => "spms",
-            Engine::SquareSort => "squaresort",
-        }
-    }
-
-    /// Inverse of [`Engine::name`] (case-sensitive, exact).
-    pub fn parse(s: &str) -> Option<Engine> {
-        Engine::ALL.into_iter().find(|e| e.name() == s)
-    }
-
-    /// Does the engine read `SortSpec::chunk_elems`? Only the aware NMsort
-    /// variants chunk; the baseline and the oblivious engines ignore it.
-    pub fn uses_chunks(self) -> bool {
-        matches!(self, Engine::NmSort | Engine::NmSortDma)
-    }
-
-    /// Is the engine scratchpad-*oblivious* (control flow independent of
-    /// `M` and `Z`)? The `fig_crossover` sweep partitions on this.
-    pub fn is_oblivious(self) -> bool {
-        matches!(self, Engine::Spms | Engine::SquareSort)
-    }
-}
 
 /// Parameters for one measured sort run.
 #[derive(Debug, Clone, Copy)]

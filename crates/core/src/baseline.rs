@@ -95,6 +95,8 @@ pub fn baseline_sort<T: SortElem>(
     let passes = depth_above + 1;
 
     // ---- Run sorting ----------------------------------------------------
+    // Phase boundary: cooperative cancellation / deadline check.
+    tl.checkpoint()?;
     tl.begin_phase("baseline.run_sort");
     let sort_run = |(r, run): (usize, &mut [T])| {
         with_lane(r % p, || {
@@ -122,6 +124,7 @@ pub fn baseline_sort<T: SortElem>(
     let n_runs = n.div_ceil(run_elems);
 
     // ---- Multiway merge ---------------------------------------------------
+    tl.checkpoint()?;
     tl.begin_phase("baseline.merge");
     let mut scratch = tl.far_alloc::<T>(n);
     let fanout = cfg.fanout.unwrap_or_else(|| {

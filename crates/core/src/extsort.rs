@@ -20,7 +20,7 @@
 
 use crate::{ceil_lg, SortElem};
 use tlmm_scratchpad::trace::{current_lane, with_lane};
-use tlmm_scratchpad::{Dir, FaultDecision, FaultOp, TwoLevel};
+use tlmm_scratchpad::{Backoff, Dir, FaultDecision, FaultOp, RetryClass, TwoLevel};
 
 /// Which memory level the sorted region lives in (decides charge units and
 /// default geometry).
@@ -145,9 +145,10 @@ pub fn external_sort<T: SortElem>(
             match tl.preflight(stage_op) {
                 FaultDecision::Fail(_) => {
                     // The inbound formation stream aborted mid-run: the
-                    // wasted read is charged and the run is streamed again.
+                    // wasted read is charged and the run is streamed again
+                    // (a single re-read, the `Restage` backoff budget).
                     charge_io::<T>(tl, level, Dir::Read, run.len());
-                    tlmm_telemetry::counter!("degradation.extsort_restage").incr();
+                    Backoff::for_memory(tl, RetryClass::Restage).again();
                 }
                 FaultDecision::Delay(_) => {
                     charge_io::<T>(tl, level, Dir::Read, run.len());

@@ -95,11 +95,26 @@ pub enum SortError {
         /// What was wrong with the configuration.
         reason: &'static str,
     },
+    /// The job's [`tlmm_scratchpad::CancelToken`] tripped at a phase
+    /// boundary (explicit cancellation or a charged-unit deadline). All
+    /// work charged before the boundary stays charged; scratchpad buffers
+    /// are released on unwind, leaving the arena reusable.
+    Canceled,
+}
+
+impl SortError {
+    /// Was this run stopped by cooperative cancellation (vs failing)?
+    pub fn is_canceled(&self) -> bool {
+        matches!(self, SortError::Canceled)
+    }
 }
 
 impl From<tlmm_scratchpad::SpError> for SortError {
     fn from(e: tlmm_scratchpad::SpError) -> Self {
-        SortError::Memory(e)
+        match e {
+            tlmm_scratchpad::SpError::Cancelled => SortError::Canceled,
+            e => SortError::Memory(e),
+        }
     }
 }
 
@@ -112,6 +127,7 @@ impl core::fmt::Display for SortError {
                 "scratchpad too small: need {needed} B, have {available} B"
             ),
             SortError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+            SortError::Canceled => f.write_str("job canceled at a phase boundary"),
         }
     }
 }

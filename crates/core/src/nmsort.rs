@@ -32,7 +32,8 @@ use serde::{Deserialize, Serialize};
 use tlmm_model::CostSnapshot;
 use tlmm_scratchpad::trace::with_lane;
 use tlmm_scratchpad::{
-    with_faults_suppressed, Dir, FarArray, FaultDecision, FaultOp, NearArray, TwoLevel,
+    with_faults_suppressed, Backoff, Dir, FarArray, FaultDecision, FaultOp, NearArray, RetryClass,
+    TwoLevel,
 };
 
 /// Which algorithm sorts each chunk inside the scratchpad (§III-A: "Other
@@ -208,13 +209,6 @@ fn geometry<T: SortElem>(
     Ok(Geometry { chunk })
 }
 
-/// Bounded retries before a degradation ladder forces its operation through
-/// with injection suppressed. Small on purpose: the ladders must make
-/// progress under any [`tlmm_scratchpad::FaultPlan`].
-const MAX_CHUNK_SHRINKS: u64 = 3;
-const MAX_ALLOC_RETRIES: u32 = 3;
-const MAX_STAGE_RETRIES: u32 = 3;
-
 /// Charge the full traffic of a far↔near copy of `bytes` without moving
 /// data — the honest cost of an aborted or retransmitted staging attempt
 /// (the payload crossed the channels and was discarded).
@@ -234,7 +228,7 @@ fn charge_copy_volume(tl: &TwoLevel, kind: CopyKind, bytes: u64, lanes: usize) {
 
 /// A [`charged_copy`] that consults the fault injector first and re-stages
 /// on injected aborts: every aborted attempt is charged in full, bounded by
-/// [`MAX_STAGE_RETRIES`] before the copy is forced through.
+/// the [`Backoff`] policy's `Stage` budget before the copy is forced through.
 #[allow(clippy::too_many_arguments)]
 fn staged_copy_with_retry<T: SortElem>(
     tl: &TwoLevel,
@@ -251,18 +245,16 @@ fn staged_copy_with_retry<T: SortElem>(
         _ => unreachable!("staged copies move between far and near"),
     };
     let bytes = std::mem::size_of_val(src) as u64;
-    let mut attempts = 0u32;
+    let mut bo = Backoff::for_memory(tl, RetryClass::Stage);
     loop {
         match tl.preflight(op) {
             FaultDecision::Fail(_) => {
                 charge_copy_volume(tl, kind, bytes, lanes);
-                if attempts < MAX_STAGE_RETRIES {
-                    attempts += 1;
+                if bo.again() {
                     stats.transfer_retries += 1;
-                    tlmm_telemetry::counter!("degradation.transfer_retry").incr();
                 } else {
+                    bo.give_up();
                     stats.forced_ops += 1;
-                    tlmm_telemetry::counter!("degradation.transfer_forced").incr();
                     break;
                 }
             }
@@ -316,47 +308,47 @@ fn near_alloc_with_retry<T: Copy + Default>(
     len: usize,
     stats: &mut DegradationStats,
 ) -> Result<NearArray<T>, SortError> {
-    for _ in 0..MAX_ALLOC_RETRIES {
+    let mut bo = Backoff::for_memory(tl, RetryClass::Alloc);
+    while !bo.exhausted() {
         match tl.near_alloc::<T>(len) {
             Ok(a) => return Ok(a),
             Err(e) if e.is_injected() => {
+                bo.again();
                 stats.alloc_retries += 1;
-                tlmm_telemetry::counter!("degradation.alloc_retry").incr();
             }
             Err(e) => return Err(e.into()),
         }
     }
+    bo.give_up();
     stats.forced_ops += 1;
-    tlmm_telemetry::counter!("degradation.alloc_forced").incr();
     with_faults_suppressed(|| tl.near_alloc::<T>(len)).map_err(SortError::from)
 }
 
 /// Allocate the two chunk-sized scratchpad buffers, halving the chunk under
-/// injected allocation pressure (up to [`MAX_CHUNK_SHRINKS`] times) before
-/// forcing the allocation through. Returns the chunk size actually used.
+/// injected allocation pressure (bounded by the [`Backoff`] `Shrink` budget)
+/// before forcing the allocation through. Returns the chunk size actually
+/// used.
 fn alloc_chunk_buffers<T: SortElem>(
     tl: &TwoLevel,
     mut chunk: usize,
     stats: &mut DegradationStats,
 ) -> Result<(usize, NearArray<T>, NearArray<T>), SortError> {
-    let mut shrinks = 0u64;
+    let mut bo = Backoff::for_memory(tl, RetryClass::Shrink);
     loop {
         let attempt = tl
             .near_alloc::<T>(chunk)
             .and_then(|a| tl.near_alloc::<T>(chunk).map(|b| (a, b)));
         match attempt {
             Ok((a, b)) => return Ok((chunk, a, b)),
-            Err(e) if e.is_injected() && shrinks < MAX_CHUNK_SHRINKS && chunk > 2 => {
+            Err(e) if e.is_injected() && chunk > 2 && bo.again() => {
                 // Transient scratchpad pressure: degrade to a smaller chunk
                 // (more Phase-1 chunks, same asymptotics) instead of failing.
                 chunk = (chunk / 2).max(2);
-                shrinks += 1;
                 stats.chunk_shrinks += 1;
-                tlmm_telemetry::counter!("degradation.chunk_shrink").incr();
             }
             Err(e) if e.is_injected() => {
+                bo.give_up();
                 stats.forced_ops += 1;
-                tlmm_telemetry::counter!("degradation.alloc_forced").incr();
                 return with_faults_suppressed(|| -> Result<_, tlmm_scratchpad::SpError> {
                     let a = tl.near_alloc::<T>(chunk)?;
                     let b = tl.near_alloc::<T>(chunk)?;
@@ -465,6 +457,8 @@ pub fn nmsort<T: SortElem>(
         ..Default::default()
     };
     for k in 0..n_chunks {
+        // Phase boundary: cooperative cancellation / deadline check.
+        tl.checkpoint()?;
         let lo = k * chunk;
         let hi = ((k + 1) * chunk).min(n);
         let len = hi - lo;
@@ -577,6 +571,8 @@ pub fn nmsort<T: SortElem>(
         let chunk_starts: Vec<usize> = (0..n_chunks).map(|k| k * chunk).collect();
         let mut out_off = 0usize;
         for (blo, bhi) in batches {
+            // Phase boundary: cooperative cancellation / deadline check.
+            tl.checkpoint()?;
             let total: u64 = totals[blo..bhi].iter().sum();
             if total == 0 {
                 continue;

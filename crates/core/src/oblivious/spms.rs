@@ -31,11 +31,17 @@ pub fn spms_sort<T: SortElem>(
     cfg: &ObliviousConfig,
 ) -> Result<(FarArray<T>, ObliviousReport), SortError> {
     super::validate(cfg)?;
+    // Entry / exit are this engine's phase boundaries: the oblivious
+    // recursion holds no scratchpad arrays (data lives in host vecs), so
+    // cancellation is checked before any work and a unit-budget deadline
+    // trips at completion with all work honestly charged.
+    tl.checkpoint()?;
     let _phase = tl.phase("spms.sort");
     let mut data = input.into_vec();
     let mut scratch = vec![T::default(); data.len()];
     let cx = Ctx::new::<T>(tl, cfg);
     sort_rec(&cx, &mut data, &mut scratch, cfg.lanes, true, 1);
+    tl.checkpoint()?;
     Ok((tl.far_from_vec(data), cx.report()))
 }
 

@@ -28,11 +28,14 @@ pub fn squaresort_sort<T: SortElem>(
     cfg: &ObliviousConfig,
 ) -> Result<(FarArray<T>, ObliviousReport), SortError> {
     super::validate(cfg)?;
+    // Entry / exit phase boundaries — see `spms_sort` for the rationale.
+    tl.checkpoint()?;
     let _phase = tl.phase("squaresort.sort");
     let mut data = input.into_vec();
     let mut scratch = vec![T::default(); data.len()];
     let cx = Ctx::new::<T>(tl, cfg);
     sort_rec(&cx, &mut data, &mut scratch, cfg.lanes, true, 1);
+    tl.checkpoint()?;
     Ok((tl.far_from_vec(data), cx.report()))
 }
 

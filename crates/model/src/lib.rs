@@ -23,14 +23,18 @@
 //! costs exactly 1. Computation is free; the model targets memory-bound
 //! computations.
 
+pub mod admission;
 pub mod bounds;
+pub mod engine;
 pub mod ledger;
 pub mod oblivious;
 pub mod params;
 pub mod recursion;
 pub mod theorems;
 
+pub use admission::{estimate as admission_estimate, shrink_to_fit, AdmissionEstimate};
 pub use bounds::{BandwidthBoundVerdict, MachineRates};
+pub use engine::Engine;
 pub use ledger::{CostLedger, CostSnapshot};
 pub use params::ScratchpadParams;
 

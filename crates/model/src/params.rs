@@ -16,6 +16,10 @@ pub enum ParamError {
     BadBlockSize,
     /// Cache must hold at least a few blocks for the model to make sense.
     CacheTooSmall,
+    /// The scratchpad must hold at least one near block (`ρB ≤ M`);
+    /// otherwise a single near transfer could never complete and the
+    /// capacity arithmetic in `near_alloc` underflows.
+    NearBlockTooLarge,
 }
 
 impl core::fmt::Display for ParamError {
@@ -28,6 +32,9 @@ impl core::fmt::Display for ParamError {
             ParamError::NotTallCache => "tall-cache assumption M > B^2 violated",
             ParamError::BadBlockSize => "block size B must be a positive power of two",
             ParamError::CacheTooSmall => "cache must hold at least 4 blocks",
+            ParamError::NearBlockTooLarge => {
+                "scratchpad M must hold at least one near block (rho * B)"
+            }
         };
         f.write_str(msg)
     }
@@ -81,7 +88,7 @@ impl ScratchpadParams {
 
     /// Validate the architectural assumptions of §II.
     pub fn validate(&self) -> Result<(), ParamError> {
-        if self.rho < 1.0 || self.rho.is_nan() {
+        if self.rho < 1.0 || !self.rho.is_finite() {
             return Err(ParamError::RhoTooSmall);
         }
         if self.block_bytes == 0 || !self.block_bytes.is_power_of_two() {
@@ -96,6 +103,9 @@ impl ScratchpadParams {
         // Tall cache: M > B^2.
         if self.scratchpad_bytes <= self.block_bytes * self.block_bytes {
             return Err(ParamError::NotTallCache);
+        }
+        if self.near_block_bytes() > self.scratchpad_bytes {
+            return Err(ParamError::NearBlockTooLarge);
         }
         Ok(())
     }
@@ -210,6 +220,16 @@ mod tests {
     fn rejects_tiny_cache() {
         let e = ScratchpadParams::new(64, 2.0, 1 << 30, 128).unwrap_err();
         assert_eq!(e, ParamError::CacheTooSmall);
+    }
+
+    #[test]
+    fn rejects_near_block_exceeding_scratchpad() {
+        // rho*B = 64 MiB near block, but M is only 1 MiB.
+        let e = ScratchpadParams::new(64, 1_000_000.0, 1 << 20, 64 << 10).unwrap_err();
+        assert_eq!(e, ParamError::NearBlockTooLarge);
+        // Infinite rho is rejected before it can poison near_block_bytes.
+        let e = ScratchpadParams::new(64, f64::INFINITY, 1 << 20, 64 << 10).unwrap_err();
+        assert_eq!(e, ParamError::RhoTooSmall);
     }
 
     #[test]

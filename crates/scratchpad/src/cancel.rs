@@ -1,0 +1,104 @@
+//! Cooperative cancellation and deadline tokens.
+//!
+//! A [`CancelToken`] is installed on a [`crate::TwoLevel`] (one job at a
+//! time) and consulted by [`crate::TwoLevel::checkpoint`], which the sort
+//! engines call **at phase boundaries only** — between Phase-1 chunks,
+//! between Phase-2 batches, between merge rounds. Cancellation therefore
+//! never interrupts a transfer mid-flight: everything already charged stays
+//! charged (honest accounting of abandoned work), scratchpad buffers
+//! unwind through `NearArray`'s RAII release, and the arena is immediately
+//! reusable by the next job — asserted by the cancellation proptests.
+//!
+//! Deadlines are expressed in *charged virtual units* (far + near bytes
+//! booked in the cost ledger since the token was installed), not wall
+//! clock, so a deadline trips at a deterministic, replayable point in the
+//! job's execution.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const NO_BUDGET: u64 = u64::MAX;
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Charged-unit budget before the token self-cancels; `NO_BUDGET` when
+    /// the token only cancels explicitly.
+    unit_budget: AtomicU64,
+}
+
+/// A cloneable cancellation handle shared between a job's submitter and the
+/// runtime. Cheap to clone; all clones observe the same state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that cancels only when [`Self::cancel`] is called.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                unit_budget: AtomicU64::new(NO_BUDGET),
+            }),
+        }
+    }
+
+    /// A token that additionally self-cancels once the owning job has
+    /// charged `units` far+near bytes since the token was installed — the
+    /// deterministic deadline used by the service layer.
+    pub fn with_unit_budget(units: u64) -> Self {
+        let t = Self::new();
+        t.inner.unit_budget.store(units, Ordering::Relaxed);
+        t
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the job's next
+    /// phase-boundary checkpoint.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested (or a budget tripped)?
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The charged-unit budget, if one is set.
+    pub fn unit_budget(&self) -> Option<u64> {
+        match self.inner.unit_budget.load(Ordering::Relaxed) {
+            NO_BUDGET => None,
+            b => Some(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn budget_is_visible() {
+        assert_eq!(CancelToken::new().unit_budget(), None);
+        assert_eq!(
+            CancelToken::with_unit_budget(1024).unit_budget(),
+            Some(1024)
+        );
+    }
+}

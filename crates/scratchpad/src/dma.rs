@@ -12,17 +12,13 @@
 //! thread; [`DmaTransfer::wait`] joins it and returns the arrays.
 
 use crate::array::{FarArray, NearArray};
+use crate::backoff::{Backoff, RetryClass};
 use crate::error::SpError;
-use crate::fault::{with_faults_suppressed, FaultDecision, FaultOp};
+use crate::fault::{FaultDecision, FaultOp};
 use crate::mem::TwoLevel;
 use crate::trace::{current_lane, with_lane};
 use std::ops::Range;
 use std::thread::JoinHandle;
-
-/// Injected transfer failures are retried this many times before the engine
-/// forces the transfer through with injection suppressed. Genuine errors
-/// (range, length) are never retried.
-const DMA_MAX_RETRIES: u32 = 2;
 
 /// Issues background transfers on a [`TwoLevel`] memory.
 #[derive(Debug, Clone)]
@@ -64,26 +60,16 @@ impl<S, D> DmaTransfer<S, D> {
     }
 }
 
-/// Run a transfer with bounded retry of *injected* failures: up to
-/// [`DMA_MAX_RETRIES`] normal retries, then one forced attempt with fault
-/// injection suppressed so the engine always makes progress. Every failed
-/// attempt has already been charged in full by the runtime, so retries are
-/// honestly visible in the ledger.
-fn transfer_with_retry(f: &mut impl FnMut() -> Result<(), SpError>) -> Result<(), SpError> {
-    let mut attempt = 0;
-    loop {
-        match f() {
-            Err(e) if e.is_injected() && attempt < DMA_MAX_RETRIES => {
-                attempt += 1;
-                tlmm_telemetry::counter!("degradation.dma_retry").incr();
-            }
-            Err(e) if e.is_injected() => {
-                tlmm_telemetry::counter!("degradation.dma_forced").incr();
-                return with_faults_suppressed(&mut *f);
-            }
-            other => return other,
-        }
-    }
+/// Run a transfer under the unified [`Backoff`] ladder
+/// ([`RetryClass::Dma`]): bounded retry of *injected* failures, then one
+/// forced attempt with fault injection suppressed so the engine always
+/// makes progress. Every failed attempt has already been charged in full by
+/// the runtime, so retries are honestly visible in the ledger.
+fn transfer_with_retry(
+    tl: &TwoLevel,
+    f: &mut impl FnMut() -> Result<(), SpError>,
+) -> Result<(), SpError> {
+    Backoff::for_memory(tl, RetryClass::Dma).run_forced(&mut *f)
 }
 
 impl DmaEngine {
@@ -118,7 +104,7 @@ impl DmaEngine {
                     self.tl
                         .far_to_near(&src, src_range.clone(), &mut dst, dst_at)
                 };
-                transfer_with_retry(&mut op)
+                transfer_with_retry(&self.tl, &mut op)
             };
             return DmaTransfer {
                 state: DmaState::Done(res.map(|()| (src, dst))),
@@ -129,7 +115,7 @@ impl DmaEngine {
             with_lane(lane, || {
                 let res = {
                     let mut op = || tl.far_to_near(&src, src_range.clone(), &mut dst, dst_at);
-                    transfer_with_retry(&mut op)
+                    transfer_with_retry(&tl, &mut op)
                 };
                 res.map(|()| (src, dst))
             })
@@ -162,7 +148,7 @@ impl DmaEngine {
                     self.tl
                         .near_to_far(&src, src_range.clone(), &mut dst, dst_at)
                 };
-                transfer_with_retry(&mut op)
+                transfer_with_retry(&self.tl, &mut op)
             };
             return DmaTransfer {
                 state: DmaState::Done(res.map(|()| (src, dst))),
@@ -173,7 +159,7 @@ impl DmaEngine {
             with_lane(lane, || {
                 let res = {
                     let mut op = || tl.near_to_far(&src, src_range.clone(), &mut dst, dst_at);
-                    transfer_with_retry(&mut op)
+                    transfer_with_retry(&tl, &mut op)
                 };
                 res.map(|()| (src, dst))
             })

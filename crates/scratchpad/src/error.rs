@@ -1,8 +1,22 @@
 //! Runtime errors of the two-level memory.
 
+use tlmm_model::params::ParamError;
+
 /// Errors raised by allocation and transfer operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpError {
+    /// The [`tlmm_model::ScratchpadParams`] handed to
+    /// [`crate::TwoLevel::try_new`] are invalid (zero scratchpad, near
+    /// block larger than the scratchpad, bad ρ, …) — surfaced as a typed
+    /// error at construction instead of a panic or an underflow deep in
+    /// `near_alloc`.
+    BadParams(ParamError),
+    /// A cooperative cancellation point fired: the job's
+    /// [`crate::CancelToken`] was cancelled or its deadline budget ran out.
+    /// Raised only from [`crate::TwoLevel::checkpoint`] at phase
+    /// boundaries, so scratchpad state is always consistent (and near
+    /// allocations are released by RAII on unwind-free early return).
+    Cancelled,
     /// A near (scratchpad) allocation would exceed the capacity `M`.
     /// This is the defining constraint of the architecture: the scratchpad
     /// "cannot replace DRAM entirely" (§I).
@@ -50,6 +64,8 @@ impl SpError {
 impl core::fmt::Display for SpError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
+            SpError::BadParams(e) => write!(f, "invalid scratchpad parameters: {e}"),
+            SpError::Cancelled => write!(f, "job cancelled at a phase boundary"),
             SpError::NearCapacityExceeded {
                 requested,
                 available,

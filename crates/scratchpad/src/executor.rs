@@ -30,7 +30,7 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Condvar;
 
@@ -42,6 +42,32 @@ pub const EXEC_WORKERS_ENV: &str = "TLMM_EXEC_WORKERS";
 /// Environment variable overriding the transfer-slot count `p′`
 /// (default = workers).
 pub const EXEC_SLOTS_ENV: &str = "TLMM_EXEC_SLOTS";
+
+/// Typed validation errors for an [`ExecConfig`] — surfaced at API edges
+/// instead of a panic deep inside `Executor::new`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecConfigError {
+    /// `p = 0`: no worker could ever run a stage task.
+    ZeroWorkers,
+    /// `p′ = 0`: no transfer could ever be granted a slot.
+    ZeroSlots,
+    /// `p′ > p`: a slot no worker can drive would be meaningless.
+    SlotsExceedWorkers,
+}
+
+impl core::fmt::Display for ExecConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            ExecConfigError::ZeroWorkers => "executor workers (p) must be >= 1",
+            ExecConfigError::ZeroSlots => "transfer slots (p') must be >= 1",
+            ExecConfigError::SlotsExceedWorkers => {
+                "transfer slots (p') must not exceed workers (p)"
+            }
+        })
+    }
+}
+
+impl std::error::Error for ExecConfigError {}
 
 /// How the executor schedules stage tasks and measures slot waits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,15 +116,15 @@ impl ExecConfig {
 
     /// Validate the configuration: both pools must be non-empty, and
     /// `p′ ≤ p` (a slot no worker can drive would be meaningless).
-    pub fn validate(&self) -> Result<(), &'static str> {
+    pub fn validate(&self) -> Result<(), ExecConfigError> {
         if self.workers == 0 {
-            return Err("executor workers (p) must be >= 1");
+            return Err(ExecConfigError::ZeroWorkers);
         }
         if self.transfer_slots == 0 {
-            return Err("transfer slots (p') must be >= 1");
+            return Err(ExecConfigError::ZeroSlots);
         }
         if self.transfer_slots > self.workers {
-            return Err("transfer slots (p') must not exceed workers (p)");
+            return Err(ExecConfigError::SlotsExceedWorkers);
         }
         Ok(())
     }
@@ -122,15 +148,9 @@ impl ExecConfig {
     }
 }
 
-/// SplitMix64: the same cheap seeded hash the fault injector uses; here it
-/// drives schedule permutations and arbitration tie-breaks.
-#[inline]
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+// SplitMix64 — the same cheap seeded hash the fault injector uses; here it
+// drives schedule permutations and arbitration tie-breaks.
+use crate::backoff::splitmix64;
 
 /// Virtual-time arbiter state (deterministic mode).
 #[derive(Debug)]
@@ -257,6 +277,21 @@ impl Drop for TransferGrant {
     }
 }
 
+/// Per-tenant slot-quota bookkeeping for the service layer: how many of the
+/// `p′` transfer slots each tenant currently holds a *lease* on. A lease is
+/// a scheduling reservation — the arbiter itself keeps granting individual
+/// transfers per lane — so leases bound how much parallelism a scheduler
+/// may assign a tenant, deterministically (plain integer state, a
+/// `BTreeMap` so iteration order never depends on hashing).
+#[derive(Debug, Default)]
+struct QuotaState {
+    /// Per-tenant cap on leased slots; `None` = all of `p′`.
+    tenant_cap: Option<usize>,
+    leased: BTreeMap<u64, usize>,
+    total: usize,
+    preemptions: u64,
+}
+
 /// The executor: a transfer-slot arbiter plus a stage worker pool. Install
 /// on a [`crate::TwoLevel`] with [`crate::TwoLevel::install_executor`];
 /// every charged transfer is then arbitrated here.
@@ -269,6 +304,7 @@ pub struct Executor {
     /// Per-call-site stage counter salting the schedule permutation, so
     /// successive stages of one run get distinct (but replayable) orders.
     stage_seq: AtomicU64,
+    quota: Mutex<QuotaState>,
 }
 
 impl Executor {
@@ -289,8 +325,100 @@ impl Executor {
             },
             cells: (0..cfg.workers).map(|_| WorkerCell::default()).collect(),
             stage_seq: AtomicU64::new(0),
+            quota: Mutex::new(QuotaState::default()),
             cfg,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-tenant slot quotas (service-layer leases over the p′ pool)
+    // ------------------------------------------------------------------
+
+    /// Total transfer slots `p′` available for leasing.
+    pub fn slots_total(&self) -> usize {
+        self.cfg.transfer_slots
+    }
+
+    /// Cap how many slots any single tenant may lease (`None` = up to all
+    /// of `p′`). Existing leases are not revoked — the cap applies to new
+    /// grants; schedulers revoke at phase boundaries via
+    /// [`Self::release_lease`].
+    pub fn set_tenant_slot_cap(&self, cap: Option<usize>) {
+        self.quota.lock().tenant_cap = cap;
+    }
+
+    /// Try to lease up to `want` slots for `tenant`. Grants
+    /// `min(want, free slots, tenant's remaining quota)` — possibly 0 —
+    /// and returns the granted count. Pure integer state: replayable.
+    pub fn try_lease(&self, tenant: u64, want: usize) -> usize {
+        let mut q = self.quota.lock();
+        let held = q.leased.get(&tenant).copied().unwrap_or(0);
+        let tenant_room = q
+            .tenant_cap
+            .unwrap_or(self.cfg.transfer_slots)
+            .saturating_sub(held);
+        let free = self.cfg.transfer_slots.saturating_sub(q.total);
+        let grant = want.min(tenant_room).min(free);
+        if grant > 0 {
+            *q.leased.entry(tenant).or_insert(0) += grant;
+            q.total += grant;
+            tlmm_telemetry::counter!("executor.lease_granted").add(grant as u64);
+        } else if want > 0 {
+            tlmm_telemetry::counter!("executor.lease_denied").incr();
+        }
+        grant
+    }
+
+    /// Return `n` leased slots from `tenant` to the pool (saturating: a
+    /// tenant can never go negative).
+    pub fn release_lease(&self, tenant: u64, n: usize) {
+        let mut q = self.quota.lock();
+        let held = q.leased.get(&tenant).copied().unwrap_or(0);
+        let give = n.min(held);
+        if give == 0 {
+            return;
+        }
+        if held == give {
+            q.leased.remove(&tenant);
+        } else if let Some(h) = q.leased.get_mut(&tenant) {
+            *h -= give;
+        }
+        q.total -= give;
+        tlmm_telemetry::counter!("executor.lease_released").add(give as u64);
+    }
+
+    /// Slots currently leased by `tenant`.
+    pub fn leased(&self, tenant: u64) -> usize {
+        self.quota.lock().leased.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Slots currently leased across all tenants.
+    pub fn total_leased(&self) -> usize {
+        self.quota.lock().total
+    }
+
+    /// Record that a scheduler preempted `yielded` slots from `tenant` at a
+    /// phase boundary (the slots themselves move via
+    /// [`Self::release_lease`] / [`Self::try_lease`]).
+    pub fn note_preemption(&self, tenant: u64, yielded: usize) {
+        self.quota.lock().preemptions += 1;
+        tlmm_telemetry::counter!("executor.preemptions").incr();
+        tlmm_telemetry::counter!("executor.preempted_slots").add(yielded as u64);
+        if tlmm_telemetry::sink::enabled() {
+            use serde::Value;
+            tlmm_telemetry::sink::emit(
+                "preempt",
+                vec![
+                    ("tenant".to_string(), Value::U64(tenant)),
+                    ("slots".to_string(), Value::U64(yielded as u64)),
+                ],
+            );
+        }
+    }
+
+    /// Preemptions recorded so far.
+    pub fn preemptions(&self) -> u64 {
+        self.quota.lock().preemptions
     }
 
     /// The configuration this executor was built with.
@@ -539,6 +667,7 @@ impl Executor {
             c.host_wait_ns.store(0, Ordering::Relaxed);
         }
         self.stage_seq.store(0, Ordering::Relaxed);
+        *self.quota.lock() = QuotaState::default();
     }
 }
 
@@ -712,6 +841,47 @@ mod tests {
         assert_eq!(r.makespan_units, 0);
         assert_eq!(r.transfers, 0);
         assert_eq!(r.per_slot_busy_units, vec![0, 0]);
+    }
+
+    #[test]
+    fn leases_respect_pool_and_tenant_caps() {
+        let ex = det(8, 4, 1);
+        assert_eq!(ex.slots_total(), 4);
+        // Tenant 1 can take the whole pool when uncapped.
+        assert_eq!(ex.try_lease(1, 10), 4);
+        assert_eq!(ex.try_lease(2, 1), 0, "pool exhausted");
+        ex.release_lease(1, 2);
+        assert_eq!(ex.leased(1), 2);
+        assert_eq!(ex.total_leased(), 2);
+        // Per-tenant cap of 1: tenant 2 gets one slot even though two are free.
+        ex.set_tenant_slot_cap(Some(1));
+        assert_eq!(ex.try_lease(2, 5), 1);
+        assert_eq!(ex.try_lease(2, 1), 0, "tenant cap reached");
+        // Over-release saturates instead of underflowing.
+        ex.release_lease(2, 99);
+        assert_eq!(ex.leased(2), 0);
+        ex.release_lease(1, 2);
+        assert_eq!(ex.total_leased(), 0);
+        ex.note_preemption(1, 2);
+        assert_eq!(ex.preemptions(), 1);
+        ex.reset();
+        assert_eq!(ex.preemptions(), 0);
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        assert_eq!(
+            ExecConfig::deterministic(0, 1, 0).validate(),
+            Err(ExecConfigError::ZeroWorkers)
+        );
+        assert_eq!(
+            ExecConfig::deterministic(1, 0, 0).validate(),
+            Err(ExecConfigError::ZeroSlots)
+        );
+        assert_eq!(
+            ExecConfig::deterministic(2, 4, 0).validate(),
+            Err(ExecConfigError::SlotsExceedWorkers)
+        );
     }
 
     #[test]

@@ -217,16 +217,7 @@ pub enum FaultDecision {
     Delay(u64),
 }
 
-const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// splitmix64 finalizer: the decision hash.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(SPLITMIX_GAMMA);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+use crate::backoff::splitmix64;
 
 fn roll(seed: u64, op: FaultOp, k: u64, salt: u64) -> u64 {
     splitmix64(seed ^ splitmix64(((op.index() as u64) << 56) ^ k ^ (salt << 48))) % 1000

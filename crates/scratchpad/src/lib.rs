@@ -46,6 +46,8 @@
 //! ```
 
 pub mod array;
+pub mod backoff;
+pub mod cancel;
 pub mod dma;
 pub mod error;
 pub mod executor;
@@ -55,10 +57,12 @@ pub mod stream;
 pub mod trace;
 
 pub use array::{FarArray, NearArray};
+pub use backoff::{splitmix64, Backoff, RetryClass};
+pub use cancel::CancelToken;
 pub use error::SpError;
 pub use executor::{
-    ExecConfig, ExecMode, ExecReport, Executor, TransferGrant, WorkerReport, EXEC_SEED_ENV,
-    EXEC_SLOTS_ENV, EXEC_WORKERS_ENV,
+    ExecConfig, ExecConfigError, ExecMode, ExecReport, Executor, TransferGrant, WorkerReport,
+    EXEC_SEED_ENV, EXEC_SLOTS_ENV, EXEC_WORKERS_ENV,
 };
 pub use fault::{
     with_faults_suppressed, FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultOp,

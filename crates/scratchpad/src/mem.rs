@@ -1,8 +1,9 @@
 //! The [`TwoLevel`] memory handle: allocation, transfers, staging, phases.
 
 use crate::array::{FarArray, NearArray};
+use crate::cancel::CancelToken;
 use crate::error::SpError;
-use crate::executor::{ExecConfig, Executor};
+use crate::executor::{ExecConfig, ExecConfigError, Executor};
 use crate::fault::{self, FaultDecision, FaultInjector, FaultOp, FaultPlan};
 use crate::trace::{PhaseTrace, TraceRecorder};
 use parking_lot::Mutex;
@@ -25,6 +26,11 @@ pub struct TwoLevelInner {
     pub(crate) executor: Mutex<Option<Arc<Executor>>>,
     /// Fast-path gate so executor-free runs never take the `executor` lock.
     pub(crate) has_executor: AtomicBool,
+    /// The current job's cancel token plus the ledger unit count at install
+    /// time (deadline budgets are measured from there).
+    pub(crate) cancel: Mutex<Option<(CancelToken, u64)>>,
+    /// Fast-path gate so cancel-free runs never take the `cancel` lock.
+    pub(crate) has_cancel: AtomicBool,
 }
 
 /// Handle to a two-level main memory. Cheap to clone; clones share the
@@ -58,10 +64,20 @@ fn range_check(r: &Range<usize>, len: usize) -> Result<(), SpError> {
 }
 
 impl TwoLevel {
-    /// Create a two-level memory with the given model parameters.
+    /// Create a two-level memory with the given model parameters; panics on
+    /// invalid parameters. Prefer [`Self::try_new`] at API edges where the
+    /// parameters come from a caller.
     pub fn new(params: ScratchpadParams) -> Self {
-        params.validate().expect("invalid scratchpad parameters");
-        Self {
+        Self::try_new(params).expect("invalid scratchpad parameters")
+    }
+
+    /// Create a two-level memory, surfacing invalid parameters (zero
+    /// scratchpad, near block larger than `M`, bad ρ, …) as a typed
+    /// [`SpError::BadParams`] instead of a panic now or an arithmetic
+    /// underflow later inside `near_alloc`.
+    pub fn try_new(params: ScratchpadParams) -> Result<Self, SpError> {
+        params.validate().map_err(SpError::BadParams)?;
+        Ok(Self {
             inner: Arc::new(TwoLevelInner {
                 params,
                 ledger: CostLedger::new(),
@@ -71,8 +87,10 @@ impl TwoLevel {
                 has_faults: AtomicBool::new(false),
                 executor: Mutex::new(None),
                 has_executor: AtomicBool::new(false),
+                cancel: Mutex::new(None),
+                has_cancel: AtomicBool::new(false),
             }),
-        }
+        })
     }
 
     /// The model parameters this memory was built with.
@@ -192,6 +210,64 @@ impl TwoLevel {
     }
 
     // ------------------------------------------------------------------
+    // Cooperative cancellation (phase-boundary checkpoints)
+    // ------------------------------------------------------------------
+
+    /// Install `token` as the current job's cancel/deadline token; any
+    /// unit budget on the token is measured from the ledger's charge total
+    /// at this instant. Replaces any previous token.
+    pub fn install_cancel(&self, token: CancelToken) {
+        let snap = self.inner.ledger.snapshot();
+        *self.inner.cancel.lock() = Some((token, snap.far_bytes + snap.near_bytes));
+        self.inner.has_cancel.store(true, Ordering::Release);
+    }
+
+    /// Remove any installed cancel token (end of job).
+    pub fn clear_cancel(&self) {
+        *self.inner.cancel.lock() = None;
+        self.inner.has_cancel.store(false, Ordering::Release);
+    }
+
+    /// The currently installed cancel token, if any.
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        if !self.inner.has_cancel.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner.cancel.lock().as_ref().map(|(t, _)| t.clone())
+    }
+
+    /// Cooperative cancellation point. Sort engines call this **at phase
+    /// boundaries**; it returns [`SpError::Cancelled`] when the installed
+    /// token was cancelled or its charged-unit deadline budget has been
+    /// exhausted (the token is then cancelled too, so every later
+    /// checkpoint agrees). Near allocations held by the caller unwind via
+    /// RAII on the resulting early return, leaving the arena reusable.
+    /// Free when no token is installed (one atomic load).
+    pub fn checkpoint(&self) -> Result<(), SpError> {
+        if !self.inner.has_cancel.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let guard = self.inner.cancel.lock();
+        let Some((token, base_units)) = guard.as_ref() else {
+            return Ok(());
+        };
+        if token.is_cancelled() {
+            tlmm_telemetry::counter!("cancel.checkpoint_trips").incr();
+            return Err(SpError::Cancelled);
+        }
+        if let Some(budget) = token.unit_budget() {
+            let snap = self.inner.ledger.snapshot();
+            let spent = (snap.far_bytes + snap.near_bytes).saturating_sub(*base_units);
+            if spent >= budget {
+                token.cancel();
+                tlmm_telemetry::counter!("cancel.deadline_trips").incr();
+                return Err(SpError::Cancelled);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Executor (Theorem 10 `p′` transfer arbitration)
     // ------------------------------------------------------------------
 
@@ -201,7 +277,7 @@ impl TwoLevel {
     /// any previous executor. Arbitration never touches the charge ledger —
     /// only waits (trace `slot_wait_units` + telemetry) are added — so the
     /// ledger stays byte-identical to an executor-free run.
-    pub fn install_executor(&self, cfg: ExecConfig) -> Result<Arc<Executor>, &'static str> {
+    pub fn install_executor(&self, cfg: ExecConfig) -> Result<Arc<Executor>, ExecConfigError> {
         cfg.validate()?;
         let ex = Arc::new(Executor::new(cfg));
         *self.inner.executor.lock() = Some(Arc::clone(&ex));

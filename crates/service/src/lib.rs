@@ -1,0 +1,52 @@
+//! `tlmm-service` — a multi-tenant job-queue front end for the sort
+//! engines.
+//!
+//! The paper's co-design story assumes one algorithm owns the scratchpad.
+//! This crate asks the systems question that follows: what happens when
+//! *many* sort jobs — different tenants, different priority classes,
+//! different deadlines — contend for one near memory and one bounded pool
+//! of `p′` transfer slots (Theorem 10)? Four mechanisms, all deterministic:
+//!
+//! * **Admission control** ([`tlmm_model::admission`]): every arriving job
+//!   is costed with the model's closed-form mirrors *before* it runs. Jobs
+//!   whose predicted near-memory peak cannot fit the remaining budget are
+//!   queued or shed with a typed [`Rejected`] (carrying `retry_after`)
+//!   instead of discovering scratchpad OOM mid-run.
+//! * **Per-tenant slot quotas with priority preemption**: transfer slots
+//!   are leased per tenant through the PR-4 deterministic executor
+//!   ([`tlmm_scratchpad::Executor`]); when an interactive job waits,
+//!   lower-class jobs yield slots down to one at the next phase boundary
+//!   (a virtual-time event), counted in telemetry.
+//! * **Deadlines & cooperative cancellation**: a queued job whose deadline
+//!   passes times out without running; a running job gets a
+//!   [`tlmm_scratchpad::CancelToken`] whose charged-unit budget trips at a
+//!   real engine phase boundary — the scratchpad arena unwinds through
+//!   RAII and is asserted leak-free after every job.
+//! * **Overload degradation**: when the near budget is saturated, new
+//!   NMsort jobs run the chunk-shrinking ladder *proactively*
+//!   ([`tlmm_model::admission::shrink_to_fit`]) — admitted smaller instead
+//!   of rejected, with the honest `degraded far_bytes ≥ clean` accounting
+//!   the fault ladders already guarantee.
+//!
+//! # Execution model: virtual-time concurrency over serialized physical
+//! # execution
+//!
+//! The scheduler is a discrete-event simulation in **virtual time**, whose
+//! clock advances in *charged bytes* (far + near), the same currency the
+//! cost ledger books. Jobs "run concurrently" in virtual time — they hold
+//! slot leases and near-memory reservations, progress at `slots` units per
+//! tick, get preempted, and complete — but each job's *physical* execution
+//! (the actual sort, on the one shared [`tlmm_scratchpad::TwoLevel`])
+//! happens serially at its virtual start instant. The measured ledger
+//! delta of the physical run is the job's service demand. This keeps every
+//! number honest (real engines, real faults, real cancellation, real leak
+//! checks) while making admission, preemption, and completion order a pure
+//! function of `(seed, p′, job list)` — replayable bit for bit, which the
+//! golden-replay test pins.
+
+pub mod service;
+
+pub use service::{
+    percentile, ClassStats, Decision, DecisionKind, JobOutcome, JobRequest, Priority, RejectReason,
+    Rejected, ServiceConfig, ServiceError, ServiceReport, SortService,
+};

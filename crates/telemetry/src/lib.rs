@@ -57,6 +57,7 @@ mod span;
 pub mod critical;
 pub mod flight;
 pub mod perfetto;
+pub mod qos;
 pub mod sink;
 
 pub use lane::{current_lane, with_lane};

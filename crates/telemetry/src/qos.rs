@@ -1,0 +1,128 @@
+//! Quality-of-service telemetry lanes for the service layer.
+//!
+//! The `tlmm-service` front end tags every job with a tenant and a priority
+//! class; this module gives those tags stable registry names so that shed /
+//! preemption / latency data lands in the same counter–histogram registry
+//! as everything else (and therefore in every `RunReport`):
+//!
+//! * `service.latency.<class>` — completion latency histogram per priority
+//!   class, in virtual time units.
+//! * `service.shed.<class>` / `service.preempt.<class>` — load-shedding and
+//!   slot-preemption event counters per class.
+//! * `service.tenant.<lane>.<what>` — per-tenant activity counters, folded
+//!   onto a bounded number of lanes so that a tenant explosion can never
+//!   balloon the registry.
+
+use std::sync::Arc;
+
+use crate::metrics::{registry, Counter, Histogram, HistogramSnapshot};
+
+/// Tenant counters fold onto this many lanes (`tenant % TENANT_LANES`).
+/// Bounded so an unbounded tenant id space cannot grow the registry without
+/// limit; 64 lanes keeps collisions rare at realistic tenant counts.
+pub const TENANT_LANES: u64 = 64;
+
+/// The registry lane a tenant's counters fold onto.
+#[inline]
+pub fn tenant_lane(tenant: u64) -> u64 {
+    tenant % TENANT_LANES
+}
+
+/// Per-class completion latency histogram (`service.latency.<class>`),
+/// recorded in virtual time units.
+pub fn class_latency(class: &'static str) -> Arc<Histogram> {
+    registry().histogram(&format!("service.latency.{class}"))
+}
+
+/// Count one shed (admission-rejected) job of `class`.
+pub fn count_shed(class: &'static str) {
+    registry().counter(&format!("service.shed.{class}")).incr();
+    crate::counter!("service.shed.total").incr();
+}
+
+/// Count one preemption event against `class` (a lower-class job yielded
+/// transfer slots at a phase boundary).
+pub fn count_preempt(class: &'static str) {
+    registry()
+        .counter(&format!("service.preempt.{class}"))
+        .incr();
+    crate::counter!("service.preempt.total").incr();
+}
+
+/// Per-tenant activity counter, folded onto [`TENANT_LANES`] lanes:
+/// `service.tenant.<lane>.<what>`.
+pub fn tenant_counter(tenant: u64, what: &str) -> Arc<Counter> {
+    registry().counter(&format!("service.tenant.{}.{what}", tenant_lane(tenant)))
+}
+
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the
+    /// inclusive upper edge of the first bucket at which the cumulative
+    /// sample count reaches `⌈q·count⌉`. Log2 buckets make this exact to
+    /// within a factor of 2 — adequate for p50/p95/p99 headlines — and
+    /// *conservative*: the true quantile is never above the estimate.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return b.hi;
+            }
+        }
+        self.buckets.last().map(|b| b.hi).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_lanes_are_bounded_and_stable() {
+        assert_eq!(tenant_lane(3), 3);
+        assert_eq!(tenant_lane(3 + TENANT_LANES), 3);
+        let a = tenant_counter(3, "jobs");
+        let b = tenant_counter(3 + TENANT_LANES, "jobs");
+        a.incr();
+        assert_eq!(b.get(), a.get(), "folded tenants share a lane");
+    }
+
+    #[test]
+    fn shed_and_preempt_feed_totals() {
+        let before = registry().counter("service.shed.total").get();
+        count_shed("interactive");
+        count_shed("batch");
+        assert_eq!(registry().counter("service.shed.total").get(), before + 2);
+        let before = registry().counter("service.preempt.total").get();
+        count_preempt("background");
+        assert_eq!(
+            registry().counter("service.preempt.total").get(),
+            before + 1
+        );
+    }
+
+    #[test]
+    fn quantile_upper_bound_brackets_the_distribution() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot("t.qos.q");
+        let p50 = snap.quantile_upper_bound(0.50);
+        let p99 = snap.quantile_upper_bound(0.99);
+        // True p50 = 500, p99 = 990; log2 buckets bound them from above
+        // within a factor of 2.
+        assert!((500..=1023).contains(&p50), "p50={p50}");
+        assert!((990..=1023).contains(&p99), "p99={p99}");
+        assert!(p50 <= p99);
+        assert_eq!(
+            Histogram::default().snapshot("e").quantile_upper_bound(0.5),
+            0
+        );
+    }
+}

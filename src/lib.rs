@@ -59,10 +59,11 @@ pub mod prelude {
     pub use tlmm_core::parsort::{par_scratchpad_sort, ParSortConfig};
     pub use tlmm_core::select::{select_kth, SelectConfig};
     pub use tlmm_core::seqsort::{seq_scratchpad_sort, SeqSortConfig};
+    pub use tlmm_core::SortError;
     pub use tlmm_kmeans::{kmeans_far, kmeans_near, kmeans_tiled, KMeansConfig};
     pub use tlmm_memsim::des::{simulate_des, DesOptions};
     pub use tlmm_memsim::{simulate_flow, MachineConfig, SimReport};
-    pub use tlmm_model::{CostSnapshot, ScratchpadParams};
+    pub use tlmm_model::{CostSnapshot, Engine, ScratchpadParams};
     pub use tlmm_scratchpad::{FarArray, FaultOp, FaultPlan, NearArray, TwoLevel, FAULT_SEED_ENV};
     pub use tlmm_tile::{gemm_far, gemm_near, GemmConfig, Matrix};
     pub use tlmm_workloads::{generate, Workload};

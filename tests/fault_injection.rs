@@ -201,6 +201,123 @@ fn fault_sweep_with_radix_kernels_engaged() {
     }
 }
 
+/// Dispatch one engine over `v` on an existing scratchpad, returning the
+/// sorted output (copied out) or the typed error.
+fn run_engine(tl: &TwoLevel, engine: Engine, v: Vec<u64>) -> Result<Vec<u64>, SortError> {
+    let input = tl.far_from_vec(v);
+    match engine {
+        Engine::NmSort | Engine::NmSortDma => {
+            let cfg = NmSortConfig {
+                sim_lanes: 4,
+                threads: 1,
+                use_dma: engine == Engine::NmSortDma,
+                ..Default::default()
+            };
+            nmsort(tl, input, &cfg).map(|r| r.output.as_slice_uncharged().to_vec())
+        }
+        Engine::Baseline => {
+            let cfg = BaselineConfig {
+                sim_lanes: 4,
+                threads: 1,
+                ..Default::default()
+            };
+            baseline_sort(tl, input, &cfg).map(|r| r.output.as_slice_uncharged().to_vec())
+        }
+        Engine::Spms | Engine::SquareSort => {
+            let cfg = ObliviousConfig {
+                lanes: 4,
+                threads: 1,
+                ..Default::default()
+            };
+            let run = if engine == Engine::Spms {
+                spms_sort(tl, input, &cfg)
+            } else {
+                squaresort_sort(tl, input, &cfg)
+            };
+            run.map(|(out, _)| out.as_slice_uncharged().to_vec())
+        }
+    }
+}
+
+/// Ladder exhaustion, per engine: under maximum fault hostility (every
+/// probabilistic roll fires) and under a fault budget that exhausts
+/// mid-ladder, every engine must return either a *sorted* output or a
+/// *typed* [`SortError`] — never panic — and must leave the scratchpad
+/// arena empty and reusable either way.
+#[test]
+fn ladder_exhaustion_is_typed_for_every_engine() {
+    let hostile = FaultPlan {
+        near_alloc_fail_permille: 1000,
+        transfer_fail_permille: 1000,
+        stage_fail_permille: 1000,
+        transfer_delay_permille: 0,
+        dma_abort_permille: 1000,
+        ..FaultPlan::none(13)
+    };
+    let plans: [(&str, FaultPlan); 3] = [
+        ("unbounded hostility", hostile.clone()),
+        (
+            "budget exhausts mid-ladder",
+            FaultPlan {
+                max_faults: Some(3),
+                ..hostile.clone()
+            },
+        ),
+        (
+            "budget already exhausted",
+            FaultPlan {
+                max_faults: Some(0),
+                ..hostile
+            },
+        ),
+    ];
+    let n = 60_000;
+    let mut expect = generate(Workload::UniformU64, n, 11);
+    expect.sort_unstable();
+    for &engine in Engine::ALL.iter() {
+        for (label, plan) in &plans {
+            let tl = TwoLevel::new(sweep_params());
+            tl.install_fault_plan(plan.clone());
+            let v = generate(Workload::UniformU64, n, 11);
+            match run_engine(&tl, engine, v) {
+                Ok(out) => assert_eq!(
+                    out,
+                    expect,
+                    "{}: {label}: degraded run must still sort",
+                    engine.name()
+                ),
+                Err(e) => {
+                    // Typed by construction; it must not be the cancellation
+                    // variant (no token installed) and must leave the arena
+                    // reusable for the next job.
+                    assert!(
+                        !e.is_canceled(),
+                        "{}: {label}: spurious cancellation: {e}",
+                        engine.name()
+                    );
+                }
+            }
+            assert_eq!(
+                tl.near_used_bytes(),
+                0,
+                "{}: {label}: ladder exit leaked near bytes",
+                engine.name()
+            );
+            // Arena reusability: a clean follow-up job on the SAME
+            // scratchpad still sorts.
+            tl.install_fault_plan(FaultPlan::none(0));
+            let again = run_engine(&tl, engine, generate(Workload::UniformU64, n, 11))
+                .expect("clean rerun on the same arena succeeds");
+            assert_eq!(
+                again,
+                expect,
+                "{}: {label}: arena unusable after ladder",
+                engine.name()
+            );
+        }
+    }
+}
+
 /// A plan with explicit `fail_nth` triggers is fully deterministic: two
 /// identical runs degrade identically, byte for byte.
 #[test]
