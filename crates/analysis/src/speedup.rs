@@ -40,6 +40,8 @@ mod tests {
             far_bytes: far * 64,
             near_bytes: near * 64,
             fault_events: 0,
+            overlapped_pairs: 0,
+            overlap_saved_seconds: 0.0,
             detail: None,
         }
     }

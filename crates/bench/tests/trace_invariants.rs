@@ -18,7 +18,7 @@ use tlmm_telemetry::perfetto;
 static GUARD: Mutex<()> = Mutex::new(());
 
 fn guard() -> MutexGuard<'static, ()> {
-    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    tlmm_testkit::serial_guard(&GUARD)
 }
 
 /// Run `spec` under a freshly installed virtual-domain recorder mirroring

@@ -32,8 +32,8 @@ use serde::{Deserialize, Serialize};
 use tlmm_model::CostSnapshot;
 use tlmm_scratchpad::trace::with_lane;
 use tlmm_scratchpad::{
-    with_faults_suppressed, Backoff, Dir, FarArray, FaultDecision, FaultOp, NearArray, RetryClass,
-    TwoLevel,
+    with_faults_suppressed, ArenaBuf, Backoff, Dir, FarArray, FaultDecision, FaultOp, NearArray,
+    RetryClass, StagingArena, TwoLevel,
 };
 
 /// Which algorithm sorts each chunk inside the scratchpad (§III-A: "Other
@@ -168,6 +168,11 @@ pub struct NmSortReport<T> {
 
 struct Geometry {
     chunk: usize,
+    /// Chunk-sized staging buffers Phase 1 needs: 2 in blocking mode
+    /// (current + sort scratch), 3 in DMA mode on multi-chunk inputs
+    /// (current + sort scratch + the next chunk being gathered in the
+    /// background — the double buffer).
+    n_bufs: usize,
 }
 
 /// Chunk-derived counts: `(n_chunks, n_pivots)` for a given chunk size.
@@ -195,18 +200,26 @@ fn geometry<T: SortElem>(
 ) -> Result<Geometry, SortError> {
     let elem = std::mem::size_of::<T>();
     let m_elems = tl.params().scratchpad_capacity_elems(elem);
-    let default_chunk = (m_elems * 2 / 5).max(2);
+    // Both modes budget 4/5 of M for chunk buffers; DMA mode splits it
+    // three ways (the third buffer is the double-buffered next chunk).
+    let default_chunk = if cfg.use_dma {
+        (m_elems * 4 / 15).max(2)
+    } else {
+        (m_elems * 2 / 5).max(2)
+    };
     let chunk = cfg.chunk_elems.unwrap_or(default_chunk).clamp(1, n.max(1));
+    let n_chunks = n.div_ceil(chunk.max(1)).max(1);
+    let n_bufs = if cfg.use_dma && n_chunks > 1 { 3 } else { 2 };
     let (_n_chunks, n_pivots) = chunk_counts(tl, n, chunk, cfg);
-    // Feasibility: two chunk buffers + pivots + totals must fit in M.
-    let needed = (2 * chunk * elem + n_pivots * elem + (n_pivots + 1) * 8) as u64;
+    // Feasibility: the chunk buffers + pivots + totals must fit in M.
+    let needed = (n_bufs * chunk * elem + n_pivots * elem + (n_pivots + 1) * 8) as u64;
     if needed > tl.params().scratchpad_bytes {
         return Err(SortError::ScratchpadTooSmall {
             needed,
             available: tl.params().scratchpad_bytes,
         });
     }
-    Ok(Geometry { chunk })
+    Ok(Geometry { chunk, n_bufs })
 }
 
 /// Charge the full traffic of a far↔near copy of `bytes` without moving
@@ -324,22 +337,30 @@ fn near_alloc_with_retry<T: Copy + Default>(
     with_faults_suppressed(|| tl.near_alloc::<T>(len)).map_err(SortError::from)
 }
 
-/// Allocate the two chunk-sized scratchpad buffers, halving the chunk under
-/// injected allocation pressure (bounded by the [`Backoff`] `Shrink` budget)
-/// before forcing the allocation through. Returns the chunk size actually
-/// used.
+/// Allocate the chunk-sized staging buffers from the run's arena, halving
+/// the chunk under injected allocation pressure (bounded by the
+/// [`Backoff`] `Shrink` budget) before forcing the allocation through.
+/// Returns the chunk size actually used. Arena growth is exact-fit, so the
+/// scratchpad bytes reserved here match what direct `near_alloc` calls
+/// would have reserved, shrink ladder included.
 fn alloc_chunk_buffers<T: SortElem>(
     tl: &TwoLevel,
+    arena: &StagingArena,
     mut chunk: usize,
+    n_bufs: usize,
     stats: &mut DegradationStats,
-) -> Result<(usize, NearArray<T>, NearArray<T>), SortError> {
+) -> Result<(usize, Vec<ArenaBuf<T>>), SortError> {
+    let try_alloc = |chunk: usize| -> Result<Vec<ArenaBuf<T>>, tlmm_scratchpad::SpError> {
+        let mut bufs = Vec::with_capacity(n_bufs);
+        for _ in 0..n_bufs {
+            bufs.push(arena.alloc_array::<T>(chunk)?);
+        }
+        Ok(bufs)
+    };
     let mut bo = Backoff::for_memory(tl, RetryClass::Shrink);
     loop {
-        let attempt = tl
-            .near_alloc::<T>(chunk)
-            .and_then(|a| tl.near_alloc::<T>(chunk).map(|b| (a, b)));
-        match attempt {
-            Ok((a, b)) => return Ok((chunk, a, b)),
+        match try_alloc(chunk) {
+            Ok(bufs) => return Ok((chunk, bufs)),
             Err(e) if e.is_injected() && chunk > 2 && bo.again() => {
                 // Transient scratchpad pressure: degrade to a smaller chunk
                 // (more Phase-1 chunks, same asymptotics) instead of failing.
@@ -349,15 +370,137 @@ fn alloc_chunk_buffers<T: SortElem>(
             Err(e) if e.is_injected() => {
                 bo.give_up();
                 stats.forced_ops += 1;
-                return with_faults_suppressed(|| -> Result<_, tlmm_scratchpad::SpError> {
-                    let a = tl.near_alloc::<T>(chunk)?;
-                    let b = tl.near_alloc::<T>(chunk)?;
-                    Ok((chunk, a, b))
-                })
-                .map_err(SortError::from);
+                return with_faults_suppressed(|| try_alloc(chunk))
+                    .map(|bufs| (chunk, bufs))
+                    .map_err(SortError::from);
             }
             Err(e) => return Err(e.into()),
         }
+    }
+}
+
+/// The preflight-and-charge half of a Phase-1 ingest, executed on the
+/// issuing thread at issue time: the full [`staged_copy_with_retry`]
+/// fault ladder plus the transfer's own charge. After this returns, the
+/// ledger, trace, and fault log are settled; the raw byte copy may run on
+/// a background worker that touches nothing but memory — which is what
+/// keeps overlapped runs byte-identical to blocking ones.
+fn ingest_issue_charges(tl: &TwoLevel, bytes: u64, lanes: usize, stats: &mut DegradationStats) {
+    let mut bo = Backoff::for_memory(tl, RetryClass::Stage);
+    loop {
+        match tl.preflight(FaultOp::FarToNear) {
+            FaultDecision::Fail(_) => {
+                charge_copy_volume(tl, CopyKind::FarToNear, bytes, lanes);
+                if bo.again() {
+                    stats.transfer_retries += 1;
+                } else {
+                    bo.give_up();
+                    stats.forced_ops += 1;
+                    break;
+                }
+            }
+            FaultDecision::Delay(_) => {
+                charge_copy_volume(tl, CopyKind::FarToNear, bytes, lanes);
+                stats.transfer_delays += 1;
+                tlmm_telemetry::counter!("degradation.transfer_delay").incr();
+                break;
+            }
+            FaultDecision::Proceed => break,
+        }
+    }
+    // The transfer itself (same totals and lane striping as the
+    // charge-half of `charged_copy`).
+    charge_copy_volume(tl, CopyKind::FarToNear, bytes, lanes);
+}
+
+/// The sort → writeback → bounds tail of one Phase-1 chunk iteration,
+/// shared by the blocking schedule and the DMA pipeline (where it runs
+/// while the next chunk's gather is in flight on a background worker).
+/// The caller owns the enclosing phase bracket and calls `end_phase`.
+#[allow(clippy::too_many_arguments)]
+fn p1_sort_writeback_bounds<T: SortElem>(
+    tl: &TwoLevel,
+    cfg: &NmSortConfig,
+    ext_cfg: &ExtSortConfig,
+    arena: &StagingArena,
+    sample: &PivotSample<T>,
+    chunk_buf: &mut ArenaBuf<T>,
+    scratch_buf: &mut ArenaBuf<T>,
+    sorted_chunks: &mut FarArray<T>,
+    totals_buf: &mut NearArray<u64>,
+    all_positions: &mut Vec<BucketPositions>,
+    degradations: &mut DegradationStats,
+    (lo, hi): (usize, usize),
+    n_chunks: usize,
+    lanes: usize,
+) {
+    let len = hi - lo;
+    let elem_sz = std::mem::size_of::<T>();
+
+    tl.begin_phase("nmsort.p1.sort");
+    let sorted: &[T] = match cfg.chunk_sorter {
+        ChunkSorter::MultiwayMerge => {
+            let outcome = external_sort(
+                tl,
+                RegionLevel::Near,
+                &mut chunk_buf.as_mut_slice_uncharged()[..len],
+                &mut scratch_buf.as_mut_slice_uncharged()[..len],
+                ext_cfg,
+            );
+            if outcome.in_scratch {
+                &scratch_buf.as_slice_uncharged()[..len]
+            } else {
+                &chunk_buf.as_slice_uncharged()[..len]
+            }
+        }
+        ChunkSorter::Quicksort => {
+            external_quicksort(
+                tl,
+                RegionLevel::Near,
+                &mut chunk_buf.as_mut_slice_uncharged()[..len],
+                lanes,
+            );
+            &chunk_buf.as_slice_uncharged()[..len]
+        }
+    };
+
+    tl.begin_phase("nmsort.p1.writeback");
+    if cfg.use_dma && dma_issue_allowed(tl, degradations) {
+        tl.mark_phase_overlappable();
+    }
+    staged_copy_with_retry(
+        tl,
+        CopyKind::NearToFar,
+        sorted,
+        &mut sorted_chunks.as_mut_slice_uncharged()[lo..hi],
+        lanes,
+        cfg.threads,
+        degradations,
+    );
+    arena.note_sync_transfer(Dir::Write, (len * elem_sz) as u64);
+
+    if n_chunks > 1 {
+        tl.begin_phase("nmsort.p1.bounds");
+        let pos = bucket_positions(
+            tl,
+            RegionLevel::Near,
+            sorted,
+            &sample.pivots,
+            lanes,
+            cfg.threads,
+        );
+        accumulate_totals(tl, totals_buf.as_mut_slice_uncharged(), &pos, lanes);
+        // BucketPos for this chunk goes to DRAM (the auxiliary array of
+        // Fig. 2(c)); the write is a cooperative stream like the data
+        // transfers.
+        charge_io_striped(
+            tl,
+            RegionLevel::Far,
+            Dir::Write,
+            (pos.len() * 8) as u64,
+            lanes,
+        );
+        all_positions.push(pos);
     }
 }
 
@@ -413,11 +556,18 @@ pub fn nmsort<T: SortElem>(
     let stage_events_base = stage_event_count(tl);
 
     // ---- Scratchpad allocations ---------------------------------------
-    // chunk_buf: ingest + gather space; scratch_buf: sort ping-pong + merge
-    // output. Allocated before sampling so that an allocation-pressure
+    // All chunk staging lives in a generation-based arena: chunk_buf
+    // (ingest + gather space), scratch_buf (sort ping-pong + merge
+    // output), and in DMA mode next_buf (the incoming double-buffered
+    // chunk). Allocated before sampling so that an allocation-pressure
     // chunk shrink can still influence the default pivot count.
-    let (chunk, mut chunk_buf, mut scratch_buf) =
-        alloc_chunk_buffers::<T>(tl, geo.chunk, &mut degradations)?;
+    let arena = StagingArena::new(tl);
+    let (chunk, bufs) =
+        alloc_chunk_buffers::<T>(tl, &arena, geo.chunk, geo.n_bufs, &mut degradations)?;
+    let mut bufs = bufs.into_iter();
+    let mut chunk_buf = bufs.next().expect("chunk buffer");
+    let mut scratch_buf = bufs.next().expect("scratch buffer");
+    let mut next_buf = bufs.next();
     let n_chunks = n.div_ceil(chunk.max(1)).max(1);
     // The pivot count stays anchored to the *pre-shrink* geometry: a
     // degraded run must never sample fewer pivots (and so pay less far
@@ -456,6 +606,28 @@ pub fn nmsort<T: SortElem>(
         threads: cfg.threads,
         ..Default::default()
     };
+    let elem_sz = std::mem::size_of::<T>();
+    // The double-buffered DMA pipeline needs a third buffer and at least
+    // two chunks (the shrink ladder may have consumed the third buffer's
+    // headroom — then the run degrades to the blocking schedule).
+    let pipelined = cfg.use_dma && n_chunks > 1 && next_buf.is_some();
+
+    if pipelined {
+        // Prime the pipeline: the first chunk has nothing to hide behind,
+        // so its ingest is synchronous and not overlappable.
+        tl.begin_phase("nmsort.p1.ingest");
+        let hi0 = chunk.min(n);
+        staged_copy_with_retry(
+            tl,
+            CopyKind::FarToNear,
+            &input.as_slice_uncharged()[..hi0],
+            &mut chunk_buf.as_mut_slice_uncharged()[..hi0],
+            lanes,
+            cfg.threads,
+            &mut degradations,
+        );
+        arena.note_sync_transfer(Dir::Read, (hi0 * elem_sz) as u64);
+    }
     for k in 0..n_chunks {
         // Phase boundary: cooperative cancellation / deadline check.
         tl.checkpoint()?;
@@ -463,86 +635,134 @@ pub fn nmsort<T: SortElem>(
         let hi = ((k + 1) * chunk).min(n);
         let len = hi - lo;
 
-        tl.begin_phase("nmsort.p1.ingest");
-        if cfg.use_dma && dma_issue_allowed(tl, &mut degradations) {
-            tl.mark_phase_overlappable();
-        }
-        staged_copy_with_retry(
-            tl,
-            CopyKind::FarToNear,
-            &input.as_slice_uncharged()[lo..hi],
-            &mut chunk_buf.as_mut_slice_uncharged()[..len],
-            lanes,
-            cfg.threads,
-            &mut degradations,
-        );
-
-        tl.begin_phase("nmsort.p1.sort");
-        let sorted: &[T] = match cfg.chunk_sorter {
-            ChunkSorter::MultiwayMerge => {
-                let outcome = external_sort(
-                    tl,
-                    RegionLevel::Near,
-                    &mut chunk_buf.as_mut_slice_uncharged()[..len],
-                    &mut scratch_buf.as_mut_slice_uncharged()[..len],
-                    &ext_cfg,
-                );
-                if outcome.in_scratch {
-                    &scratch_buf.as_slice_uncharged()[..len]
-                } else {
-                    &chunk_buf.as_slice_uncharged()[..len]
-                }
-            }
-            ChunkSorter::Quicksort => {
-                external_quicksort(
-                    tl,
-                    RegionLevel::Near,
-                    &mut chunk_buf.as_mut_slice_uncharged()[..len],
-                    lanes,
-                );
-                &chunk_buf.as_slice_uncharged()[..len]
-            }
-        };
-
-        tl.begin_phase("nmsort.p1.writeback");
-        if cfg.use_dma && dma_issue_allowed(tl, &mut degradations) {
-            tl.mark_phase_overlappable();
-        }
-        staged_copy_with_retry(
-            tl,
-            CopyKind::NearToFar,
-            sorted,
-            &mut sorted_chunks.as_mut_slice_uncharged()[lo..hi],
-            lanes,
-            cfg.threads,
-            &mut degradations,
-        );
-
-        if n_chunks > 1 {
-            tl.begin_phase("nmsort.p1.bounds");
-            let pos = bucket_positions(
+        if !pipelined {
+            tl.begin_phase("nmsort.p1.ingest");
+            staged_copy_with_retry(
                 tl,
-                RegionLevel::Near,
-                sorted,
-                &sample.pivots,
+                CopyKind::FarToNear,
+                &input.as_slice_uncharged()[lo..hi],
+                &mut chunk_buf.as_mut_slice_uncharged()[..len],
                 lanes,
                 cfg.threads,
+                &mut degradations,
             );
-            accumulate_totals(tl, totals_buf.as_mut_slice_uncharged(), &pos, lanes);
-            // BucketPos for this chunk goes to DRAM (the auxiliary array of
-            // Fig. 2(c)); the write is a cooperative stream like the data
-            // transfers.
-            charge_io_striped(
+            arena.note_sync_transfer(Dir::Read, (len * elem_sz) as u64);
+            p1_sort_writeback_bounds(
                 tl,
-                RegionLevel::Far,
-                Dir::Write,
-                (pos.len() * 8) as u64,
+                cfg,
+                &ext_cfg,
+                &arena,
+                &sample,
+                &mut chunk_buf,
+                &mut scratch_buf,
+                &mut sorted_chunks,
+                &mut totals_buf,
+                &mut all_positions,
+                &mut degradations,
+                (lo, hi),
+                n_chunks,
                 lanes,
             );
-            all_positions.push(pos);
+            tl.end_phase();
+            continue;
+        }
+
+        // Issue the gather of chunk k+1 *before* sorting chunk k. Every
+        // preflight and ledger charge lands on the issuing thread right
+        // here, at issue time; the background worker below only moves
+        // bytes — which is what keeps overlapped runs byte-identical to
+        // blocking ones. The phase is overlappable, so the flow engine
+        // charges max(ingest(k+1), sort(k)) instead of their sum.
+        let mut pending = None;
+        if k + 1 < n_chunks {
+            let nlo = (k + 1) * chunk;
+            let nhi = ((k + 2) * chunk).min(n);
+            let nbytes = ((nhi - nlo) * elem_sz) as u64;
+            let nb = next_buf.as_mut().expect("pipelined mode has a next buffer");
+            tl.begin_phase("nmsort.p1.ingest");
+            if dma_issue_allowed(tl, &mut degradations) {
+                tl.mark_phase_overlappable();
+                ingest_issue_charges(tl, nbytes, lanes, &mut degradations);
+                let id = nb.issue(Dir::Read, nbytes).map_err(SortError::from)?;
+                if cfg.threads > 1 {
+                    pending = Some((id, nlo, nhi));
+                } else {
+                    // One host thread: the copy runs inline at issue time.
+                    // Identical charges; the overlap is simulated only.
+                    nb.transfer_fill(&input.as_slice_uncharged()[nlo..nhi], 0);
+                    arena.retire(id).map_err(SortError::from)?;
+                }
+            } else {
+                // Injected DmaIssue abort: demoted to a blocking copy in
+                // the same phase slot — same bytes move, overlap lost.
+                staged_copy_with_retry(
+                    tl,
+                    CopyKind::FarToNear,
+                    &input.as_slice_uncharged()[nlo..nhi],
+                    &mut nb.as_mut_slice_uncharged()[..nhi - nlo],
+                    lanes,
+                    cfg.threads,
+                    &mut degradations,
+                );
+                arena.note_sync_transfer(Dir::Read, nbytes);
+            }
+        }
+
+        if let Some((id, nlo, nhi)) = pending {
+            // Sort chunk k while the gather of chunk k+1 is in flight.
+            // The read-before-retire guard on next_buf stays armed the
+            // whole time; the worker writes through the transfer path.
+            let nb = next_buf.as_mut().expect("pipelined mode has a next buffer");
+            let src = input.as_slice_uncharged();
+            std::thread::scope(|s| {
+                s.spawn(move || nb.transfer_fill(&src[nlo..nhi], 0));
+                p1_sort_writeback_bounds(
+                    tl,
+                    cfg,
+                    &ext_cfg,
+                    &arena,
+                    &sample,
+                    &mut chunk_buf,
+                    &mut scratch_buf,
+                    &mut sorted_chunks,
+                    &mut totals_buf,
+                    &mut all_positions,
+                    &mut degradations,
+                    (lo, hi),
+                    n_chunks,
+                    lanes,
+                );
+            });
+            arena.retire(id).map_err(SortError::from)?;
+        } else {
+            p1_sort_writeback_bounds(
+                tl,
+                cfg,
+                &ext_cfg,
+                &arena,
+                &sample,
+                &mut chunk_buf,
+                &mut scratch_buf,
+                &mut sorted_chunks,
+                &mut totals_buf,
+                &mut all_positions,
+                &mut degradations,
+                (lo, hi),
+                n_chunks,
+                lanes,
+            );
         }
         tl.end_phase();
+        if k + 1 < n_chunks {
+            std::mem::swap(
+                &mut chunk_buf,
+                next_buf.as_mut().expect("pipelined mode has a next buffer"),
+            );
+        }
     }
+    // Phase 2 needs only two buffers; freeing the double buffer here
+    // exercises the arena's free path on every DMA run.
+    drop(next_buf);
     let after_p1 = tl.ledger().snapshot();
 
     // ---- Phase 2 --------------------------------------------------------
@@ -719,8 +939,8 @@ fn merge_batch_via_scratchpad<T: SortElem>(
     all_positions: &[BucketPositions],
     chunk_starts: &[usize],
     bucket_range: (usize, usize),
-    gather_buf: &mut tlmm_scratchpad::NearArray<T>,
-    merge_buf: &mut tlmm_scratchpad::NearArray<T>,
+    gather_buf: &mut ArenaBuf<T>,
+    merge_buf: &mut ArenaBuf<T>,
     output: &mut FarArray<T>,
     out_off: usize,
     total: usize,
@@ -732,6 +952,9 @@ fn merge_batch_via_scratchpad<T: SortElem>(
 
     // -- Gather: one parallel transfer per chunk segment ----------------
     tl.begin_phase("nmsort.p2.gather");
+    gather_buf
+        .arena()
+        .note_sync_transfer(Dir::Read, total as u64 * elem);
     let src = sorted_chunks.as_slice_uncharged();
     let gather = gather_buf.as_mut_slice_uncharged();
     {
@@ -812,6 +1035,9 @@ fn merge_batch_via_scratchpad<T: SortElem>(
 
     // -- Stream the merged batch to its final DRAM position -------------
     tl.begin_phase("nmsort.p2.writeout");
+    merge_buf
+        .arena()
+        .note_sync_transfer(Dir::Write, total as u64 * elem);
     charged_copy(
         tl,
         CopyKind::NearToFar,
@@ -835,8 +1061,8 @@ fn merge_oversized_bucket<T: SortElem>(
     all_positions: &[BucketPositions],
     chunk_starts: &[usize],
     bucket_range: (usize, usize),
-    gather_buf: &mut tlmm_scratchpad::NearArray<T>,
-    merge_buf: &mut tlmm_scratchpad::NearArray<T>,
+    gather_buf: &mut ArenaBuf<T>,
+    merge_buf: &mut ArenaBuf<T>,
     output: &mut FarArray<T>,
     out_off: usize,
     total: usize,
@@ -945,8 +1171,8 @@ fn merge_part_via_scratchpad<T: SortElem>(
     tl: &TwoLevel,
     src: &[T],
     part_segs: &[(usize, usize)],
-    gather_buf: &mut tlmm_scratchpad::NearArray<T>,
-    merge_buf: &mut tlmm_scratchpad::NearArray<T>,
+    gather_buf: &mut ArenaBuf<T>,
+    merge_buf: &mut ArenaBuf<T>,
     output: &mut FarArray<T>,
     out_off: usize,
     total: usize,
@@ -955,6 +1181,9 @@ fn merge_part_via_scratchpad<T: SortElem>(
 ) {
     let elem = std::mem::size_of::<T>() as u64;
     tl.begin_phase("nmsort.p2.gather");
+    gather_buf
+        .arena()
+        .note_sync_transfer(Dir::Read, total as u64 * elem);
     {
         let gather = &mut gather_buf.as_mut_slice_uncharged()[..total];
         let mut cursor = 0usize;
@@ -993,6 +1222,9 @@ fn merge_part_via_scratchpad<T: SortElem>(
         charge_compute_striped(tl, cmps, lanes);
     }
     tl.begin_phase("nmsort.p2.writeout");
+    merge_buf
+        .arena()
+        .note_sync_transfer(Dir::Write, total as u64 * elem);
     charged_copy(
         tl,
         CopyKind::NearToFar,
@@ -1206,16 +1438,31 @@ mod tests {
         };
         nmsort(&tl, input, &cfg).unwrap();
         let t = tl.take_trace();
-        assert!(t
+        // Pipelined schedule: the priming ingest of chunk 0 has nothing to
+        // hide behind (synchronous); every later ingest is issued before
+        // the previous chunk's sort and overlaps it.
+        let ingest: Vec<bool> = t
             .phases
             .iter()
             .filter(|p| p.name == "nmsort.p1.ingest")
-            .all(|p| p.overlappable));
+            .map(|p| p.overlappable)
+            .collect();
+        assert!(ingest.len() >= 2, "expected multiple ingest phases");
+        assert!(!ingest[0], "priming ingest must be synchronous");
+        assert!(
+            ingest[1..].iter().all(|&o| o),
+            "steady-state ingests must overlap: {ingest:?}"
+        );
         assert!(t
             .phases
             .iter()
             .filter(|p| p.name == "nmsort.p1.sort")
             .all(|p| !p.overlappable));
+        assert!(t
+            .phases
+            .iter()
+            .filter(|p| p.name == "nmsort.p1.writeback")
+            .all(|p| p.overlappable));
     }
 
     #[test]

@@ -47,7 +47,7 @@ use crate::par::{charge_io_striped, striped_ranges};
 use crate::SortElem;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tlmm_scratchpad::trace::{current_lane, with_lane};
-use tlmm_scratchpad::{Dir, FaultDecision, FaultOp, TwoLevel};
+use tlmm_scratchpad::{Dir, FaultDecision, FaultOp, StagingArena, TwoLevel};
 
 /// Tuning knobs shared by both oblivious engines. None of these encode a
 /// memory-hierarchy size: `base_elems` is a constant recursion cutoff (the
@@ -102,6 +102,11 @@ pub(crate) struct Ctx<'a> {
     /// Largest segment (in elements) the machine keeps near-resident —
     /// data plus equal-sized ping-pong scratch within half the scratchpad.
     near_cap_elems: usize,
+    /// Transfer ledger: the oblivious engines move every byte
+    /// synchronously (ideal-cache streaming has no pending transfers),
+    /// so each ingest/writeback is recorded as a sync transfer. The
+    /// arena never allocates here — no capacity is reserved.
+    arena: StagingArena,
     pub base_elems: usize,
     pub threads: usize,
     resident_subtrees: AtomicU64,
@@ -116,11 +121,13 @@ impl<'a> Ctx<'a> {
         let elem = std::mem::size_of::<T>().max(1);
         // Data + scratch both resident within M/2 leaves the other half for
         // the machine's own working state — the same comfortable-fit margin
-        // the aware engines use when sizing chunks.
-        let near_cap_elems = (tl.params().scratchpad_bytes as usize / (4 * elem)).max(1);
+        // the aware engines use when sizing chunks. The validated form
+        // lives on `ScratchpadParams`, shared with admission control.
+        let near_cap_elems = tl.params().resident_cap_elems(elem);
         Ctx {
             tl,
             near_cap_elems,
+            arena: StagingArena::new(tl),
             base_elems: cfg.base_elems.max(2),
             threads: cfg.threads,
             resident_subtrees: AtomicU64::new(0),
@@ -192,6 +199,7 @@ impl<'a> Ctx<'a> {
                 self.tl.charge_near_io(Dir::Write, r.len() as u64);
             });
         }
+        self.arena.note_sync_transfer(Dir::Read, bytes);
         self.resident_subtrees.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -213,6 +221,7 @@ impl<'a> Ctx<'a> {
                 self.tl.charge_far_io(Dir::Write, r.len() as u64);
             });
         }
+        self.arena.note_sync_transfer(Dir::Write, bytes);
     }
 
     /// Sort a base-case segment: one fault-gated read pass, the in-cache

@@ -1,0 +1,27 @@
+#[test]
+fn dma_pipelined_with_host_threads_matches_sequential() {
+    use tlmm_core::nmsort::{nmsort, NmSortConfig};
+    use tlmm_model::ScratchpadParams;
+    use tlmm_scratchpad::TwoLevel;
+    let run = |threads: usize| {
+        let tl = TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap());
+        let v: Vec<u64> = (0..300_000u64).rev().collect();
+        let input = tl.far_from_vec(v);
+        let cfg = NmSortConfig {
+            use_dma: true,
+            threads,
+            ..Default::default()
+        };
+        let r = nmsort(&tl, input, &cfg).unwrap();
+        assert!(r
+            .output
+            .as_slice_uncharged()
+            .windows(2)
+            .all(|w| w[0] <= w[1]));
+        tl.ledger().snapshot()
+    };
+    let a = run(2);
+    let b = run(1);
+    assert_eq!(a.far_bytes, b.far_bytes);
+    assert_eq!(a.near_bytes, b.near_bytes);
+}

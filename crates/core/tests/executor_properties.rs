@@ -16,25 +16,12 @@ use tlmm_core::oblivious::{spms_sort, squaresort_sort, ObliviousConfig};
 use tlmm_core::parsort::{par_scratchpad_sort, ParSortConfig};
 use tlmm_model::{CostSnapshot, ScratchpadParams};
 use tlmm_scratchpad::{ExecConfig, FaultPlan, TwoLevel};
+use tlmm_testkit::{LANES, SHAPES};
 use tlmm_workloads::{generate, Workload};
 
 fn tl() -> TwoLevel {
     TwoLevel::new(ScratchpadParams::new(64, 4.0, 1 << 20, 16 << 10).unwrap())
 }
-
-/// The seven workload shapes of the fuzz matrix.
-const SHAPES: [Workload; 7] = [
-    Workload::UniformU64,
-    Workload::Sorted,
-    Workload::Reverse,
-    Workload::NearlySorted(0.1),
-    Workload::FewDistinct(16),
-    Workload::Zipf(1.2),
-    Workload::Sawtooth(1000),
-];
-
-/// Lane counts exercised by the fuzz matrix.
-const LANES: [usize; 5] = [1, 2, 4, 8, 16];
 
 fn nmsort_snapshot(
     input: &[u64],
@@ -55,6 +42,41 @@ fn nmsort_snapshot(
         &NmSortConfig {
             sim_lanes: lanes,
             threads: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (
+        r.output.as_slice_uncharged().to_vec(),
+        tl.ledger().snapshot(),
+    )
+}
+
+/// Like [`nmsort_snapshot`] but DMA-pipelined, with the host-thread
+/// fan-out under test too: `threads > 1` moves the raw ingest copies to
+/// a background thread, changing WHEN pending transfers retire but
+/// never what was charged.
+fn nmsort_dma_snapshot(
+    input: &[u64],
+    lanes: usize,
+    exec: Option<ExecConfig>,
+    fault_seed: Option<u64>,
+    threads: usize,
+) -> (Vec<u64>, CostSnapshot) {
+    let tl = tl();
+    if let Some(cfg) = exec {
+        tl.install_executor(cfg).unwrap();
+    }
+    if let Some(fs) = fault_seed {
+        tl.install_fault_plan(FaultPlan::seeded(fs));
+    }
+    let r = nmsort(
+        &tl,
+        tl.far_from_vec(input.to_vec()),
+        &NmSortConfig {
+            sim_lanes: lanes,
+            threads,
+            use_dma: true,
             ..Default::default()
         },
     )
@@ -149,6 +171,40 @@ proptest! {
         prop_assert_eq!(&oracle_out, &expect);
         prop_assert_eq!(&out, &expect);
         prop_assert_eq!(snap, oracle_snap);
+    }
+
+    /// Retirement-order fuzz for the DMA pipeline: arbitrary executor
+    /// schedules AND host-threaded retirement (background ingest copies)
+    /// must leave the charged ledger bit-identical to the sequential
+    /// oracle — the arena may reorder retires, never charges.
+    #[test]
+    fn nmsort_dma_ledger_invariant_under_schedule_and_retirement_fuzzing(
+        shape_ix in 0usize..SHAPES.len(),
+        lanes_ix in 0usize..LANES.len(),
+        n in 0usize..12_000,
+        data_seed in any::<u64>(),
+        exec_seed in any::<u64>(),
+        workers in 1usize..16,
+        with_faults in any::<bool>(),
+    ) {
+        let input = generate(SHAPES[shape_ix], n, data_seed);
+        let lanes = LANES[lanes_ix];
+        let slots = 1 + exec_seed as usize % workers;
+        let fault_seed = with_faults.then_some(data_seed ^ 0xD7A);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+
+        let (oracle_out, oracle_snap) = nmsort_dma_snapshot(&input, lanes, None, fault_seed, 1);
+        let exec = ExecConfig::deterministic(workers, slots, exec_seed);
+        let (out, snap) = nmsort_dma_snapshot(&input, lanes, Some(exec), fault_seed, 1);
+        let (threaded_out, threaded_snap) =
+            nmsort_dma_snapshot(&input, lanes, None, fault_seed, 2);
+
+        prop_assert_eq!(&oracle_out, &expect);
+        prop_assert_eq!(&out, &expect);
+        prop_assert_eq!(&threaded_out, &expect);
+        prop_assert_eq!(snap, oracle_snap.clone());
+        prop_assert_eq!(threaded_snap, oracle_snap);
     }
 
     #[test]

@@ -13,19 +13,8 @@ use proptest::prelude::*;
 use tlmm_core::kernels::reference::{merge_into_slice_ref, ReferenceLoserTree};
 use tlmm_core::kernels::{radix_sort, sort_kernel, RadixKey};
 use tlmm_core::losertree::{merge_into_slice, LoserTree};
-use tlmm_workloads::{generate, Workload};
-
-/// All workload shapes the experiment harnesses use.
-const SHAPES: [Workload; 8] = [
-    Workload::UniformU64,
-    Workload::Sorted,
-    Workload::Reverse,
-    Workload::NearlySorted(0.1),
-    Workload::FewDistinct(7),
-    Workload::Zipf(1.1),
-    Workload::AllEqual,
-    Workload::Sawtooth(257),
-];
+use tlmm_testkit::KERNEL_SHAPES as SHAPES;
+use tlmm_workloads::generate;
 
 fn check_radix<T: RadixKey + std::fmt::Debug>(mut v: Vec<T>) {
     let mut expect = v.clone();

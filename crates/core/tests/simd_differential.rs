@@ -18,19 +18,8 @@ use std::sync::Mutex;
 use tlmm_core::kernels::simd;
 use tlmm_core::kernels::{radix_sort, RadixKey};
 use tlmm_core::losertree::merge_into_slice;
-use tlmm_workloads::{generate, Workload};
-
-/// All workload shapes the experiment harnesses use.
-const SHAPES: [Workload; 8] = [
-    Workload::UniformU64,
-    Workload::Sorted,
-    Workload::Reverse,
-    Workload::NearlySorted(0.1),
-    Workload::FewDistinct(7),
-    Workload::Zipf(1.1),
-    Workload::AllEqual,
-    Workload::Sawtooth(257),
-];
+use tlmm_testkit::KERNEL_SHAPES as SHAPES;
+use tlmm_workloads::generate;
 
 /// Serializes dispatch toggles: the SIMD on/off state is process-global
 /// and these tests run on the harness's thread pool.
@@ -39,7 +28,7 @@ static DISPATCH: Mutex<()> = Mutex::new(());
 /// Run `f` with SIMD forced off, then forced on (when the host allows),
 /// restoring the startup decision after; returns both results.
 fn both_paths<R>(f: impl Fn() -> R) -> (R, R) {
-    let _guard = DISPATCH.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = tlmm_testkit::serial_guard(&DISPATCH);
     let initial = simd::enabled();
     simd::set_enabled(false);
     let off = f();

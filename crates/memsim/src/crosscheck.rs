@@ -182,6 +182,8 @@ mod tests {
             far_bytes: 0,
             near_bytes: 0,
             fault_events: 0,
+            overlapped_pairs: 0,
+            overlap_saved_seconds: 0.0,
             detail: None,
         }
     }

@@ -237,6 +237,8 @@ pub fn simulate_des(trace: &PhaseTrace, m: &MachineConfig, opt: &DesOptions) -> 
     let mut near_dc = DirectoryController::new(m.near.dc_entries);
     let mut phases: Vec<PhaseStat> = Vec::with_capacity(trace.phases.len());
     let mut total_ps = 0u64;
+    let mut overlapped_pairs = 0u64;
+    let mut overlap_saved_ps = 0u64;
     let mut i = 0usize;
     let reset_all = |far: &mut MemorySide,
                      near: &mut MemorySide,
@@ -278,6 +280,8 @@ pub fn simulate_des(trace: &PhaseTrace, m: &MachineConfig, opt: &DesOptions) -> 
             );
             let qtot = q.total();
             let pair = t.max(tq);
+            overlapped_pairs += 1;
+            overlap_saved_ps += t + tq - pair;
             phases.push(PhaseStat {
                 name: p.name.clone(),
                 seconds: if t >= tq { pair as f64 / PS } else { 0.0 },
@@ -340,6 +344,8 @@ pub fn simulate_des(trace: &PhaseTrace, m: &MachineConfig, opt: &DesOptions) -> 
         far_bytes: t_total.far_bytes(),
         near_bytes: t_total.near_bytes(),
         fault_events: trace.faults(),
+        overlapped_pairs,
+        overlap_saved_seconds: overlap_saved_ps as f64 / PS,
         detail: Some(detail),
     }
 }

@@ -9,8 +9,11 @@
 //! * per-core issue limit: `max_core(bytes) / per_core_stream_bw`
 //!
 //! plus a fixed per-phase overhead. Phases marked *overlappable* (DMA
-//! transfers) hide behind their successor: the pair contributes
-//! `max(t_dma, t_next)`.
+//! transfers) hide behind their successor — but the channels are shared,
+//! so the pair contributes
+//! `max(t_dma, t_next, Σfar/far_bw, Σnear/near_bw, Σbytes/noc_bw)`:
+//! a transfer can hide behind compute for free, while two phases that
+//! both saturate the same channel serialize on it even when overlapped.
 //!
 //! Virtual lanes beyond the machine's core count fold onto cores
 //! round-robin, so a 256-lane trace can be replayed on an 8-core config and
@@ -76,23 +79,45 @@ pub fn phase_time(p: &PhaseRecord, m: &MachineConfig) -> (f64, Bottleneck) {
     (t + m.phase_overhead_s, b)
 }
 
+/// Aggregate far/near channel bytes of a phase across all lanes.
+fn channel_bytes(p: &PhaseRecord) -> (u64, u64) {
+    let mut far = 0u64;
+    let mut near = 0u64;
+    for l in &p.lanes {
+        far += l.far_bytes();
+        near += l.near_bytes();
+    }
+    (far, near)
+}
+
 /// Replay `trace` on machine `m`, producing simulated time and access
 /// counts.
 pub fn simulate_flow(trace: &PhaseTrace, m: &MachineConfig) -> SimReport {
     let mut phases: Vec<PhaseStat> = Vec::with_capacity(trace.phases.len());
     let mut total = 0.0f64;
+    let mut overlapped_pairs = 0u64;
+    let mut overlap_saved = 0.0f64;
     let mut i = 0usize;
     while i < trace.phases.len() {
         let p = &trace.phases[i];
         let (t, b) = phase_time(p, m);
         let tot = p.total();
         if p.overlappable && i + 1 < trace.phases.len() {
-            // DMA semantics: this transfer proceeds behind the next phase.
+            // DMA semantics: this transfer proceeds behind the next phase,
+            // but the memory channels are shared — the pair can never beat
+            // the summed occupancy of any single channel.
             let q = &trace.phases[i + 1];
             let (tq, bq) = phase_time(q, m);
             let qtot = q.total();
-            let pair = t.max(tq);
+            let (fp, np) = channel_bytes(p);
+            let (fq, nq) = channel_bytes(q);
+            let far_pair = (fp + fq) as f64 / m.far.sustained_bw();
+            let near_pair = (np + nq) as f64 / m.near.sustained_bw();
+            let noc_pair = (fp + fq + np + nq) as f64 / m.noc_bw();
+            let pair = t.max(tq).max(far_pair).max(near_pair).max(noc_pair);
             total += pair;
+            overlapped_pairs += 1;
+            overlap_saved += (t + tq) - pair;
             // Attribute the visible time to the longer member.
             let (tp_vis, tq_vis) = if t >= tq { (pair, 0.0) } else { (0.0, pair) };
             phases.push(PhaseStat {
@@ -139,6 +164,8 @@ pub fn simulate_flow(trace: &PhaseTrace, m: &MachineConfig) -> SimReport {
         far_bytes: t_total.far_bytes(),
         near_bytes: t_total.near_bytes(),
         fault_events: trace.faults(),
+        overlapped_pairs,
+        overlap_saved_seconds: overlap_saved,
         detail: None,
     }
 }
@@ -284,6 +311,46 @@ mod tests {
         assert!((r.seconds - t_x.max(t_w)).abs() < 1e-9);
         // Without the overlap flag it would be the sum.
         assert!(r.seconds < t_x + t_w);
+        assert_eq!(r.overlapped_pairs, 1);
+        assert!((r.overlap_saved_seconds - (t_x + t_w - t_x.max(t_w))).abs() < 1e-9);
+        assert!(r.overlap_fraction() > 0.0 && r.overlap_fraction() < 1.0);
+    }
+
+    #[test]
+    fn overlapped_pair_cannot_beat_shared_channel_occupancy() {
+        // Two far-bound phases of equal size: overlapping them cannot halve
+        // the far channel's service time — the pair serializes on it.
+        let m = MachineConfig::fig4(256, 4.0);
+        let a = phase("dma", lanes_with(30e9 as u64 / 256, 0, 0, 256), true);
+        let b = phase("more_far", lanes_with(30e9 as u64 / 256, 0, 0, 256), false);
+        let (ta, _) = phase_time(&a, &m);
+        let (tb, _) = phase_time(&b, &m);
+        let r = simulate_flow(&PhaseTrace { phases: vec![a, b] }, &m);
+        // Both phases hit the same channel: the pair costs the summed far
+        // occupancy (≈ ta + tb up to per-phase overhead), not max(ta, tb).
+        assert!(
+            r.seconds > 1.8 * ta.max(tb),
+            "pair {} vs max {}",
+            r.seconds,
+            ta.max(tb)
+        );
+        assert!(r.seconds <= ta + tb + 1e-9);
+        assert_eq!(r.overlapped_pairs, 1);
+    }
+
+    #[test]
+    fn serial_trace_reports_no_overlap() {
+        let m = MachineConfig::fig4(256, 4.0);
+        let trace = PhaseTrace {
+            phases: vec![
+                phase("a", lanes_with(1 << 28, 0, 0, 256), false),
+                phase("b", lanes_with(0, 1 << 28, 0, 256), false),
+            ],
+        };
+        let r = simulate_flow(&trace, &m);
+        assert_eq!(r.overlapped_pairs, 0);
+        assert_eq!(r.overlap_saved_seconds, 0.0);
+        assert_eq!(r.overlap_fraction(), 0.0);
     }
 
     #[test]

@@ -80,8 +80,28 @@ pub struct SimReport {
     /// Non-zero means this is a *degraded* run: its traffic includes
     /// retried/retransmitted transfers charged by the fault layer.
     pub fault_events: u64,
+    /// Overlappable phase pairs the engine actually overlapped (the DMA
+    /// double-buffer pairs of a pipelined trace).
+    pub overlapped_pairs: u64,
+    /// Seconds saved by overlap versus running every phase serially:
+    /// `Σ (t_p + t_q − t_pair)` over overlapped pairs. Zero on traces with
+    /// no overlappable phases.
+    pub overlap_saved_seconds: f64,
     /// Discrete-event-only measurements (`None` for the analytic engine).
     pub detail: Option<DesDetail>,
+}
+
+impl SimReport {
+    /// Fraction of the serialized (no-overlap) makespan hidden by
+    /// transfer/compute overlap: `saved / (seconds + saved)`.
+    pub fn overlap_fraction(&self) -> f64 {
+        let serialized = self.seconds + self.overlap_saved_seconds;
+        if serialized <= 0.0 {
+            0.0
+        } else {
+            self.overlap_saved_seconds / serialized
+        }
+    }
 }
 
 impl SimReport {
@@ -213,6 +233,8 @@ mod tests {
             far_bytes: 20,
             near_bytes: 5,
             fault_events: 0,
+            overlapped_pairs: 0,
+            overlap_saved_seconds: 0.0,
             detail: None,
         };
         assert_eq!(r.seconds_bound_by(Bottleneck::FarBandwidth), 1.5);

@@ -42,10 +42,18 @@ pub struct AdmissionEstimate {
     pub shrinks: u32,
 }
 
-/// Mirror of NMsort's default chunk: 40 % of the scratchpad in elements.
-fn default_chunk(p: &ScratchpadParams, n: u64, elem_bytes: usize) -> usize {
+/// Mirror of NMsort's default chunk: both modes budget 4/5 of the
+/// scratchpad for chunk buffers — the blocking schedule splits it two
+/// ways (40 % each), the DMA pipeline three ways (the third buffer is
+/// the double-buffered next chunk).
+fn default_chunk(p: &ScratchpadParams, n: u64, elem_bytes: usize, dma: bool) -> usize {
     let m_elems = p.scratchpad_capacity_elems(elem_bytes);
-    (m_elems * 2 / 5).max(2).clamp(1, (n as usize).max(1))
+    let chunk = if dma {
+        m_elems * 4 / 15
+    } else {
+        m_elems * 2 / 5
+    };
+    chunk.max(2).clamp(1, (n as usize).max(1))
 }
 
 /// Mirror of NMsort's default pivot count: `min(M/4B, chunk/8, 65536)`.
@@ -55,16 +63,26 @@ fn default_pivots(p: &ScratchpadParams, chunk: usize) -> usize {
         .clamp(1, 65_536)
 }
 
-/// NMsort's scratchpad working set for a given chunk: two chunk buffers,
-/// the resident pivots, and the `(pivots+1)`-entry `BucketTot` array —
-/// byte-for-byte the feasibility check in `tlmm-core`'s `geometry()`.
-fn nmsort_near_peak(p: &ScratchpadParams, n: u64, elem_bytes: usize, chunk: usize) -> u64 {
-    let n_pivots = if (n as usize) <= chunk {
+/// NMsort's scratchpad working set for a given chunk: the chunk buffers
+/// (two blocking, three when the DMA pipeline double-buffers a multi-chunk
+/// input), the resident pivots, and the `(pivots+1)`-entry `BucketTot`
+/// array — byte-for-byte the feasibility check in `tlmm-core`'s
+/// `geometry()`.
+fn nmsort_near_peak(
+    p: &ScratchpadParams,
+    n: u64,
+    elem_bytes: usize,
+    chunk: usize,
+    dma: bool,
+) -> u64 {
+    let n_chunks = (n as usize).div_ceil(chunk.max(1)).max(1);
+    let n_bufs = if dma && n_chunks > 1 { 3 } else { 2 };
+    let n_pivots = if n_chunks <= 1 {
         0
     } else {
         default_pivots(p, chunk)
     };
-    (2 * chunk * elem_bytes + n_pivots * elem_bytes + (n_pivots + 1) * 8) as u64
+    (n_bufs * chunk * elem_bytes + n_pivots * elem_bytes + (n_pivots + 1) * 8) as u64
 }
 
 /// Convert a predicted block split into charged bytes (`far_blocks·B +
@@ -88,9 +106,10 @@ pub fn estimate(
 ) -> AdmissionEstimate {
     let (near_peak_bytes, est_units, chunk) = match engine {
         Engine::NmSort | Engine::NmSortDma => {
-            let chunk = chunk_elems.unwrap_or_else(|| default_chunk(p, n, elem_bytes));
+            let dma = engine == Engine::NmSortDma;
+            let chunk = chunk_elems.unwrap_or_else(|| default_chunk(p, n, elem_bytes, dma));
             (
-                nmsort_near_peak(p, n, elem_bytes, chunk),
+                nmsort_near_peak(p, n, elem_bytes, chunk, dma),
                 units(p, crate::oblivious::nmsort_aware_cost(p, n, elem_bytes)),
                 chunk,
             )
@@ -146,12 +165,13 @@ pub fn shrink_to_fit(
         return None;
     }
     let mut chunk = est.chunk_elems;
+    let dma = engine == Engine::NmSortDma;
     for shrink in 1..=MAX_PROACTIVE_SHRINKS {
         if chunk <= 2 {
             break;
         }
         chunk = (chunk / 2).max(2);
-        let peak = nmsort_near_peak(p, n, elem_bytes, chunk);
+        let peak = nmsort_near_peak(p, n, elem_bytes, chunk, dma);
         if peak <= near_budget_bytes {
             est.near_peak_bytes = peak;
             est.chunk_elems = chunk;

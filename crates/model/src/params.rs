@@ -20,6 +20,16 @@ pub enum ParamError {
     /// otherwise a single near transfer could never complete and the
     /// capacity arithmetic in `near_alloc` underflows.
     NearBlockTooLarge,
+    /// A staging-arena growth request would push total staged bytes past
+    /// the near-memory capacity `M`. Historically the oblivious `Ctx`
+    /// path silently clamped staging to `M/2`; arena growth is instead
+    /// rejected up front with the offending numbers.
+    StagingBeyondNearCap {
+        /// Total staged bytes the arena would hold after the growth.
+        requested: u64,
+        /// The configured near-memory capacity `M` in bytes.
+        cap: u64,
+    },
 }
 
 impl core::fmt::Display for ParamError {
@@ -34,6 +44,12 @@ impl core::fmt::Display for ParamError {
             ParamError::CacheTooSmall => "cache must hold at least 4 blocks",
             ParamError::NearBlockTooLarge => {
                 "scratchpad M must hold at least one near block (rho * B)"
+            }
+            ParamError::StagingBeyondNearCap { requested, cap } => {
+                return write!(
+                    f,
+                    "staging arena growth to {requested} B exceeds near-memory cap {cap} B"
+                );
             }
         };
         f.write_str(msg)
@@ -172,6 +188,32 @@ impl ScratchpadParams {
     pub fn near_blocks_for(&self, bytes: u64) -> u64 {
         crate::ceil_div(bytes, self.near_block_bytes())
     }
+
+    /// Validate that a staging arena holding `total_bytes` after a growth
+    /// step still fits in near memory. The arena may legitimately use the
+    /// whole scratchpad (admission control arbitrates between tenants);
+    /// what it must never do is grow past `M`, which the ad-hoc buffer
+    /// paths used to hide behind a silent `M/2` clamp.
+    #[inline]
+    pub fn check_staging(&self, total_bytes: u64) -> Result<(), ParamError> {
+        if total_bytes > self.scratchpad_bytes {
+            return Err(ParamError::StagingBeyondNearCap {
+                requested: total_bytes,
+                cap: self.scratchpad_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Elements of size `elem_bytes` a *resident* (non-staging) buffer may
+    /// hold: `M/4` bytes, so that a data buffer plus its merge scratch stay
+    /// within half the scratchpad and leave the other half to staging
+    /// arenas and concurrent tenants. This is the validated form of the
+    /// clamp the oblivious `Ctx` used to hand-roll.
+    #[inline]
+    pub fn resident_cap_elems(&self, elem_bytes: usize) -> usize {
+        ((self.scratchpad_bytes as usize) / 4 / elem_bytes.max(1)).max(1)
+    }
 }
 
 impl Default for ScratchpadParams {
@@ -255,6 +297,32 @@ mod tests {
         assert_eq!(p.far_blocks_for(65), 2);
         assert_eq!(p.near_blocks_for(256), 1);
         assert_eq!(p.near_blocks_for(257), 2);
+    }
+
+    #[test]
+    fn staging_within_cap_is_accepted_and_beyond_is_typed() {
+        let p = ScratchpadParams::new(64, 3.0, 1 << 20, 64 << 10).unwrap();
+        p.check_staging(0).unwrap();
+        p.check_staging(1 << 20).unwrap();
+        let e = p.check_staging((1 << 20) + 1).unwrap_err();
+        assert_eq!(
+            e,
+            ParamError::StagingBeyondNearCap {
+                requested: (1 << 20) + 1,
+                cap: 1 << 20,
+            }
+        );
+        let s = e.to_string();
+        assert!(s.contains("1048577") && s.contains("1048576"), "{s}");
+    }
+
+    #[test]
+    fn resident_cap_matches_quarter_of_scratchpad() {
+        let p = ScratchpadParams::new(64, 3.0, 1 << 20, 64 << 10).unwrap();
+        assert_eq!(p.resident_cap_elems(8), (1 << 20) / 32);
+        // Degenerate element sizes never return zero.
+        assert_eq!(p.resident_cap_elems(0), (1 << 20) / 4);
+        assert_eq!(p.resident_cap_elems(usize::MAX), 1);
     }
 
     #[test]

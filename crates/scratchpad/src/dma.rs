@@ -11,6 +11,7 @@
 //! may hide it behind the next phase's compute) and executed by a background
 //! thread; [`DmaTransfer::wait`] joins it and returns the arrays.
 
+use crate::arena::StagingArena;
 use crate::array::{FarArray, NearArray};
 use crate::backoff::{Backoff, RetryClass};
 use crate::error::SpError;
@@ -19,11 +20,19 @@ use crate::mem::TwoLevel;
 use crate::trace::{current_lane, with_lane};
 use std::ops::Range;
 use std::thread::JoinHandle;
+use tlmm_model::ledger::Dir;
 
 /// Issues background transfers on a [`TwoLevel`] memory.
+///
+/// Bound to a [`StagingArena`] (see [`DmaEngine::with_arena`]), every
+/// issue becomes a pending-transfer record in the arena, retired when the
+/// background copy completes — so arena occupancy and overlap statistics
+/// cover engine-driven movement too, and the flight recorder sees a
+/// retire event for each background transfer.
 #[derive(Debug, Clone)]
 pub struct DmaEngine {
     tl: TwoLevel,
+    arena: Option<StagingArena>,
 }
 
 /// An in-flight DMA transfer; [`wait`](Self::wait) returns the arrays.
@@ -75,7 +84,30 @@ fn transfer_with_retry(
 impl DmaEngine {
     /// A DMA engine bound to a two-level memory.
     pub fn new(tl: &TwoLevel) -> Self {
-        Self { tl: tl.clone() }
+        Self {
+            tl: tl.clone(),
+            arena: None,
+        }
+    }
+
+    /// Bind a staging arena: every subsequent issue is tracked as a
+    /// pending transfer in `arena` and retired on completion.
+    pub fn with_arena(mut self, arena: &StagingArena) -> Self {
+        self.arena = Some(arena.clone());
+        self
+    }
+
+    /// Issue a slot-less pending record for `bytes` moving in `dir`
+    /// (no-op without a bound arena); the caller retires it when the
+    /// transfer completes.
+    fn track_issue(
+        &self,
+        dir: Dir,
+        bytes: u64,
+    ) -> Option<(StagingArena, crate::arena::TransferId)> {
+        self.arena
+            .as_ref()
+            .map(|a| (a.clone(), a.issue_external(dir, bytes)))
     }
 
     /// Issue a far→near transfer in the background. Charges are attributed
@@ -89,11 +121,9 @@ impl DmaEngine {
     ) -> DmaTransfer<FarArray<T>, NearArray<T>> {
         self.tl.mark_phase_overlappable();
         let lane = current_lane();
-        record_issue(
-            "far_to_near",
-            (src_range.len() * std::mem::size_of::<T>()) as u64,
-            lane,
-        );
+        let bytes = (src_range.len() * std::mem::size_of::<T>()) as u64;
+        record_issue("far_to_near", bytes, lane);
+        let tracked = self.track_issue(Dir::Read, bytes);
         if let FaultDecision::Fail(_) = self.tl.preflight(FaultOp::DmaIssue) {
             // The engine rejected the descriptor: fall back to a synchronous
             // transfer on the issuing thread.
@@ -106,6 +136,11 @@ impl DmaEngine {
                 };
                 transfer_with_retry(&self.tl, &mut op)
             };
+            if let Some((arena, id)) = tracked {
+                arena
+                    .retire(id)
+                    .expect("sync fallback retires its own issue");
+            }
             return DmaTransfer {
                 state: DmaState::Done(res.map(|()| (src, dst))),
             };
@@ -117,6 +152,11 @@ impl DmaEngine {
                     let mut op = || tl.far_to_near(&src, src_range.clone(), &mut dst, dst_at);
                     transfer_with_retry(&tl, &mut op)
                 };
+                if let Some((arena, id)) = tracked {
+                    arena
+                        .retire(id)
+                        .expect("background transfer retires its own issue");
+                }
                 res.map(|()| (src, dst))
             })
         });
@@ -135,11 +175,9 @@ impl DmaEngine {
     ) -> DmaTransfer<NearArray<T>, FarArray<T>> {
         self.tl.mark_phase_overlappable();
         let lane = current_lane();
-        record_issue(
-            "near_to_far",
-            (src_range.len() * std::mem::size_of::<T>()) as u64,
-            lane,
-        );
+        let bytes = (src_range.len() * std::mem::size_of::<T>()) as u64;
+        record_issue("near_to_far", bytes, lane);
+        let tracked = self.track_issue(Dir::Write, bytes);
         if let FaultDecision::Fail(_) = self.tl.preflight(FaultOp::DmaIssue) {
             tlmm_telemetry::counter!("degradation.dma_abort").incr();
             tlmm_telemetry::counter!("degradation.dma_sync_fallback").incr();
@@ -150,6 +188,11 @@ impl DmaEngine {
                 };
                 transfer_with_retry(&self.tl, &mut op)
             };
+            if let Some((arena, id)) = tracked {
+                arena
+                    .retire(id)
+                    .expect("sync fallback retires its own issue");
+            }
             return DmaTransfer {
                 state: DmaState::Done(res.map(|()| (src, dst))),
             };
@@ -161,6 +204,11 @@ impl DmaEngine {
                     let mut op = || tl.near_to_far(&src, src_range.clone(), &mut dst, dst_at);
                     transfer_with_retry(&tl, &mut op)
                 };
+                if let Some((arena, id)) = tracked {
+                    arena
+                        .retire(id)
+                        .expect("background transfer retires its own issue");
+                }
                 res.map(|()| (src, dst))
             })
         });
@@ -274,6 +322,32 @@ mod tests {
         let s = tl.ledger().snapshot();
         // 128 * 8 B = 1024 B = 16 far blocks per attempt, two attempts.
         assert_eq!(s.far_read_blocks, 32);
+    }
+
+    #[test]
+    fn arena_bound_engine_pends_and_retires() {
+        let tl = tl();
+        let arena = StagingArena::new(&tl);
+        let dma = DmaEngine::new(&tl).with_arena(&arena);
+        let far = tl.far_from_vec((0u64..256).collect::<Vec<_>>());
+        let near = tl.near_alloc::<u64>(256).unwrap();
+        let t = dma.far_to_near(far, 0..256, near, 0);
+        let (_far, near) = t.wait().unwrap();
+        assert_eq!(near.as_slice_uncharged()[255], 255);
+        // The background worker retired its record before wait() returned.
+        assert_eq!(arena.pending_transfers(), 0);
+        let s = arena.stats();
+        assert_eq!(s.issued, 1);
+        assert_eq!(s.retired, 1);
+
+        // The sync-fallback path retires too.
+        tl.install_fault_plan(crate::fault::FaultPlan::none(7).fail_kth(FaultOp::DmaIssue, 0));
+        let out = tl.far_alloc::<u64>(256);
+        let t = dma.near_to_far(near, 0..256, out, 0);
+        assert!(t.is_done());
+        t.wait().unwrap();
+        assert_eq!(arena.pending_transfers(), 0);
+        assert_eq!(arena.stats().retired, 2);
     }
 
     #[test]

@@ -51,6 +51,20 @@ pub enum SpError {
         /// 0-based index of the operation within its class.
         index: u64,
     },
+    /// A transfer was issued against a staging-arena generation that has
+    /// already been freed. Generations are never reused while live, so
+    /// this always means the caller kept a handle past the buffer's drop.
+    StaleGeneration {
+        /// The dead generation the caller presented.
+        generation: u64,
+    },
+    /// A retire was presented for a transfer id that is not pending:
+    /// either it was never issued or it has already been retired
+    /// (double-retire). The arena keeps issue/retire strictly paired.
+    TransferNotPending {
+        /// The offending transfer id.
+        id: u64,
+    },
 }
 
 impl SpError {
@@ -81,6 +95,18 @@ impl core::fmt::Display for SpError {
             }
             SpError::FaultInjected { op, index } => {
                 write!(f, "injected fault: {} op #{index}", op.name())
+            }
+            SpError::StaleGeneration { generation } => {
+                write!(
+                    f,
+                    "transfer issued against dead arena generation {generation}"
+                )
+            }
+            SpError::TransferNotPending { id } => {
+                write!(
+                    f,
+                    "transfer #{id} is not pending (never issued or already retired)"
+                )
             }
         }
     }

@@ -45,6 +45,7 @@
 //! assert_eq!(snap.near_write_blocks, 32); // ⌈8000 B / 256 B⌉ (ρB = 256)
 //! ```
 
+pub mod arena;
 pub mod array;
 pub mod backoff;
 pub mod cancel;
@@ -56,6 +57,7 @@ pub mod mem;
 pub mod stream;
 pub mod trace;
 
+pub use arena::{ArenaBuf, ArenaStats, OffsetAlloc, StagingArena, TransferId};
 pub use array::{FarArray, NearArray};
 pub use backoff::{splitmix64, Backoff, RetryClass};
 pub use cancel::CancelToken;

@@ -386,6 +386,30 @@ impl TwoLevel {
         })
     }
 
+    /// Reserve `bytes` of scratchpad capacity without materialising an
+    /// array — the staging arena's growth path. Same optimistic
+    /// reserve/rollback protocol (and the same error numbers) as
+    /// [`Self::near_alloc`], so arena growth is indistinguishable from a
+    /// direct allocation in capacity accounting.
+    pub(crate) fn reserve_near_bytes(&self, bytes: u64) -> Result<(), SpError> {
+        let cap = self.inner.params.scratchpad_bytes;
+        let prev = self.inner.near_used.fetch_add(bytes, Ordering::Relaxed);
+        if prev + bytes > cap {
+            self.inner.near_used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(SpError::NearCapacityExceeded {
+                requested: bytes,
+                available: cap.saturating_sub(prev),
+            });
+        }
+        Ok(())
+    }
+
+    /// Return `bytes` of scratchpad capacity reserved with
+    /// [`Self::reserve_near_bytes`].
+    pub(crate) fn release_near_bytes(&self, bytes: u64) {
+        self.inner.near_used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
     // ------------------------------------------------------------------
     // Charging primitives
     // ------------------------------------------------------------------

@@ -1,0 +1,261 @@
+//! Property tests for the staging arena and its offset allocator.
+//!
+//! Two families of invariants, each driven by arbitrary operation
+//! sequences:
+//!
+//! * **Placement** — [`OffsetAlloc`] never hands out overlapping byte
+//!   ranges, accounts `used()` exactly, coalesces a fully drained range
+//!   back to one block, and replays the same schedule to the same
+//!   offsets (the executor schedule-fuzz suites rely on that
+//!   determinism).
+//! * **Lifecycle** — [`StagingArena`] generations are never reused, a
+//!   freed generation can never be the target of a new transfer, and a
+//!   buffer dropped with transfers in flight releases its bytes only
+//!   when the *last* transfer retires — never earlier, never twice.
+
+use proptest::prelude::*;
+use tlmm_model::ScratchpadParams;
+use tlmm_scratchpad::{ArenaBuf, Dir, OffsetAlloc, SpError, StagingArena, TransferId, TwoLevel};
+
+fn tl() -> TwoLevel {
+    TwoLevel::new(ScratchpadParams::new(64, 3.0, 1 << 20, 64 << 10).unwrap())
+}
+
+// ---------------------------------------------------------------------
+// OffsetAlloc placement properties
+// ---------------------------------------------------------------------
+
+/// One step of the allocator fuzz: `true` allocates `bytes`, `false`
+/// frees the live block indexed by `pick` (modulo the live count).
+type AllocOp = (bool, u64, usize);
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    proptest::collection::vec((any::<bool>(), 1u64..512, 0usize..32), 1..120)
+}
+
+/// Replay `ops`, returning every offset handed out in order plus the
+/// final allocator (for end-state checks).
+fn replay_alloc(ops: &[AllocOp]) -> (Vec<u64>, OffsetAlloc, Vec<(u64, u64)>) {
+    let mut a = OffsetAlloc::new();
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    let mut placed = Vec::new();
+    for &(is_alloc, bytes, pick) in ops {
+        if is_alloc {
+            let off = match a.alloc(bytes) {
+                Some(off) => off,
+                None => {
+                    a.grow(bytes);
+                    a.alloc(bytes).expect("exact-fit growth satisfies alloc")
+                }
+            };
+            // The new block lies inside the range and overlaps nothing.
+            assert!(off + bytes <= a.capacity(), "block escapes the range");
+            for &(o, l) in &live {
+                assert!(
+                    off + bytes <= o || o + l <= off,
+                    "alias: new [{off},{}) overlaps live [{o},{})",
+                    off + bytes,
+                    o + l
+                );
+            }
+            live.push((off, bytes));
+            placed.push(off);
+        } else if !live.is_empty() {
+            let (off, len) = live.swap_remove(pick % live.len());
+            a.free(off, len);
+        }
+        let in_use: u64 = live.iter().map(|&(_, l)| l).sum();
+        assert_eq!(a.used(), in_use, "used() must track live bytes exactly");
+        assert!(a.used() <= a.capacity());
+    }
+    (placed, a, live)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn offset_alloc_never_aliases_and_accounts_exactly(ops in alloc_ops()) {
+        let (_, mut a, live) = replay_alloc(&ops);
+        // Drain: everything coalesces back to a single free block.
+        for (off, len) in live {
+            a.free(off, len);
+        }
+        prop_assert_eq!(a.used(), 0);
+        if a.capacity() > 0 {
+            prop_assert_eq!(a.free_blocks(), 1, "drained arena must coalesce");
+            prop_assert_eq!(a.largest_free(), a.capacity());
+        }
+    }
+
+    #[test]
+    fn offset_alloc_replays_deterministically(ops in alloc_ops()) {
+        let (placed_a, a, _) = replay_alloc(&ops);
+        let (placed_b, b, _) = replay_alloc(&ops);
+        prop_assert_eq!(placed_a, placed_b, "same schedule, same offsets");
+        prop_assert_eq!(a.capacity(), b.capacity());
+        prop_assert_eq!(a.used(), b.used());
+        prop_assert_eq!(a.free_blocks(), b.free_blocks());
+    }
+}
+
+// ---------------------------------------------------------------------
+// StagingArena lifecycle properties
+// ---------------------------------------------------------------------
+
+/// One step of the arena fuzz, dispatched over a table of up to 6 buffer
+/// slots: 0 = alloc, 1 = issue a transfer, 2 = retire the oldest pending
+/// transfer, 3 = drop the buffer (deferring its free if transfers are in
+/// flight).
+type ArenaOp = (u8, usize, usize);
+
+fn arena_ops() -> impl Strategy<Value = Vec<ArenaOp>> {
+    proptest::collection::vec((0u8..4, 0usize..6, 1usize..64), 1..80)
+}
+
+#[derive(Default)]
+struct Slot {
+    buf: Option<ArenaBuf<u64>>,
+    /// Pending transfer ids issued against `buf`'s generation, oldest
+    /// first; they survive the buffer's drop (deferred free).
+    pending: Vec<TransferId>,
+    generation: u64,
+    /// The slot's buffer was dropped — its generation is dead (freed or
+    /// drop-deferred) and must reject new transfers.
+    dead: bool,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arena_generations_and_deferred_frees_hold_under_any_schedule(ops in arena_ops()) {
+        let tl = tl();
+        {
+            let arena = StagingArena::new(&tl);
+            let mut slots: Vec<Slot> = (0..6).map(|_| Slot::default()).collect();
+            let mut seen_generations = std::collections::BTreeSet::new();
+
+            for &(kind, ix, len) in &ops {
+                let slot = &mut slots[ix];
+                match kind {
+                    0 if slot.buf.is_none() && slot.pending.is_empty() => {
+                        let buf = arena.alloc_array::<u64>(len).unwrap();
+                        // Generations are globally fresh, even when the
+                        // byte range is recycled.
+                        prop_assert!(
+                            seen_generations.insert(buf.generation()),
+                            "generation {} reused", buf.generation()
+                        );
+                        slot.generation = buf.generation();
+                        slot.dead = false;
+                        slot.buf = Some(buf);
+                    }
+                    1 => {
+                        if let Some(buf) = &slot.buf {
+                            let id = buf.issue(Dir::Read, (len * 8) as u64).unwrap();
+                            slot.pending.push(id);
+                        } else if slot.dead {
+                            // Dead or drop-deferred generation: issuing
+                            // must fail typed, never alias a reused range.
+                            let err = arena
+                                .issue_transfer(slot.generation, Dir::Read, 64)
+                                .unwrap_err();
+                            prop_assert_eq!(
+                                err,
+                                SpError::StaleGeneration { generation: slot.generation }
+                            );
+                        }
+                    }
+                    2 => {
+                        if !slot.pending.is_empty() {
+                            let id = slot.pending.remove(0);
+                            arena.retire(id).unwrap();
+                            // Exactly-once: the same id can never retire twice.
+                            let err = arena.retire(id).unwrap_err();
+                            prop_assert_eq!(err, SpError::TransferNotPending { id: id.raw() });
+                        }
+                    }
+                    _ => {
+                        if let Some(buf) = slot.buf.take() {
+                            let bytes_before = arena.used_bytes();
+                            let had_inflight = !slot.pending.is_empty();
+                            let buf_bytes = (buf.len() * 8) as u64;
+                            slot.dead = true;
+                            drop(buf);
+                            if had_inflight {
+                                // Deferred: the range is still owned by the
+                                // in-flight transfers.
+                                prop_assert_eq!(arena.used_bytes(), bytes_before);
+                            } else {
+                                prop_assert_eq!(arena.used_bytes(), bytes_before - buf_bytes);
+                            }
+                        }
+                    }
+                }
+
+                // Global accounting, every step.
+                let live_bytes: u64 = slots
+                    .iter()
+                    .map(|s| match &s.buf {
+                        Some(b) => (b.len() * 8) as u64,
+                        // Drop-deferred ranges still count as used.
+                        None if !s.pending.is_empty() => 0, // counted below
+                        None => 0,
+                    })
+                    .sum();
+                prop_assert!(arena.used_bytes() >= live_bytes);
+                prop_assert!(arena.capacity_bytes() <= tl.params().scratchpad_bytes);
+                prop_assert_eq!(
+                    arena.pending_transfers(),
+                    slots.iter().map(|s| s.pending.len()).sum::<usize>()
+                );
+            }
+
+            // Drain: drop every buffer, retire every transfer; the arena
+            // must settle to zero live bytes and stay usable.
+            for slot in &mut slots {
+                slot.buf = None;
+                for id in slot.pending.drain(..) {
+                    arena.retire(id).unwrap();
+                }
+            }
+            prop_assert_eq!(arena.used_bytes(), 0);
+            prop_assert_eq!(arena.live_allocations(), 0);
+            prop_assert_eq!(arena.pending_transfers(), 0);
+            let st = arena.stats();
+            prop_assert_eq!(st.issued, st.retired);
+            // Every allocation was freed exactly once (no double-free):
+            // immediate and deferred frees partition the allocs.
+            prop_assert_eq!(st.allocs, st.frees);
+
+            // Reusable after the storm: a fresh allocation still works and
+            // reuses retained capacity where it fits.
+            let again = arena.alloc_array::<u64>(16).unwrap();
+            prop_assert!(seen_generations.insert(again.generation()));
+            drop(again);
+        }
+        // RAII: the whole reservation returns to the scratchpad.
+        prop_assert_eq!(tl.near_used_bytes(), 0);
+    }
+}
+
+#[test]
+fn deferred_free_holds_bytes_until_the_last_transfer_retires() {
+    let tl = tl();
+    let arena = StagingArena::new(&tl);
+    let buf = arena.alloc_array::<u64>(64).unwrap();
+    let a = buf.issue(Dir::Read, 256).unwrap();
+    let b = buf.issue(Dir::Write, 256).unwrap();
+    drop(buf);
+    assert_eq!(arena.used_bytes(), 512);
+    arena.retire(a).unwrap();
+    // One of two still in flight: the free must keep waiting.
+    assert_eq!(arena.used_bytes(), 512);
+    assert_eq!(arena.live_allocations(), 1);
+    arena.retire(b).unwrap();
+    assert_eq!(arena.used_bytes(), 0);
+    assert_eq!(arena.live_allocations(), 0);
+    assert_eq!(arena.stats().deferred_frees, 1);
+    assert_eq!(arena.stats().frees, 1);
+}

@@ -1,0 +1,215 @@
+//! Exhaustive small-case verification of host-threaded DMA retirement
+//! over the staging arena.
+//!
+//! No loom in the vendored toolchain, but (as with the arbiter's
+//! exhaustive suite) the arena doesn't need it: retirement behaviour is
+//! a pure function of the order in which issue/retire/drop events reach
+//! the arena's single lock. Enumerating EVERY interleaving of 2 workers
+//! × 6 events each (C(12,6) = 924 orders), under all 4×4 per-worker
+//! script variants (in-order vs reversed retirement × drop-before vs
+//! drop-after retirement), covers the complete schedule space of the
+//! double-buffer pipeline's small case. Invariants on every schedule:
+//!
+//! * **no retire-before-issue** — ids exist only after issue, and every
+//!   retire of an already-retired (or never-issued) id fails typed;
+//! * **no double-free of a generation** — each allocation's bytes return
+//!   to the free list exactly once, whether the free was immediate or
+//!   deferred behind in-flight transfers;
+//! * **stale generations stay dead** — once a worker dropped its buffer,
+//!   issuing against that generation fails on every later step;
+//! * conservation — after the schedule drains, zero live allocations,
+//!   zero pending transfers, zero used bytes, and `issued == retired`.
+//!
+//! A final non-enumerated test runs the same workload on two real OS
+//! threads as a wilder smoke check of the lock itself.
+
+use tlmm_model::ScratchpadParams;
+use tlmm_scratchpad::{ArenaBuf, Dir, SpError, StagingArena, TransferId, TwoLevel};
+
+const WORKERS: usize = 2;
+const EVENTS: usize = 6;
+
+fn tl() -> TwoLevel {
+    TwoLevel::new(ScratchpadParams::new(64, 3.0, 1 << 20, 64 << 10).unwrap())
+}
+
+/// One worker's script: the order its six events hit the arena.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Step {
+    Alloc,
+    Issue(usize),
+    Retire(usize),
+    Drop,
+}
+
+/// The four per-worker scripts: retirement order × drop position.
+fn scripts() -> [[Step; EVENTS]; 4] {
+    use Step::*;
+    [
+        // In-order retirement, drop after both retires.
+        [Alloc, Issue(0), Issue(1), Retire(0), Retire(1), Drop],
+        // Reversed retirement (the executor may grant out of order).
+        [Alloc, Issue(0), Issue(1), Retire(1), Retire(0), Drop],
+        // Drop with both transfers in flight: free defers to the last retire.
+        [Alloc, Issue(0), Issue(1), Drop, Retire(0), Retire(1)],
+        // Deferred free with reversed retirement.
+        [Alloc, Issue(0), Issue(1), Drop, Retire(1), Retire(0)],
+    ]
+}
+
+/// All distinct interleavings of the multiset {0×6, 1×6}: which worker
+/// acts at each step. C(12,6) = 924.
+fn interleavings() -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut seq = Vec::with_capacity(WORKERS * EVENTS);
+    let mut left = [EVENTS; WORKERS];
+    fn rec(seq: &mut Vec<usize>, left: &mut [usize; WORKERS], out: &mut Vec<Vec<usize>>) {
+        if seq.len() == WORKERS * EVENTS {
+            out.push(seq.clone());
+            return;
+        }
+        for w in 0..WORKERS {
+            if left[w] > 0 {
+                left[w] -= 1;
+                seq.push(w);
+                rec(seq, left, out);
+                seq.pop();
+                left[w] += 1;
+            }
+        }
+    }
+    rec(&mut seq, &mut left, &mut out);
+    out
+}
+
+#[derive(Default)]
+struct WorkerState {
+    buf: Option<ArenaBuf<u64>>,
+    ids: [Option<TransferId>; 2],
+    generation: u64,
+    dropped: bool,
+    deferred: bool,
+}
+
+fn run_schedule(order: &[usize], scripts: [&[Step; EVENTS]; WORKERS], ctx: &str) {
+    let tl = tl();
+    let arena = StagingArena::new(&tl);
+    let mut ws: [WorkerState; WORKERS] = Default::default();
+    let mut cursor = [0usize; WORKERS];
+    let mut retired: Vec<TransferId> = Vec::new();
+
+    for &w in order {
+        let step = scripts[w][cursor[w]];
+        cursor[w] += 1;
+        let st = &mut ws[w];
+        match step {
+            Step::Alloc => {
+                let buf = arena.alloc_array::<u64>(32).unwrap();
+                st.generation = buf.generation();
+                st.buf = Some(buf);
+            }
+            Step::Issue(j) => {
+                let buf = st.buf.as_ref().expect("script issues before drop");
+                st.ids[j] = Some(buf.issue(Dir::Read, 256).unwrap());
+            }
+            Step::Retire(j) => {
+                let id = st.ids[j].take().expect("script retires after issue");
+                arena.retire(id).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                retired.push(id);
+            }
+            Step::Drop => {
+                st.deferred = st.ids.iter().any(Option::is_some);
+                st.dropped = true;
+                st.buf = None; // drops the ArenaBuf
+            }
+        }
+        // A dropped generation must reject new transfers at EVERY later
+        // point of the schedule, deferred free or not.
+        for st in ws.iter().filter(|s| s.dropped) {
+            let err = arena
+                .issue_transfer(st.generation, Dir::Read, 64)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                SpError::StaleGeneration {
+                    generation: st.generation
+                },
+                "{ctx}"
+            );
+        }
+        // No retire-before-issue / no double retire: every id retired so
+        // far stays retired.
+        for &id in &retired {
+            assert_eq!(
+                arena.retire(id).unwrap_err(),
+                SpError::TransferNotPending { id: id.raw() },
+                "{ctx}"
+            );
+        }
+    }
+
+    // Drained: conservation and exactly-once frees.
+    assert_eq!(arena.pending_transfers(), 0, "{ctx}");
+    assert_eq!(arena.live_allocations(), 0, "{ctx}");
+    assert_eq!(arena.used_bytes(), 0, "{ctx}");
+    let s = arena.stats();
+    assert_eq!(s.issued, (WORKERS * 2) as u64, "{ctx}");
+    assert_eq!(s.retired, s.issued, "{ctx}");
+    assert_eq!(s.allocs, WORKERS as u64, "{ctx}");
+    // Exactly one free per allocation — double-free would overshoot,
+    // a leak would undershoot.
+    assert_eq!(s.frees, WORKERS as u64, "{ctx}");
+    let want_deferred = ws.iter().filter(|s| s.deferred).count() as u64;
+    assert_eq!(s.deferred_frees, want_deferred, "{ctx}");
+    // Distinct generations per worker.
+    assert_ne!(ws[0].generation, ws[1].generation, "{ctx}");
+}
+
+#[test]
+fn every_interleaving_of_two_workers_retires_cleanly() {
+    let orders = interleavings();
+    assert_eq!(orders.len(), 924);
+    let scripts = scripts();
+    for order in &orders {
+        for (si, a) in scripts.iter().enumerate() {
+            for (sj, b) in scripts.iter().enumerate() {
+                let ctx = format!("order={order:?} scripts=({si},{sj})");
+                run_schedule(order, [a, b], &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn two_real_threads_hammering_one_arena_settle_clean() {
+    let tl = tl();
+    let arena = StagingArena::new(&tl);
+    std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let arena = arena.clone();
+            s.spawn(move || {
+                for round in 0..200u64 {
+                    let mut buf = arena.alloc_array::<u64>(64).unwrap();
+                    let id = buf.issue(Dir::Read, 512).unwrap();
+                    buf.transfer_fill(&[t * 1000 + round; 64], 0);
+                    arena.retire(id).unwrap();
+                    assert_eq!(buf.as_slice_uncharged()[0], t * 1000 + round);
+                    if round % 3 == 0 {
+                        // Exercise the deferred-free path under real
+                        // contention: drop with a transfer in flight.
+                        let id = buf.issue(Dir::Write, 512).unwrap();
+                        drop(buf);
+                        arena.retire(id).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(arena.live_allocations(), 0);
+    assert_eq!(arena.pending_transfers(), 0);
+    assert_eq!(arena.used_bytes(), 0);
+    let s = arena.stats();
+    assert_eq!(s.issued, s.retired);
+    assert_eq!(s.allocs, s.frees);
+    assert_eq!(tl.near_used_bytes(), arena.capacity_bytes());
+}

@@ -69,16 +69,10 @@ fn decision_log_matches_golden() {
         env!("CARGO_MANIFEST_DIR"),
         "/tests/golden/replay_decisions.json"
     );
-    if std::env::var("TLMM_BLESS").is_ok() {
-        std::fs::write(path, &got).unwrap();
-        return;
-    }
-    let want = std::fs::read_to_string(path)
-        .expect("golden file missing — run once with TLMM_BLESS=1 to create it");
-    assert_eq!(
-        got, want,
-        "decision log deviates from golden replay; if the change is \
-         intentional, regenerate with TLMM_BLESS=1"
+    tlmm_testkit::check_golden_str(
+        std::path::Path::new(path),
+        &got,
+        "fixed mixed-priority job list (seed 0xC0FFEE, 6 slots)",
     );
 }
 

@@ -91,6 +91,11 @@ pub enum EventKind {
     Grant,
     /// Transfer `id` released `slot` at `ts`; `bytes` moved in total.
     Retire,
+    /// A staging-arena pending transfer (`id` in the *arena's* id space,
+    /// not the recorder's) completed at `ts`, unblocking deferred frees.
+    /// Deliberately outside the Issue/Grant/Retire triple invariant: the
+    /// triple tracks the ledger charge, this tracks buffer lifetime.
+    ArenaRetire,
     /// `bytes` holds compute ops charged on this lane at `ts`.
     Compute,
     /// A fault-plan decision fired (`name` = op/decision label).
@@ -868,6 +873,26 @@ pub fn compute_event(ops: u64) {
 /// stamps when an executor arbitrated the transfer.
 pub fn transfer_event(bytes: u64, flags: u32, timing: Option<TransferTiming>) {
     with_recorder(|r| r.emit_transfer(bytes, flags, timing));
+}
+
+/// Record the retirement of a staging-arena pending transfer as a lone
+/// `Retire` event carrying the arena's own transfer id — distinct from the
+/// issue/grant/retire triple of [`transfer_event`], which tracks the
+/// *charge*; this tracks the *completion* that unblocks arena frees.
+pub fn arena_retire_event(id: u64, bytes: u64, flags: u32) {
+    with_recorder(|r| {
+        let lane = current_lane().unwrap_or(0);
+        let ev = FlightEvent {
+            ts: r.domain_now(lane),
+            kind: EventKind::ArenaRetire,
+            id,
+            bytes,
+            flags,
+            name: r.intern("arena.retire"),
+            ..FlightEvent::default()
+        };
+        r.emit(lane, ev);
+    });
 }
 
 /// Run `f` with charges flagged as fault-retry penalties; the runtime

@@ -134,6 +134,17 @@ pub fn to_chrome_json(trace: &FlightTrace) -> String {
                         ("args", obj(vec![("ops", Value::U64(compute_total))])),
                     ]));
                 }
+                EventKind::ArenaRetire => {
+                    events.push(obj(vec![
+                        ("ph", s("i")),
+                        ("s", s("t")),
+                        ("pid", Value::U64(PID_LANES)),
+                        ("tid", Value::U64(tid)),
+                        ("ts", us(d, ev.ts)),
+                        ("name", s(&format!("arena retire #{}", ev.id))),
+                        ("cat", s("arena")),
+                    ]));
+                }
                 EventKind::Issue | EventKind::Grant | EventKind::Retire => {}
             }
         }

@@ -1,0 +1,188 @@
+//! Shared test fixtures for the workspace's integration and property
+//! suites.
+//!
+//! Before this crate, three things were copy-pasted across test binaries
+//! and drifted independently:
+//!
+//! * the **workload-shape panels** (which adversarial input shapes every
+//!   differential/property suite sweeps),
+//! * the **golden bless/compare ritual** (`TLMM_BLESS=1` regenerates, a
+//!   normal run asserts byte-identical serialization plus a typed
+//!   round-trip),
+//! * the **process-global lock** idiom for suites that mutate global
+//!   state (flight recorder, SIMD dispatch) under cargo's parallel test
+//!   threads.
+//!
+//! This crate is a `dev-dependency` only: production crates must never
+//! link it.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+use proptest::prelude::*;
+use tlmm_workloads::Workload;
+
+/// The differential suite's seven workload shapes: the paper's uniform
+/// input plus the adversarial edge cases (pre-sortedness, reversal, local
+/// perturbation, duplicates, skew, periodic ramps).
+pub const SHAPES: [Workload; 7] = [
+    Workload::UniformU64,
+    Workload::Sorted,
+    Workload::Reverse,
+    Workload::NearlySorted(0.1),
+    Workload::FewDistinct(16),
+    Workload::Zipf(1.2),
+    Workload::Sawtooth(1000),
+];
+
+/// The kernel-level panel: [`SHAPES`]'s categories re-parameterized to
+/// stress in-scratchpad sorters (prime sawtooth period, heavier
+/// duplication) plus the all-equal adversarial bucket case.
+pub const KERNEL_SHAPES: [Workload; 8] = [
+    Workload::UniformU64,
+    Workload::Sorted,
+    Workload::Reverse,
+    Workload::NearlySorted(0.1),
+    Workload::FewDistinct(7),
+    Workload::Zipf(1.1),
+    Workload::AllEqual,
+    Workload::Sawtooth(257),
+];
+
+/// Simulated-lane widths the executor suites sweep.
+pub const LANES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Proptest strategy over the shape categories, drawing the parameters
+/// (sawtooth period, distinct count, Zipf exponent) from ranges instead of
+/// the fixed panel values — property suites get the whole family, table
+/// suites get the pinned [`SHAPES`].
+pub fn shaped_workload() -> impl Strategy<Value = Workload> {
+    (0u8..7, 2u64..500, 0.8f64..1.6).prop_map(|(which, period, s)| match which {
+        0 => Workload::UniformU64,
+        1 => Workload::AllEqual,
+        2 => Workload::Sawtooth(period),
+        3 => Workload::Sorted,
+        4 => Workload::Reverse,
+        5 => Workload::FewDistinct(period % 19 + 1),
+        _ => Workload::Zipf(s),
+    })
+}
+
+/// True when the run should regenerate goldens instead of asserting
+/// against them (`TLMM_BLESS` set to anything).
+pub fn bless_requested() -> bool {
+    std::env::var_os("TLMM_BLESS").is_some()
+}
+
+/// `<dir>/<name>.json` — the committed location of a golden snapshot.
+pub fn golden_path(dir: &str, name: &str) -> PathBuf {
+    Path::new(dir).join(format!("{name}.json"))
+}
+
+/// The golden bless/compare ritual on an already-rendered string.
+///
+/// Under `TLMM_BLESS` the rendering is written (newline-terminated) and
+/// the test passes vacuously; otherwise the committed file must exist and
+/// match byte-for-byte modulo the trailing newline. `context` names the
+/// configuration that produced the rendering so a diff says *which* sweep
+/// diverged.
+pub fn check_golden_str(path: &Path, rendered: &str, context: &str) {
+    if bless_requested() {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).unwrap();
+        }
+        std::fs::write(path, format!("{}\n", rendered.trim_end())).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("missing golden {path:?} ({e}); run with TLMM_BLESS=1 to create it")
+    });
+    assert_eq!(
+        committed.trim_end(),
+        rendered.trim_end(),
+        "{} diverged from golden ({context}); if intentional, regenerate \
+         with TLMM_BLESS=1 and justify the re-bless in the commit",
+        path.display()
+    );
+}
+
+/// Typed golden check: serializes `value` with the vendored pretty
+/// printer, runs [`check_golden_str`], then re-parses the committed text
+/// and compares as a typed value so a formatting-only change can't mask a
+/// semantic one (and vice versa).
+pub fn check_golden<T>(path: &Path, value: &T, context: &str)
+where
+    T: serde::Serialize + serde::Deserialize + PartialEq + std::fmt::Debug,
+{
+    let rendered = serde::json::to_string_pretty(value).expect("golden value serializes");
+    check_golden_str(path, &rendered, context);
+    if bless_requested() {
+        return;
+    }
+    let committed = std::fs::read_to_string(path).unwrap();
+    let parsed: T = serde::json::from_str(committed.trim_end()).unwrap();
+    assert_eq!(
+        &parsed,
+        value,
+        "{} golden round-trip ({context})",
+        path.display()
+    );
+}
+
+/// Serialize tests that mutate process-global state (flight recorder,
+/// SIMD dispatch toggles): lock before touching the global, and keep the
+/// suite alive across a poisoned lock — a failed case already reported
+/// its panic, the rest of the suite should still run.
+pub fn serial_guard(lock: &'static Mutex<()>) -> MutexGuard<'static, ()> {
+    lock.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_are_distinct_shapes() {
+        // Each panel entry is a distinct shape: a sweep indexed by panel
+        // position never runs the same input twice.
+        for (i, a) in SHAPES.iter().enumerate() {
+            for b in SHAPES.iter().skip(i + 1) {
+                assert_ne!(format!("{a:?}"), format!("{b:?}"));
+            }
+        }
+        for (i, a) in KERNEL_SHAPES.iter().enumerate() {
+            for b in KERNEL_SHAPES.iter().skip(i + 1) {
+                assert_ne!(format!("{a:?}"), format!("{b:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn golden_str_blesses_and_compares() {
+        let dir = std::env::temp_dir().join(format!("tlmm-testkit-{}", std::process::id()));
+        let path = golden_path(dir.to_str().unwrap(), "sample");
+        // Simulate a bless without touching the real env: write directly,
+        // then compare both the equal and trailing-newline cases.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, "{\n  \"x\": 1\n}\n").unwrap();
+        check_golden_str(&path, "{\n  \"x\": 1\n}", "unit");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "missing golden")]
+    fn golden_str_panics_on_missing_file() {
+        let path = golden_path("/nonexistent-tlmm-testkit", "nope");
+        check_golden_str(&path, "{}", "unit");
+    }
+
+    #[test]
+    fn serial_guard_survives_poison() {
+        static L: Mutex<()> = Mutex::new(());
+        let _ = std::panic::catch_unwind(|| {
+            let _g = serial_guard(&L);
+            panic!("poison it");
+        });
+        let _g = serial_guard(&L); // must not deadlock or panic
+    }
+}

@@ -16,20 +16,7 @@ fn sorted_copy(v: &[u64]) -> Vec<u64> {
     s
 }
 
-/// The differential suite's workload shapes: the paper's uniform input plus
-/// the adversarial edge cases (duplicates, periodic ramps, pre-sortedness,
-/// reversal, skew).
-fn shaped_workload() -> impl Strategy<Value = Workload> {
-    (0u8..7, 2u64..500, 0.8f64..1.6).prop_map(|(which, period, s)| match which {
-        0 => Workload::UniformU64,
-        1 => Workload::AllEqual,
-        2 => Workload::Sawtooth(period),
-        3 => Workload::Sorted,
-        4 => Workload::Reverse,
-        5 => Workload::FewDistinct(period % 19 + 1),
-        _ => Workload::Zipf(s),
-    })
-}
+use tlmm_testkit::shaped_workload;
 
 /// `Option<u64>` fault seed: half the cases run clean, half under the
 /// standard seeded mixed fault profile.
